@@ -1,0 +1,50 @@
+//! Microbenchmarks of the two distribution estimators: the inversion
+//! approach of Theorem 1 vs the iterative approach of Equation (3). The
+//! paper's stated reason for optimizing with the inversion estimator is
+//! exactly this cost difference (Section III.A).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::CategoricalDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rr::disguise::disguise_dataset;
+use rr::estimate::inversion::estimate_distribution;
+use rr::estimate::iterative::{iterative_estimate, IterativeConfig};
+use rr::schemes::warner;
+use stats::{discretize_distribution, Normal};
+
+fn disguised_workload(n: usize, records: usize) -> (rr::RrMatrix, CategoricalDataset) {
+    let prior = discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let original = CategoricalDataset::new(n, prior.sample_many(&mut rng, records)).unwrap();
+    let m = warner(n, 0.7).unwrap();
+    let disguised = disguise_dataset(&m, &original, &mut rng).unwrap().disguised;
+    (m, disguised)
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_inversion");
+    for &n in &[5usize, 10, 20] {
+        let (m, disguised) = disguised_workload(n, 10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| estimate_distribution(black_box(&m), black_box(&disguised)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_iterative");
+    group.sample_size(20);
+    for &n in &[5usize, 10, 20] {
+        let (m, disguised) = disguised_workload(n, 10_000);
+        let cfg = IterativeConfig { max_iterations: 10_000, tolerance: 1e-9 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| iterative_estimate(black_box(&m), black_box(&disguised), &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion, bench_iterative);
+criterion_main!(benches);

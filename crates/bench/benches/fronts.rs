@@ -1,0 +1,60 @@
+//! Benchmarks of the front machinery: baseline sweeps (the per-figure
+//! Warner series of §VI.B), Pareto-front extraction, and the quality
+//! indicators used to compare fronts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emoo::indicators::hypervolume_2d;
+use emoo::{pareto_front, Objectives};
+use optrr::{baseline_sweep, FrontPoint, OptrrConfig, OptrrProblem, ParetoFront, SchemeKind};
+use stats::{discretize_distribution, Normal};
+
+fn problem(n: usize) -> OptrrProblem {
+    let prior = discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), n).unwrap();
+    OptrrProblem::new(prior, &OptrrConfig::fast(0.75, 1)).unwrap()
+}
+
+fn bench_baseline_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warner_baseline_sweep");
+    group.sample_size(10);
+    let p = problem(10);
+    for &steps in &[101usize, 1001] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| baseline_sweep(black_box(&p), SchemeKind::Warner, steps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_front_extraction");
+    for &count in &[100usize, 1000] {
+        let points: Vec<Objectives> = (0..count)
+            .map(|i| {
+                let x = (i as f64 * 0.618_033_988_75).fract();
+                let y = (i as f64 * 0.414_213_562_37).fract();
+                Objectives::pair(x, y)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
+            b.iter(|| pareto_front(black_box(&points)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_indicators(c: &mut Criterion) {
+    let points: Vec<FrontPoint> = (0..500)
+        .map(|i| {
+            let privacy = i as f64 / 500.0 * 0.7;
+            FrontPoint { privacy, mse: 1e-3 * (1.0 - privacy) + 1e-5 }
+        })
+        .collect();
+    let front = ParetoFront::from_points("bench", &points);
+    let objectives = front.to_objectives();
+    c.bench_function("hypervolume_500_points", |b| {
+        b.iter(|| hypervolume_2d(black_box(&objectives), &Objectives::pair(1.0, 2e-3)))
+    });
+}
+
+criterion_group!(benches, bench_baseline_sweep, bench_pareto_extraction, bench_indicators);
+criterion_main!(benches);

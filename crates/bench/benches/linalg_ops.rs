@@ -1,0 +1,51 @@
+//! Microbenchmarks of the linear-algebra substrate (matrix inversion and
+//! matrix-vector products), which sit on the innermost path of every
+//! fitness evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{invert, Matrix, Vector};
+
+fn diagonally_dominant(n: usize) -> Matrix {
+    let mut m = Matrix::filled(n, n, 0.3 / (n as f64 - 1.0));
+    for i in 0..n {
+        m[(i, i)] = 0.7;
+    }
+    m
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_inversion");
+    for &n in &[5usize, 10, 20, 40, 80] {
+        let m = diagonally_dominant(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| invert(black_box(&m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_vector_product");
+    for &n in &[10usize, 40, 160] {
+        let m = diagonally_dominant(n);
+        let v = Vector::filled(n, 1.0 / n as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.mul_vector(black_box(&v)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_matrix_product");
+    for &n in &[10usize, 40, 80] {
+        let m = diagonally_dominant(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.mul_matrix(black_box(&m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion, bench_matvec, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks of the privacy-preserving mining applications: per-record
+//! disguise throughput, itemset-support reconstruction, and decision-tree
+//! building over disguised data.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::labeled::{generate as generate_labeled, LabeledConfig};
+use datagen::transactions::{generate as generate_txns, TransactionConfig};
+use datagen::CategoricalDataset;
+use mining::decision_tree::{build_tree, AttributeView, TreeConfig};
+use mining::transactions::{disguise_transactions, estimate_support};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rr::disguise::disguise_dataset;
+use rr::schemes::warner;
+use stats::{discretize_distribution, Normal};
+
+fn bench_record_disguise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disguise_throughput");
+    group.sample_size(20);
+    let prior = discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    for &records in &[10_000usize, 100_000] {
+        let data =
+            CategoricalDataset::new(10, prior.sample_many(&mut rng, records)).unwrap();
+        let m = warner(10, 0.7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| disguise_dataset(black_box(&m), black_box(&data), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_support_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itemset_support_reconstruction");
+    group.sample_size(10);
+    let data = generate_txns(&TransactionConfig {
+        num_transactions: 20_000,
+        ..TransactionConfig::default()
+    })
+    .unwrap();
+    let m = warner(2, 0.85).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let disguised = disguise_transactions(&m, &data, &mut rng).unwrap();
+    for size in [1usize, 2, 3] {
+        let itemset: Vec<usize> = (0..size).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| estimate_support(black_box(&m), black_box(&disguised), &itemset).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree_build");
+    group.sample_size(10);
+    let train = generate_labeled(&LabeledConfig { num_records: 10_000, ..Default::default() }).unwrap();
+    let domain = train.attribute(0).unwrap().num_categories();
+    let m = warner(domain, 0.8).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let disguised_column = disguise_dataset(&m, train.attribute(0).unwrap(), &mut rng)
+        .unwrap()
+        .disguised;
+    let disguised_train = train.with_attribute(0, disguised_column).unwrap();
+
+    group.bench_function("plain_attributes", |b| {
+        let views = vec![AttributeView::Plain; train.num_attributes()];
+        b.iter(|| build_tree(black_box(&train), &views, &TreeConfig::default()).unwrap())
+    });
+    group.bench_function("one_disguised_attribute", |b| {
+        let mut views = vec![AttributeView::Plain; train.num_attributes()];
+        views[0] = AttributeView::Disguised(&m);
+        b.iter(|| build_tree(black_box(&disguised_train), &views, &TreeConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_disguise, bench_support_estimation, bench_tree_building);
+criterion_main!(benches);

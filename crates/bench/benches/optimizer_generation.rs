@@ -1,0 +1,80 @@
+//! Benchmarks of the optimizer itself: the per-candidate evaluation, the
+//! genetic operators, and a short end-to-end run (the quantity behind the
+//! paper's "about 12 minutes per experiment" observation, E-TIME).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use optrr::operators::{column_swap_crossover, proportional_column_mutation, repair_to_delta_bound};
+use optrr::{Optimizer, OptrrConfig, OptrrProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rr::schemes::warner;
+use rr::RrMatrix;
+use stats::{discretize_distribution, Normal};
+
+fn prior(n: usize) -> stats::Categorical {
+    discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), n).unwrap()
+}
+
+fn bench_candidate_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_evaluation");
+    for &n in &[10usize, 20] {
+        let p = prior(n);
+        let problem = OptrrProblem::new(p, &OptrrConfig::fast(0.75, 1)).unwrap();
+        let m = warner(n, 0.65).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| problem.evaluate_matrix(black_box(&m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let n = 10usize;
+    let p = prior(n);
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = RrMatrix::random(n, &mut rng).unwrap();
+    let b_mat = RrMatrix::random(n, &mut rng).unwrap();
+
+    c.bench_function("crossover_n10", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| column_swap_crossover(black_box(&a), black_box(&b_mat), &mut rng))
+    });
+    c.bench_function("mutation_n10", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| proportional_column_mutation(black_box(&a), 0.25, &mut rng))
+    });
+    c.bench_function("repair_n10", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tight = warner(n, 0.95).unwrap();
+        b.iter(|| repair_to_delta_bound(black_box(&tight), &p, 0.75, &mut rng))
+    });
+}
+
+fn bench_short_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_short_run");
+    group.sample_size(10);
+    let p = prior(10);
+    let config = OptrrConfig {
+        engine: emoo::Spea2Config {
+            population_size: 24,
+            archive_size: 12,
+            generations: 10,
+            mutation_rate: 0.5,
+            density_k: 1,
+        },
+        omega_slots: 200,
+        ..OptrrConfig::fast(0.75, 9)
+    };
+    group.bench_function("10_generations_n10", |b| {
+        b.iter(|| {
+            Optimizer::new(config.clone())
+                .unwrap()
+                .optimize_distribution(black_box(&p))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_evaluation, bench_operators, bench_short_run);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the privacy and utility metrics — the two functions
+//! evaluated once per candidate matrix per generation, which dominate the
+//! optimizer's per-generation cost (the paper's §VI.C runtime observation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr::metrics::bounds::max_posterior;
+use rr::metrics::privacy::analyze;
+use rr::metrics::utility::utility;
+use rr::schemes::warner;
+use stats::{discretize_distribution, Normal};
+
+fn prior(n: usize) -> stats::Categorical {
+    discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), n).unwrap()
+}
+
+fn bench_privacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy_metric");
+    for &n in &[5usize, 10, 20, 40] {
+        let p = prior(n);
+        let m = warner(n, 0.7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyze(black_box(&m), black_box(&p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_utility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility_metric");
+    for &n in &[5usize, 10, 20, 40] {
+        let p = prior(n);
+        let m = warner(n, 0.7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| utility(black_box(&m), black_box(&p), 10_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_posterior");
+    for &n in &[10usize, 40] {
+        let p = prior(n);
+        let m = warner(n, 0.7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_posterior(black_box(&m), black_box(&p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_privacy, bench_utility, bench_max_posterior);
+criterion_main!(benches);

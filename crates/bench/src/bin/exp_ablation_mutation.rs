@@ -1,0 +1,116 @@
+//! A-MUT ablation — the paper's column-proportional mutation vs a naive
+//! perturb-and-renormalize mutation.
+//!
+//! Section V.F argues the proportional redistribution preserves the
+//! correlations within a column. This ablation applies both operators the
+//! same number of times to the same starting matrices and compares (a) how
+//! well each preserves the relative structure of the untouched entries and
+//! (b) the quality of fronts obtained when each operator drives a short
+//! optimization (by hand-rolling the mutation into a local search loop).
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_ablation_mutation [--fast]`
+
+use bench_support::{paper_workload, Fidelity};
+use datagen::SourceDistribution;
+use optrr::operators::{naive_column_mutation, proportional_column_mutation};
+use optrr::{OptrrConfig, OptrrProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rr::schemes::warner;
+use rr::RrMatrix;
+
+/// Measures how much a mutation distorts the *ratios* of the entries it did
+/// not target: smaller is better structure preservation.
+fn ratio_distortion(before: &RrMatrix, after: &RrMatrix) -> f64 {
+    let n = before.num_categories();
+    let mut worst: f64 = 0.0;
+    for j in 0..n {
+        // Find the entries that changed; compare the ratios of the others.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let before_a = before.theta(a, j);
+                let before_b = before.theta(b, j);
+                let after_a = after.theta(a, j);
+                let after_b = after.theta(b, j);
+                if before_a > 1e-9 && before_b > 1e-9 && after_a > 1e-9 && after_b > 1e-9 {
+                    let r_before = before_a / before_b;
+                    let r_after = after_a / after_b;
+                    worst = worst.max((r_after / r_before - 1.0).abs());
+                }
+            }
+        }
+    }
+    worst
+}
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let iterations = match fidelity {
+        Fidelity::Fast => 2_000,
+        _ => 10_000,
+    };
+    let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
+    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let n = prior.num_categories();
+    let config = OptrrConfig { num_records: workload.config.num_records as u64, ..OptrrConfig::fast(0.75, 1) };
+    let problem = OptrrProblem::new(prior, &config).expect("valid problem");
+
+    let start = warner(n, 0.7).expect("valid parameter");
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // (a) Structure preservation per single mutation.
+    let mut proportional_distortion = 0.0;
+    let mut naive_distortion = 0.0;
+    for _ in 0..500 {
+        let p = proportional_column_mutation(&start, 0.25, &mut rng);
+        let v = naive_column_mutation(&start, 0.25, &mut rng);
+        proportional_distortion += ratio_distortion(&start, &p);
+        naive_distortion += ratio_distortion(&start, &v);
+    }
+    proportional_distortion /= 500.0;
+    naive_distortion /= 500.0;
+
+    // (b) Hill-climb quality: repeatedly mutate and keep the mutant when it
+    // is feasible and improves the MSE without giving up more than a sliver
+    // of privacy (a simple (1+1) strategy that isolates the mutation
+    // operator from the rest of the evolutionary machinery).
+    let climb = |use_proportional: bool, seed: u64| -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = warner(n, 0.6).expect("valid parameter");
+        let mut best = problem.evaluate_matrix(&current);
+        for _ in 0..iterations {
+            let candidate = if use_proportional {
+                proportional_column_mutation(&current, 0.25, &mut rng)
+            } else {
+                naive_column_mutation(&current, 0.25, &mut rng)
+            };
+            let eval = problem.evaluate_matrix(&candidate);
+            if eval.feasible && eval.mse < best.mse && eval.privacy >= best.privacy - 0.005 {
+                current = candidate;
+                best = eval;
+            }
+        }
+        (best.privacy, best.mse)
+    };
+    let (prop_privacy, prop_mse) = climb(true, 1);
+    let (naive_privacy, naive_mse) = climb(false, 1);
+
+    println!("# A-MUT ablation: column-proportional vs naive mutation");
+    println!("iterations per hill-climb          : {iterations}");
+    println!("avg ratio distortion, proportional : {proportional_distortion:.4}");
+    println!("avg ratio distortion, naive        : {naive_distortion:.4}");
+    println!();
+    println!("hill-climb final (privacy, MSE), proportional: ({prop_privacy:.4}, {prop_mse:.4e})");
+    println!("hill-climb final (privacy, MSE), naive       : ({naive_privacy:.4}, {naive_mse:.4e})");
+    println!();
+    println!(
+        "note: the naive operator renormalizes the whole column, which preserves the ratios of"
+    );
+    println!(
+        "the untouched entries exactly; the paper's proportional operator instead preserves the"
+    );
+    println!(
+        "column's additive structure around the perturbed element. The hill-climb rows show the"
+    );
+    println!("end-to-end effect of that choice at equal budget.");
+}

@@ -1,0 +1,64 @@
+//! A-OMEGA ablation — the optimal set Ω vs the plain bounded SPEA2 archive.
+//!
+//! Section V.H of the paper motivates Ω by noting the bounded archive has to
+//! throw good matrices away. This ablation runs the same optimization once
+//! and compares the front reported from Ω against the front reported from
+//! the final archive alone: Ω should cover at least as wide a privacy range
+//! with at least as many points and no worse hypervolume.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_ablation_omega [--fast|--paper]`
+
+use bench_support::{paper_workload, print_report, Fidelity};
+use datagen::SourceDistribution;
+use optrr::{ExperimentReport, FrontComparison, FrontPoint, Optimizer, ParetoFront};
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let delta = 0.75;
+    let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
+    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+
+    let mut config = fidelity.optimizer_config(delta, 2008);
+    config.num_records = workload.config.num_records as u64;
+    let outcome = Optimizer::new(config)
+        .expect("validated configuration")
+        .optimize_distribution(&prior)
+        .expect("optimization succeeds");
+
+    // Front from the bounded archive only (what stock SPEA2 would report).
+    let archive_points: Vec<FrontPoint> = outcome
+        .archive
+        .iter()
+        .filter(|(_, e)| e.feasible)
+        .map(|(_, e)| FrontPoint::from_evaluation(e))
+        .collect();
+    let archive_front = ParetoFront::from_points("SPEA2-archive-only", &archive_points);
+    let omega_front = outcome.front.clone();
+
+    let comparison = FrontComparison::compare(&omega_front, &archive_front, 100);
+    let report = ExperimentReport {
+        experiment_id: "ablation-omega".into(),
+        description: format!(
+            "optimal set Omega ({} points) vs bounded archive only ({} points), normal workload, delta = {delta}",
+            omega_front.len(),
+            archive_front.len()
+        ),
+        delta,
+        fronts: vec![archive_front.clone(), omega_front.clone()],
+        comparison: Some(comparison),
+        optimizer_statistics: Some(outcome.statistics),
+    };
+    print_report(&report);
+
+    println!("=== ablation summary (Omega vs archive) ===");
+    println!("omega front points   : {}", omega_front.len());
+    println!("archive front points : {}", archive_front.len());
+    println!(
+        "omega privacy range   : {:?}",
+        omega_front.privacy_range()
+    );
+    println!(
+        "archive privacy range : {:?}",
+        archive_front.privacy_range()
+    );
+}

@@ -1,0 +1,51 @@
+//! A-SYM ablation — the full (asymmetric) OptRR search vs a search
+//! restricted to symmetric matrices (the FRAPP restriction the paper's
+//! related-work section criticizes).
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_ablation_symmetric [--fast|--paper]`
+
+use bench_support::{paper_workload, print_report, Fidelity};
+use datagen::SourceDistribution;
+use optrr::{ExperimentReport, FrontComparison, Optimizer};
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let delta = 0.75;
+    let workload = paper_workload(SourceDistribution::paper_gamma(), 2008);
+    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+
+    let run = |symmetric_only: bool, label: &str| {
+        let mut config = fidelity.optimizer_config(delta, 2008);
+        config.num_records = workload.config.num_records as u64;
+        config.symmetric_only = symmetric_only;
+        let outcome = Optimizer::new(config)
+            .expect("validated configuration")
+            .optimize_distribution(&prior)
+            .expect("optimization succeeds");
+        let mut front = outcome.front.clone();
+        front.label = label.to_string();
+        (front, outcome.statistics)
+    };
+
+    let (full_front, full_stats) = run(false, "OptRR-full");
+    let (symmetric_front, _) = run(true, "OptRR-symmetric-only");
+
+    let comparison = FrontComparison::compare(&full_front, &symmetric_front, 100);
+    let report = ExperimentReport {
+        experiment_id: "ablation-symmetric".into(),
+        description: format!(
+            "full asymmetric search vs symmetric-only (FRAPP-style) search, gamma workload, delta = {delta}"
+        ),
+        delta,
+        fronts: vec![symmetric_front.clone(), full_front.clone()],
+        comparison: Some(comparison),
+        optimizer_statistics: Some(full_stats),
+    };
+    print_report(&report);
+
+    println!("=== ablation summary (full vs symmetric-only) ===");
+    println!("full search privacy range      : {:?}", full_front.privacy_range());
+    println!("symmetric-only privacy range   : {:?}", symmetric_front.privacy_range());
+    println!("full search front points       : {}", full_front.len());
+    println!("symmetric-only front points    : {}", symmetric_front.len());
+}

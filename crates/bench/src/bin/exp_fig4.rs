@@ -1,0 +1,28 @@
+//! E-FIG4 — Figure 4 (a)–(d) of the paper: Pareto fronts of the Warner
+//! scheme vs OptRR on a normal-distribution workload (10 categories,
+//! 10,000 records) for privacy bounds δ ∈ {0.6, 0.7, 0.8, 0.9}.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_fig4 [--fast|--paper]`
+
+use bench_support::{print_report, run_synthetic_figure, summary_line, Fidelity};
+use datagen::SourceDistribution;
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let mut summaries = Vec::new();
+    for (panel, delta) in [("a", 0.6), ("b", 0.7), ("c", 0.8), ("d", 0.9)] {
+        let report = run_synthetic_figure(
+            &format!("fig4{panel}-normal-delta{delta}"),
+            SourceDistribution::standard_normal(),
+            delta,
+            fidelity,
+            2008,
+        );
+        print_report(&report);
+        summaries.push(summary_line(&report));
+    }
+    println!("=== figure 4 summary ===");
+    for s in summaries {
+        println!("{s}");
+    }
+}

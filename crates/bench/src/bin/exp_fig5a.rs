@@ -1,0 +1,21 @@
+//! E-FIG5A — Figure 5(a): Warner vs OptRR on a gamma(α = 1.0, β = 2.0)
+//! workload with δ = 0.75.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_fig5a [--fast|--paper]`
+
+use bench_support::{print_report, run_synthetic_figure, summary_line, Fidelity};
+use datagen::SourceDistribution;
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let report = run_synthetic_figure(
+        "fig5a-gamma-delta0.75",
+        SourceDistribution::paper_gamma(),
+        0.75,
+        fidelity,
+        2008,
+    );
+    print_report(&report);
+    println!("=== figure 5(a) summary ===");
+    println!("{}", summary_line(&report));
+}

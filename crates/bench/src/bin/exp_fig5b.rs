@@ -1,0 +1,21 @@
+//! E-FIG5B — Figure 5(b): Warner vs OptRR on a discrete-uniform workload
+//! with δ = 0.75.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_fig5b [--fast|--paper]`
+
+use bench_support::{print_report, run_synthetic_figure, summary_line, Fidelity};
+use datagen::SourceDistribution;
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let report = run_synthetic_figure(
+        "fig5b-uniform-delta0.75",
+        SourceDistribution::DiscreteUniform,
+        0.75,
+        fidelity,
+        2008,
+    );
+    print_report(&report);
+    println!("=== figure 5(b) summary ===");
+    println!("{}", summary_line(&report));
+}

@@ -1,0 +1,24 @@
+//! E-FIG5C — Figure 5(c): Warner vs OptRR on the first attribute of the
+//! Adult data set (here: the synthetic Adult `age` surrogate documented in
+//! DESIGN.md), δ = 0.75.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_fig5c [--fast|--paper]`
+
+use bench_support::{adult_first_attribute, print_report, run_figure_experiment, summary_line, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let (prior, num_records) = adult_first_attribute();
+    let report = run_figure_experiment(
+        "fig5c-adult-age-delta0.75",
+        "Adult first attribute (synthetic age surrogate), 10 bins, delta = 0.75",
+        &prior,
+        num_records as u64,
+        0.75,
+        fidelity,
+        2008,
+    );
+    print_report(&report);
+    println!("=== figure 5(c) summary ===");
+    println!("{}", summary_line(&report));
+}

@@ -1,0 +1,47 @@
+//! E-TIME — runtime observation of Section VI.C: the paper reports ~12
+//! minutes per experiment on a 2.65 GHz Pentium 4 (and ~10 minutes for the
+//! Adult attribute). This binary measures the wall-clock time of OptRR runs
+//! at the three fidelities on the same workload shape so EXPERIMENTS.md can
+//! report comparable numbers for the present machine.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_runtime [--fast|--paper]`
+
+use bench_support::{paper_workload, Fidelity};
+use datagen::SourceDistribution;
+use optrr::Optimizer;
+
+fn main() {
+    let requested = Fidelity::from_env_and_args();
+    let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
+    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+
+    println!("# E-TIME: optimizer wall-clock vs budget (normal workload, n = 10, N = 10,000)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>12}",
+        "fidelity", "generations", "evaluations", "wall-clock(s)", "front pts"
+    );
+    let fidelities: Vec<Fidelity> = match requested {
+        Fidelity::Paper => vec![Fidelity::Fast, Fidelity::Standard, Fidelity::Paper],
+        _ => vec![Fidelity::Fast, Fidelity::Standard],
+    };
+    for fidelity in fidelities {
+        let mut config = fidelity.optimizer_config(0.75, 2008);
+        config.num_records = workload.config.num_records as u64;
+        let generations = config.engine.generations;
+        let outcome = Optimizer::new(config)
+            .expect("validated configuration")
+            .optimize_distribution(&prior)
+            .expect("optimization succeeds");
+        println!(
+            "{:>10} {:>12} {:>14} {:>14.2} {:>12}",
+            format!("{fidelity:?}"),
+            generations,
+            outcome.statistics.evaluations,
+            outcome.statistics.wall_clock_seconds,
+            outcome.front.len()
+        );
+    }
+    println!();
+    println!("paper reference: ~12 minutes per synthetic experiment, ~10 minutes for Adult,");
+    println!("on a DELL Precision 340 (2.65 GHz Pentium 4, 512 MB RAM) at 20,000 iterations.");
+}

@@ -1,0 +1,99 @@
+//! E-THM2 — Theorem 2: the Warner, Uniform Perturbation, and FRAPP
+//! parameter families describe the same solution set, so their Pareto
+//! fronts coincide.
+//!
+//! The experiment sweeps all three families on the same workload, verifies
+//! the pointwise matrix equivalences under the Theorem 2 parameter maps,
+//! and prints the three (privacy, MSE) fronts so their coincidence can be
+//! inspected directly.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin exp_theorem2 [--fast|--paper]`
+
+use bench_support::{paper_workload, print_report, Fidelity};
+use datagen::SourceDistribution;
+use optrr::{baseline_sweep, ExperimentReport, OptrrProblem, SchemeKind};
+use rr::schemes::{frapp, theorem2, uniform_perturbation, warner};
+
+fn main() {
+    let fidelity = Fidelity::from_env_and_args();
+    let delta = 0.75;
+    let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
+    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let n = prior.num_categories();
+
+    let config = {
+        let mut c = fidelity.optimizer_config(delta, 2008);
+        c.num_records = workload.config.num_records as u64;
+        c
+    };
+    let problem = OptrrProblem::new(prior.clone(), &config).expect("valid problem");
+
+    // 1. Pointwise equivalence check over a grid of Warner parameters.
+    let mut max_disagreement: f64 = 0.0;
+    let mut checked = 0usize;
+    for k in 0..=200 {
+        let p = (1.0 / n as f64) + (k as f64 / 200.0) * (1.0 - 1.0 / n as f64);
+        let w = warner(n, p).expect("valid parameter");
+        let q = theorem2::warner_to_up(n, p);
+        if (0.0..=1.0).contains(&q) {
+            let u = uniform_perturbation(n, q).expect("valid parameter");
+            max_disagreement = max_disagreement.max(w.max_abs_difference(&u).expect("same size"));
+            checked += 1;
+        }
+        let lambda = theorem2::warner_to_frapp(n, p);
+        if lambda.is_finite() {
+            let f = frapp(n, lambda).expect("valid parameter");
+            max_disagreement = max_disagreement.max(w.max_abs_difference(&f).expect("same size"));
+            checked += 1;
+        }
+    }
+    println!("# Theorem 2 pointwise check");
+    println!("parameter pairs checked          : {checked}");
+    println!("max |Warner - UP/FRAPP| entry    : {max_disagreement:.3e}");
+    println!(
+        "equivalence holds (tolerance 1e-9): {}",
+        max_disagreement < 1e-9
+    );
+    println!();
+
+    // 2. Front coincidence across the three families.
+    let steps = fidelity.sweep_steps();
+    let warner_front = baseline_sweep(&problem, SchemeKind::Warner, steps).front;
+    let up_front = baseline_sweep(&problem, SchemeKind::UniformPerturbation, steps).front;
+    let frapp_front = baseline_sweep(&problem, SchemeKind::Frapp, steps).front;
+
+    let report = ExperimentReport {
+        experiment_id: "theorem2-front-equivalence".into(),
+        description: "Warner / UP / FRAPP sweeps over the same normal workload; Theorem 2 \
+                      predicts coinciding Pareto fronts"
+            .into(),
+        delta,
+        fronts: vec![warner_front.clone(), up_front.clone(), frapp_front.clone()],
+        comparison: None,
+        optimizer_statistics: None,
+    };
+    print_report(&report);
+
+    // 3. Numeric coincidence summary: MSE difference at matched privacy levels.
+    println!("=== theorem 2 summary ===");
+    if let (Some((lo, hi)), Some(_), Some(_)) = (
+        warner_front.privacy_range(),
+        up_front.privacy_range(),
+        frapp_front.privacy_range(),
+    ) {
+        let mut worst_rel: f64 = 0.0;
+        for k in 0..=20 {
+            let privacy = lo + (hi - lo) * k as f64 / 20.0;
+            if let (Some(w), Some(u), Some(f)) = (
+                warner_front.best_mse_at_privacy_at_least(privacy),
+                up_front.best_mse_at_privacy_at_least(privacy),
+                frapp_front.best_mse_at_privacy_at_least(privacy),
+            ) {
+                worst_rel = worst_rel.max((w - u).abs() / w.max(1e-18));
+                worst_rel = worst_rel.max((w - f).abs() / w.max(1e-18));
+            }
+        }
+        println!("worst relative MSE difference across fronts at matched privacy: {worst_rel:.3e}");
+        println!("fronts coincide (tolerance 5%): {}", worst_rel < 0.05);
+    }
+}

@@ -1,0 +1,280 @@
+//! Pareto fronts in the paper's reporting convention and their comparison.
+//!
+//! The paper plots Pareto fronts with privacy on the x-axis and utility
+//! (MSE) on the y-axis, and compares schemes by whether one front is
+//! "consistently below" another within a privacy range (Section VI.A).
+//! This module holds that front representation, converts to/from the
+//! minimization convention used by the EMOO substrate, and quantifies the
+//! paper's visual comparison (privacy range covered, MSE at matched
+//! privacy levels, hypervolume, coverage).
+
+use crate::problem::Evaluation;
+use emoo::indicators::{coverage, fraction_better_at_matched_levels, hypervolume_2d};
+use emoo::Objectives;
+use serde::{Deserialize, Serialize};
+
+/// One point of a reported Pareto front: (privacy, MSE).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontPoint {
+    /// Privacy (higher is better).
+    pub privacy: f64,
+    /// Mean squared error (lower is better).
+    pub mse: f64,
+}
+
+impl FrontPoint {
+    /// Builds a point from an evaluation.
+    pub fn from_evaluation(e: &Evaluation) -> Self {
+        Self { privacy: e.privacy, mse: e.mse }
+    }
+
+    /// Converts to the minimization convention used by the EMOO crate:
+    /// (1 − privacy, mse).
+    pub fn to_objectives(self) -> Objectives {
+        Objectives::pair(1.0 - self.privacy, self.mse)
+    }
+}
+
+/// A named Pareto front of (privacy, MSE) points, e.g. "Warner" or "OptRR".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFront {
+    /// Label used in experiment output.
+    pub label: String,
+    /// Points sorted by increasing privacy.
+    pub points: Vec<FrontPoint>,
+}
+
+impl ParetoFront {
+    /// Builds a front from raw points: dominated points are removed and the
+    /// survivors sorted by privacy.
+    pub fn from_points(label: impl Into<String>, raw: &[FrontPoint]) -> Self {
+        let finite: Vec<FrontPoint> = raw
+            .iter()
+            .copied()
+            .filter(|p| p.privacy.is_finite() && p.mse.is_finite())
+            .collect();
+        let objectives: Vec<Objectives> = finite.iter().map(|p| p.to_objectives()).collect();
+        // Select the non-dominated originals by index so the reported
+        // privacy values are not perturbed by the 1 - (1 - p) round trip.
+        let mut points: Vec<FrontPoint> = emoo::non_dominated_indices(&objectives)
+            .into_iter()
+            .map(|i| finite[i])
+            .collect();
+        points.sort_by(|a, b| a.privacy.partial_cmp(&b.privacy).expect("finite privacy"));
+        points.dedup_by(|a, b| (a.privacy - b.privacy).abs() < 1e-12 && (a.mse - b.mse).abs() < 1e-15);
+        Self { label: label.into(), points }
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The privacy range `(min, max)` covered by the front.
+    pub fn privacy_range(&self) -> Option<(f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some((
+            self.points.first().expect("non-empty").privacy,
+            self.points.last().expect("non-empty").privacy,
+        ))
+    }
+
+    /// The smallest MSE achieved at privacy at least `min_privacy`.
+    pub fn best_mse_at_privacy_at_least(&self, min_privacy: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.privacy >= min_privacy - 1e-12)
+            .map(|p| p.mse)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Converts the whole front to minimization objectives.
+    pub fn to_objectives(&self) -> Vec<Objectives> {
+        self.points.iter().map(|p| p.to_objectives()).collect()
+    }
+
+    /// 2-D hypervolume of the front with the natural reference point
+    /// (adversary accuracy 1, MSE = `mse_reference`); larger is better.
+    pub fn hypervolume(&self, mse_reference: f64) -> f64 {
+        hypervolume_2d(&self.to_objectives(), &Objectives::pair(1.0, mse_reference))
+    }
+}
+
+/// Quantitative comparison of two fronts ("ours" vs "baseline"), reporting
+/// the numbers behind the paper's visual claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontComparison {
+    /// Label of the challenger front (OptRR).
+    pub challenger: String,
+    /// Label of the baseline front (Warner).
+    pub baseline: String,
+    /// Privacy range of the challenger.
+    pub challenger_privacy_range: Option<(f64, f64)>,
+    /// Privacy range of the baseline.
+    pub baseline_privacy_range: Option<(f64, f64)>,
+    /// Fraction of matched privacy levels at which the challenger achieves
+    /// a strictly lower MSE (the paper's "consistently below" check).
+    pub fraction_better_at_matched_privacy: f64,
+    /// Zitzler coverage C(challenger, baseline): fraction of baseline
+    /// points dominated by the challenger.
+    pub coverage_of_baseline: f64,
+    /// Zitzler coverage C(baseline, challenger).
+    pub coverage_of_challenger: f64,
+    /// Hypervolume of each front with a shared reference MSE.
+    pub challenger_hypervolume: f64,
+    /// Hypervolume of the baseline.
+    pub baseline_hypervolume: f64,
+    /// How much further (lower) the challenger's privacy coverage extends
+    /// below the baseline's minimum privacy (0 when it does not).
+    pub extra_low_privacy_coverage: f64,
+}
+
+impl FrontComparison {
+    /// Compares a challenger front against a baseline front.
+    pub fn compare(challenger: &ParetoFront, baseline: &ParetoFront, samples: usize) -> Self {
+        let challenger_obj = challenger.to_objectives();
+        let baseline_obj = baseline.to_objectives();
+        // Shared reference MSE: a bit above the worst MSE on either front.
+        let worst_mse = challenger
+            .points
+            .iter()
+            .chain(baseline.points.iter())
+            .map(|p| p.mse)
+            .fold(0.0_f64, f64::max)
+            .max(1e-12)
+            * 1.1;
+        let extra_low = match (challenger.privacy_range(), baseline.privacy_range()) {
+            (Some((c_lo, _)), Some((b_lo, _))) => (b_lo - c_lo).max(0.0),
+            _ => 0.0,
+        };
+        Self {
+            challenger: challenger.label.clone(),
+            baseline: baseline.label.clone(),
+            challenger_privacy_range: challenger.privacy_range(),
+            baseline_privacy_range: baseline.privacy_range(),
+            fraction_better_at_matched_privacy: fraction_better_at_matched_levels(
+                &challenger_obj,
+                &baseline_obj,
+                samples,
+            ),
+            coverage_of_baseline: coverage(&challenger_obj, &baseline_obj),
+            coverage_of_challenger: coverage(&baseline_obj, &challenger_obj),
+            challenger_hypervolume: challenger.hypervolume(worst_mse),
+            baseline_hypervolume: baseline.hypervolume(worst_mse),
+            extra_low_privacy_coverage: extra_low,
+        }
+    }
+
+    /// The paper's headline claim for a figure: the challenger is at least
+    /// as good as the baseline at (almost) every matched privacy level and
+    /// no worse in hypervolume.
+    pub fn challenger_dominates(&self) -> bool {
+        self.fraction_better_at_matched_privacy >= 0.5
+            && self.challenger_hypervolume >= self.baseline_hypervolume * 0.99
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(privacy: f64, mse: f64) -> FrontPoint {
+        FrontPoint { privacy, mse }
+    }
+
+    #[test]
+    fn front_construction_removes_dominated_points() {
+        let raw = vec![
+            pt(0.2, 1e-4),
+            pt(0.4, 5e-5), // dominates the first? higher privacy AND lower mse -> yes
+            pt(0.6, 2e-4),
+            pt(0.5, 3e-4), // dominated by (0.6, 2e-4)
+            pt(f64::NAN, 1e-4),
+        ];
+        let front = ParetoFront::from_points("test", &raw);
+        assert_eq!(front.label, "test");
+        let privacies: Vec<f64> = front.points.iter().map(|p| p.privacy).collect();
+        assert_eq!(privacies, vec![0.4, 0.6]);
+        assert_eq!(front.len(), 2);
+        assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn empty_front() {
+        let front = ParetoFront::from_points("empty", &[]);
+        assert!(front.is_empty());
+        assert_eq!(front.privacy_range(), None);
+        assert_eq!(front.best_mse_at_privacy_at_least(0.1), None);
+        assert_eq!(front.hypervolume(1e-3), 0.0);
+    }
+
+    #[test]
+    fn privacy_range_and_queries() {
+        let front = ParetoFront::from_points(
+            "f",
+            &[pt(0.2, 1e-5), pt(0.5, 8e-5), pt(0.7, 4e-4)],
+        );
+        assert_eq!(front.privacy_range(), Some((0.2, 0.7)));
+        assert_eq!(front.best_mse_at_privacy_at_least(0.4), Some(8e-5));
+        assert_eq!(front.best_mse_at_privacy_at_least(0.69), Some(4e-4));
+        assert_eq!(front.best_mse_at_privacy_at_least(0.9), None);
+    }
+
+    #[test]
+    fn objectives_round_trip() {
+        let p = pt(0.3, 2e-4);
+        let o = p.to_objectives();
+        assert!((o.value(0) - 0.7).abs() < 1e-12);
+        assert!((o.value(1) - 2e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn comparison_detects_a_dominating_challenger() {
+        // Challenger is better everywhere and extends to lower privacy...
+        // wait: extending to *lower* privacy means covering privacy values the
+        // baseline cannot reach (the paper's Figure 4 observation).
+        let challenger = ParetoFront::from_points(
+            "OptRR",
+            &[pt(0.25, 5e-5), pt(0.45, 8e-5), pt(0.65, 2e-4)],
+        );
+        let baseline = ParetoFront::from_points(
+            "Warner",
+            &[pt(0.45, 2e-4), pt(0.65, 6e-4)],
+        );
+        let cmp = FrontComparison::compare(&challenger, &baseline, 50);
+        assert!(cmp.fraction_better_at_matched_privacy > 0.9);
+        assert!(cmp.coverage_of_baseline > 0.9);
+        assert_eq!(cmp.coverage_of_challenger, 0.0);
+        assert!(cmp.challenger_hypervolume > cmp.baseline_hypervolume);
+        assert!((cmp.extra_low_privacy_coverage - 0.2).abs() < 1e-12);
+        assert!(cmp.challenger_dominates());
+    }
+
+    #[test]
+    fn comparison_of_identical_fronts_is_neutral() {
+        let points = vec![pt(0.3, 1e-4), pt(0.6, 3e-4)];
+        let a = ParetoFront::from_points("A", &points);
+        let b = ParetoFront::from_points("B", &points);
+        let cmp = FrontComparison::compare(&a, &b, 20);
+        assert_eq!(cmp.fraction_better_at_matched_privacy, 0.0);
+        assert_eq!(cmp.coverage_of_baseline, 0.0);
+        assert_eq!(cmp.coverage_of_challenger, 0.0);
+        assert!((cmp.challenger_hypervolume - cmp.baseline_hypervolume).abs() < 1e-15);
+        assert_eq!(cmp.extra_low_privacy_coverage, 0.0);
+    }
+
+    #[test]
+    fn from_evaluation_copies_fields() {
+        let e = Evaluation { privacy: 0.42, mse: 3e-4, max_posterior: 0.7, feasible: true };
+        let p = FrontPoint::from_evaluation(&e);
+        assert_eq!(p.privacy, 0.42);
+        assert_eq!(p.mse, 3e-4);
+    }
+}

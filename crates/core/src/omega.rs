@@ -1,0 +1,276 @@
+//! The optimal set Ω (Section V.H of the paper).
+//!
+//! SPEA2 bounds the population and archive sizes to keep the cubic-cost
+//! environmental selection affordable, which means good RR matrices get
+//! discarded when the archive crowds up. The paper's fix is a large side
+//! store Ω, indexed by privacy value: each slot covers one privacy
+//! sub-interval (e.g. slot 152 of a 1000-slot Ω covers privacy values in
+//! [0.152, 0.153)), and keeps the best-utility matrix seen so far in that
+//! interval. Ω never participates in the evolution itself — it is only
+//! updated at the end of each generation — so its size is bounded by memory
+//! rather than by the O((N_Q + N_V)³) selection cost.
+
+use crate::problem::Evaluation;
+use rr::RrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the optimal set: a matrix together with its evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OmegaEntry {
+    /// The stored RR matrix.
+    pub matrix: RrMatrix,
+    /// Its evaluation (privacy, MSE, feasibility) at store time.
+    pub evaluation: Evaluation,
+}
+
+/// The privacy-indexed optimal set Ω.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OmegaSet {
+    slots: Vec<Option<OmegaEntry>>,
+    /// Number of successful insertions or replacements (used by the
+    /// stagnation-based termination criterion).
+    improvements: u64,
+}
+
+impl OmegaSet {
+    /// Creates an empty Ω with the given number of privacy slots.
+    pub fn new(num_slots: usize) -> Self {
+        assert!(num_slots > 0, "omega needs at least one slot");
+        Self { slots: vec![None; num_slots], improvements: 0 }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of filled slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no slot is filled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total improvements (inserts + replacements) so far.
+    pub fn improvements(&self) -> u64 {
+        self.improvements
+    }
+
+    /// The slot index a privacy value maps to.
+    pub fn slot_of(&self, privacy: f64) -> usize {
+        let clamped = privacy.clamp(0.0, 1.0);
+        let idx = (clamped * self.slots.len() as f64).floor() as usize;
+        idx.min(self.slots.len() - 1)
+    }
+
+    /// Offers a matrix to Ω. It is stored when its privacy slot is empty or
+    /// when it has a strictly better (lower) MSE than the current occupant.
+    /// Infeasible evaluations are never stored. Returns `true` when Ω
+    /// changed.
+    pub fn offer(&mut self, matrix: &RrMatrix, evaluation: &Evaluation) -> bool {
+        if !evaluation.feasible || !evaluation.mse.is_finite() {
+            return false;
+        }
+        let slot = self.slot_of(evaluation.privacy);
+        let improved = match &self.slots[slot] {
+            None => true,
+            Some(existing) => evaluation.mse < existing.evaluation.mse,
+        };
+        if improved {
+            self.slots[slot] = Some(OmegaEntry { matrix: matrix.clone(), evaluation: *evaluation });
+            self.improvements += 1;
+        }
+        improved
+    }
+
+    /// Borrow the entry stored for a given privacy slot.
+    pub fn entry(&self, slot: usize) -> Option<&OmegaEntry> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates over all stored entries, in increasing privacy order.
+    pub fn entries(&self) -> impl Iterator<Item = &OmegaEntry> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Returns the non-dominated subset of Ω (some slots can be dominated
+    /// by neighbours that achieve both better privacy and better MSE).
+    pub fn pareto_entries(&self) -> Vec<&OmegaEntry> {
+        let all: Vec<&OmegaEntry> = self.entries().collect();
+        all.iter()
+            .filter(|a| {
+                !all.iter().any(|b| {
+                    // b dominates a: privacy >= (higher better), mse <= (lower
+                    // better), with at least one strict.
+                    let better_privacy = b.evaluation.privacy >= a.evaluation.privacy;
+                    let better_mse = b.evaluation.mse <= a.evaluation.mse;
+                    let strictly = b.evaluation.privacy > a.evaluation.privacy
+                        || b.evaluation.mse < a.evaluation.mse;
+                    better_privacy && better_mse && strictly
+                })
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The best entry whose privacy is at least `min_privacy`, by MSE.
+    /// This is the "pick a matrix for my privacy requirement" operation the
+    /// paper motivates in Section III.C.
+    pub fn best_for_privacy_at_least(&self, min_privacy: f64) -> Option<&OmegaEntry> {
+        self.entries()
+            .filter(|e| e.evaluation.privacy >= min_privacy)
+            .min_by(|a, b| {
+                a.evaluation
+                    .mse
+                    .partial_cmp(&b.evaluation.mse)
+                    .expect("finite mse for stored entries")
+            })
+    }
+
+    /// The best entry whose MSE is at most `max_mse`, by privacy.
+    pub fn best_for_mse_at_most(&self, max_mse: f64) -> Option<&OmegaEntry> {
+        self.entries()
+            .filter(|e| e.evaluation.mse <= max_mse)
+            .max_by(|a, b| {
+                a.evaluation
+                    .privacy
+                    .partial_cmp(&b.evaluation.privacy)
+                    .expect("finite privacy for stored entries")
+            })
+    }
+
+    /// The privacy range `(min, max)` currently covered by Ω.
+    pub fn privacy_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in self.entries() {
+            lo = lo.min(e.evaluation.privacy);
+            hi = hi.max(e.evaluation.privacy);
+        }
+        if lo.is_finite() {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr::schemes::warner;
+
+    fn eval(privacy: f64, mse: f64) -> Evaluation {
+        Evaluation { privacy, mse, max_posterior: 0.7, feasible: true }
+    }
+
+    fn matrix() -> RrMatrix {
+        warner(4, 0.7).unwrap()
+    }
+
+    #[test]
+    fn construction_and_slot_mapping() {
+        let omega = OmegaSet::new(1000);
+        assert_eq!(omega.num_slots(), 1000);
+        assert!(omega.is_empty());
+        assert_eq!(omega.len(), 0);
+        assert_eq!(omega.improvements(), 0);
+        // The paper's example: privacy 0.1523 lands in slot 152.
+        assert_eq!(omega.slot_of(0.1523), 152);
+        assert_eq!(omega.slot_of(0.0), 0);
+        assert_eq!(omega.slot_of(1.0), 999);
+        assert_eq!(omega.slot_of(2.0), 999);
+        assert_eq!(omega.slot_of(-0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = OmegaSet::new(0);
+    }
+
+    #[test]
+    fn offer_fills_and_replaces_only_on_improvement() {
+        let mut omega = OmegaSet::new(100);
+        let m = matrix();
+        assert!(omega.offer(&m, &eval(0.35, 1e-4)));
+        assert_eq!(omega.len(), 1);
+        assert_eq!(omega.improvements(), 1);
+        // Worse MSE in the same slot: rejected.
+        assert!(!omega.offer(&m, &eval(0.352, 2e-4)));
+        assert_eq!(omega.improvements(), 1);
+        // Better MSE in the same slot: replaces.
+        assert!(omega.offer(&m, &eval(0.351, 5e-5)));
+        assert_eq!(omega.len(), 1);
+        assert_eq!(omega.improvements(), 2);
+        let stored = omega.entry(omega.slot_of(0.35)).unwrap();
+        assert!((stored.evaluation.mse - 5e-5).abs() < 1e-18);
+        // Different slot: new entry.
+        assert!(omega.offer(&m, &eval(0.72, 3e-4)));
+        assert_eq!(omega.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_entries_are_rejected() {
+        let mut omega = OmegaSet::new(10);
+        let m = matrix();
+        let infeasible = Evaluation { privacy: 0.4, mse: 1e-4, max_posterior: 0.95, feasible: false };
+        assert!(!omega.offer(&m, &infeasible));
+        let nan_mse = Evaluation { privacy: 0.4, mse: f64::INFINITY, max_posterior: 0.7, feasible: true };
+        assert!(!omega.offer(&m, &nan_mse));
+        assert!(omega.is_empty());
+    }
+
+    #[test]
+    fn entries_iterate_in_privacy_order() {
+        let mut omega = OmegaSet::new(100);
+        let m = matrix();
+        omega.offer(&m, &eval(0.7, 1e-3));
+        omega.offer(&m, &eval(0.2, 1e-5));
+        omega.offer(&m, &eval(0.45, 1e-4));
+        let privacies: Vec<f64> = omega.entries().map(|e| e.evaluation.privacy).collect();
+        assert_eq!(privacies, vec![0.2, 0.45, 0.7]);
+        assert_eq!(omega.privacy_range(), Some((0.2, 0.7)));
+        assert_eq!(OmegaSet::new(10).privacy_range(), None);
+    }
+
+    #[test]
+    fn pareto_entries_drop_dominated_slots() {
+        let mut omega = OmegaSet::new(100);
+        let m = matrix();
+        omega.offer(&m, &eval(0.30, 1e-4));
+        omega.offer(&m, &eval(0.50, 5e-5)); // dominates the first (better both ways)
+        omega.offer(&m, &eval(0.70, 2e-4)); // non-dominated (best privacy)
+        let pareto = omega.pareto_entries();
+        let privacies: Vec<f64> = pareto.iter().map(|e| e.evaluation.privacy).collect();
+        assert_eq!(privacies, vec![0.50, 0.70]);
+    }
+
+    #[test]
+    fn requirement_queries() {
+        let mut omega = OmegaSet::new(100);
+        let m = matrix();
+        omega.offer(&m, &eval(0.3, 1e-5));
+        omega.offer(&m, &eval(0.5, 8e-5));
+        omega.offer(&m, &eval(0.7, 4e-4));
+        // Need privacy >= 0.45: the best MSE among {0.5, 0.7} entries is 8e-5.
+        let pick = omega.best_for_privacy_at_least(0.45).unwrap();
+        assert!((pick.evaluation.privacy - 0.5).abs() < 1e-12);
+        // Need MSE <= 1e-4: the best privacy among qualifying entries is 0.5.
+        let pick = omega.best_for_mse_at_most(1e-4).unwrap();
+        assert!((pick.evaluation.privacy - 0.5).abs() < 1e-12);
+        // Impossible requirements return None.
+        assert!(omega.best_for_privacy_at_least(0.9).is_none());
+        assert!(omega.best_for_mse_at_most(1e-9).is_none());
+    }
+
+    #[test]
+    fn entry_out_of_range_is_none() {
+        let omega = OmegaSet::new(10);
+        assert!(omega.entry(3).is_none());
+        assert!(omega.entry(99).is_none());
+    }
+}

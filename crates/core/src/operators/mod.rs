@@ -1,0 +1,19 @@
+//! The RR-matrix-specific genetic operators of Section V.E–V.G:
+//!
+//! * [`crossover`] — column-swap crossover: children exchange all columns
+//!   to the right of a randomly chosen column boundary, so every child is
+//!   automatically column-stochastic.
+//! * [`mutation`] — column-proportional mutation: one element of one column
+//!   is perturbed and the rest of the column is adjusted proportionally so
+//!   the column still sums to one while preserving the relative structure
+//!   of the remaining entries.
+//! * [`repair`] — the "meeting the bound" step that pushes a matrix back
+//!   inside the `max P(X|Y) ≤ δ` constraint of Equation (9).
+
+pub mod crossover;
+pub mod mutation;
+pub mod repair;
+
+pub use crossover::column_swap_crossover;
+pub use mutation::{proportional_column_mutation, naive_column_mutation};
+pub use repair::repair_to_delta_bound;

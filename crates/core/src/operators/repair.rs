@@ -1,0 +1,228 @@
+//! "Meeting the privacy bound" repair (Section V.G of the paper).
+//!
+//! Equation (9) imposes a worst-case cap `max P(X | Y) ≤ δ` on how
+//! confidently an adversary may recover any single value. After crossover
+//! and mutation a candidate matrix can violate the cap; the repair operator
+//! decreases the entries responsible for the excessive posteriors and
+//! increases the remaining entries of the affected columns, as §V.G
+//! prescribes.
+//!
+//! Implementation note: the paper describes the adjustment qualitatively
+//! ("decrease the elements which make P(X|Y) too large ... and increase the
+//! other elements in the same column"). We realize it as a *uniform-blend
+//! contraction*: the matrix is mixed with the uniform matrix `U` (every
+//! entry `1/n`), `M(α) = (1 − α) M + α U`, and the smallest mixing weight
+//! `α` that satisfies the bound is found by bisection. Blending toward `U`
+//! decreases exactly the dominant (offending) entries of each column and
+//! increases the small ones, preserves column stochasticity and symmetry by
+//! construction, and converges for every achievable bound because
+//! `max P(X|Y)` approaches `max_X P(X)` (its Theorem 5 floor) as `α → 1`.
+//!
+//! Theorem 5 caveat: the bound can never be pushed below `max_X P(X)`, so
+//! for priors whose mode already exceeds `δ` the repair reports failure and
+//! the optimizer treats the matrix as infeasible via a fitness penalty.
+
+use linalg::Matrix;
+use rand::Rng;
+use rr::metrics::bounds::{max_posterior, satisfies_delta_bound};
+use rr::RrMatrix;
+use stats::Categorical;
+
+/// Bisection iterations used to locate the smallest sufficient blend
+/// weight; 40 iterations give ~1e-12 resolution on `α ∈ [0, 1]`.
+const BISECTION_STEPS: usize = 40;
+
+/// Tolerance used when checking the bound.
+const BOUND_TOLERANCE: f64 = 1e-9;
+
+/// Returns the uniform blend `(1 − α) M + α U`.
+fn blend_with_uniform(m: &RrMatrix, alpha: f64) -> RrMatrix {
+    let n = m.num_categories();
+    let uniform_entry = 1.0 / n as f64;
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = (1.0 - alpha) * m.theta(i, j) + alpha * uniform_entry;
+        }
+    }
+    RrMatrix::new(out).expect("a convex combination of stochastic matrices is stochastic")
+}
+
+/// Repairs `m` toward the bound `max P(X | Y) ≤ δ` for the given prior.
+///
+/// Returns the repaired matrix together with a flag saying whether the
+/// bound is actually satisfied afterwards (it cannot be when
+/// `δ < max_X P(X)`, per Theorem 5).
+pub fn repair_to_delta_bound<R: Rng + ?Sized>(
+    m: &RrMatrix,
+    prior: &Categorical,
+    delta: f64,
+    _rng: &mut R,
+) -> (RrMatrix, bool) {
+    debug_assert_eq!(prior.num_categories(), m.num_categories());
+
+    // Fast path: already feasible.
+    if satisfies_delta_bound(m, prior, delta, BOUND_TOLERANCE).unwrap_or(false) {
+        return (m.clone(), true);
+    }
+
+    // Even the fully uniform matrix cannot do better than the prior mode
+    // (Theorem 5); check achievability at α = 1 first.
+    let fully_blended = blend_with_uniform(m, 1.0);
+    let floor = max_posterior(&fully_blended, prior).unwrap_or(1.0);
+    if floor > delta + BOUND_TOLERANCE {
+        return (fully_blended, false);
+    }
+
+    // Bisect for the smallest α whose blend satisfies the bound. The
+    // feasible set is an up-set in α for all practical matrices; the final
+    // verification below guards the rare non-monotone corner case.
+    let mut lo = 0.0_f64; // known infeasible
+    let mut hi = 1.0_f64; // known feasible
+    for _ in 0..BISECTION_STEPS {
+        let mid = 0.5 * (lo + hi);
+        let candidate = blend_with_uniform(m, mid);
+        if satisfies_delta_bound(&candidate, prior, delta, BOUND_TOLERANCE).unwrap_or(false) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let repaired = blend_with_uniform(m, hi);
+    if satisfies_delta_bound(&repaired, prior, delta, 1e-7).unwrap_or(false) {
+        (repaired, true)
+    } else {
+        // Non-monotone corner case: fall back to the fully blended matrix,
+        // which we already verified satisfies the bound.
+        (fully_blended, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rr::schemes::warner;
+
+    fn prior() -> Categorical {
+        Categorical::new(vec![0.35, 0.25, 0.2, 0.12, 0.08]).unwrap()
+    }
+
+    #[test]
+    fn already_feasible_matrices_are_untouched() {
+        let p = prior();
+        let m = warner(5, 0.5).unwrap();
+        assert!(satisfies_delta_bound(&m, &p, 0.8, 1e-9).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, 0.8, &mut rng);
+        assert!(ok);
+        assert!(repaired.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn violating_matrices_are_pushed_inside_the_bound() {
+        let p = prior();
+        let delta = 0.7;
+        let m = warner(5, 0.95).unwrap();
+        assert!(!satisfies_delta_bound(&m, &p, delta, 1e-9).unwrap());
+        let mut rng = StdRng::seed_from_u64(2);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, delta, &mut rng);
+        assert!(ok, "repair should achieve the bound");
+        assert!(
+            satisfies_delta_bound(&repaired, &p, delta, 1e-6).unwrap(),
+            "max posterior {} exceeds delta {delta}",
+            max_posterior(&repaired, &p).unwrap()
+        );
+        assert!(repaired.as_matrix().is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn repair_is_tight_rather_than_overshooting() {
+        // The repaired matrix should sit close to the bound, not collapse to
+        // the uniform matrix (which would needlessly destroy utility).
+        let p = prior();
+        let delta = 0.7;
+        let m = warner(5, 0.95).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, delta, &mut rng);
+        assert!(ok);
+        let post = max_posterior(&repaired, &p).unwrap();
+        assert!(post <= delta + 1e-6);
+        assert!(post >= delta - 0.02, "repair overshot: posterior {post} far below {delta}");
+    }
+
+    #[test]
+    fn repair_handles_random_matrices() {
+        let p = prior();
+        let delta = 0.6;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let m = RrMatrix::random(5, &mut rng).unwrap();
+            let (repaired, ok) = repair_to_delta_bound(&m, &p, delta, &mut rng);
+            assert!(repaired.as_matrix().is_column_stochastic(1e-9));
+            assert!(ok, "delta 0.6 exceeds the prior mode 0.35, so repair must succeed");
+            assert!(satisfies_delta_bound(&repaired, &p, delta, 1e-6).unwrap());
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_repaired_away_from_certainty() {
+        let p = prior();
+        let delta = 0.75;
+        let id = RrMatrix::identity(5).unwrap();
+        assert!((max_posterior(&id, &p).unwrap() - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (repaired, ok) = repair_to_delta_bound(&id, &p, delta, &mut rng);
+        assert!(ok);
+        assert!(max_posterior(&repaired, &p).unwrap() <= delta + 1e-6);
+    }
+
+    #[test]
+    fn unachievable_bound_reports_infeasible() {
+        // Prior mode 0.9 exceeds delta = 0.5: Theorem 5 says no matrix can
+        // satisfy the bound, so the repair must report failure (and still
+        // return a valid matrix).
+        let p = Categorical::new(vec![0.9, 0.05, 0.05]).unwrap();
+        let m = warner(3, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, 0.5, &mut rng);
+        assert!(!ok);
+        assert!(repaired.as_matrix().is_column_stochastic(1e-9));
+        assert!(max_posterior(&repaired, &p).unwrap() >= p.max_prob() - 1e-9);
+    }
+
+    #[test]
+    fn repaired_matrix_keeps_reasonable_utility_structure() {
+        // The repair lowers the offending diagonal entries and raises the
+        // small ones, but keeps the disguise structure: the repaired matrix
+        // remains diagonally dominant.
+        let p = prior();
+        let m = warner(5, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, 0.75, &mut rng);
+        assert!(ok);
+        assert!(repaired.is_diagonally_dominant());
+    }
+
+    #[test]
+    fn repair_preserves_symmetry() {
+        let p = prior();
+        let m = warner(5, 0.98).unwrap();
+        assert!(m.is_symmetric());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (repaired, ok) = repair_to_delta_bound(&m, &p, 0.7, &mut rng);
+        assert!(ok);
+        assert!(repaired.is_symmetric());
+    }
+
+    #[test]
+    fn repair_is_deterministic_given_inputs() {
+        let p = prior();
+        let m = warner(5, 0.95).unwrap();
+        let (a, _) = repair_to_delta_bound(&m, &p, 0.7, &mut StdRng::seed_from_u64(7));
+        let (b, _) = repair_to_delta_bound(&m, &p, 0.7, &mut StdRng::seed_from_u64(8));
+        // The repair uses no randomness, so different RNGs give the same result.
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+}

@@ -1,0 +1,375 @@
+//! The OptRR optimization problem: RR matrices as genomes, (adversary
+//! accuracy, MSE) as the two minimized objectives, with the paper's custom
+//! crossover, mutation, and δ-bound repair plugged into the generic SPEA2
+//! engine.
+
+use crate::config::OptrrConfig;
+use crate::error::{OptrrError, Result};
+use crate::operators::{
+    column_swap_crossover, proportional_column_mutation, repair_to_delta_bound,
+};
+use emoo::{Objectives, Problem};
+use rand::Rng;
+use rr::metrics::bounds::max_posterior;
+use rr::metrics::privacy::analyze;
+use rr::metrics::utility::utility;
+use rr::RrMatrix;
+use stats::Categorical;
+
+/// Penalty objective value assigned to infeasible genomes (singular
+/// matrices, δ-bound violations that repair could not fix). Large but
+/// finite so dominance ranking stays well defined.
+pub const INFEASIBLE_PENALTY: f64 = 1e6;
+
+/// Default mutation step bound (the paper only asks for a "small random
+/// positive value < 1").
+pub const DEFAULT_MUTATION_STEP: f64 = 0.25;
+
+/// The evaluated quality of one RR matrix, in the paper's reporting
+/// convention (privacy = 1 − adversary accuracy; utility = average MSE,
+/// lower better).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Evaluation {
+    /// Privacy of Equation (8); higher is better.
+    pub privacy: f64,
+    /// Utility of Equation (10) — the mean squared error; lower is better.
+    pub mse: f64,
+    /// The worst-case posterior `max P(X|Y)`.
+    pub max_posterior: f64,
+    /// Whether the matrix satisfies the δ bound and is invertible.
+    pub feasible: bool,
+}
+
+/// The OptRR problem instance: a prior distribution (from the data set
+/// being disguised), the record count, and the δ bound.
+#[derive(Debug, Clone)]
+pub struct OptrrProblem {
+    prior: Categorical,
+    num_records: u64,
+    delta: f64,
+    mutation_step: f64,
+    symmetric_only: bool,
+}
+
+impl OptrrProblem {
+    /// Creates a problem instance from a prior distribution and the
+    /// relevant pieces of the configuration.
+    pub fn new(prior: Categorical, config: &OptrrConfig) -> Result<Self> {
+        config.validate()?;
+        if prior.num_categories() < 2 {
+            return Err(OptrrError::InvalidConfig {
+                reason: "the attribute must have at least two categories".into(),
+            });
+        }
+        Ok(Self {
+            prior,
+            num_records: config.num_records,
+            delta: config.delta,
+            mutation_step: DEFAULT_MUTATION_STEP,
+            symmetric_only: config.symmetric_only,
+        })
+    }
+
+    /// The prior (original-data) distribution the metrics are computed
+    /// against.
+    pub fn prior(&self) -> &Categorical {
+        &self.prior
+    }
+
+    /// The δ bound in force.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of categories of the attribute domain.
+    pub fn num_categories(&self) -> usize {
+        self.prior.num_categories()
+    }
+
+    /// Number of records entering the closed-form MSE.
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Evaluates a matrix into the paper's reporting convention.
+    pub fn evaluate_matrix(&self, m: &RrMatrix) -> Evaluation {
+        let max_post = match max_posterior(m, &self.prior) {
+            Ok(v) => v,
+            Err(_) => {
+                return Evaluation {
+                    privacy: 0.0,
+                    mse: f64::INFINITY,
+                    max_posterior: 1.0,
+                    feasible: false,
+                }
+            }
+        };
+        let privacy_analysis = match analyze(m, &self.prior) {
+            Ok(a) => a,
+            Err(_) => {
+                return Evaluation {
+                    privacy: 0.0,
+                    mse: f64::INFINITY,
+                    max_posterior: max_post,
+                    feasible: false,
+                }
+            }
+        };
+        let mse = utility(m, &self.prior, self.num_records);
+        match mse {
+            Ok(mse) if mse.is_finite() => {
+                let within_bound = max_post <= self.delta + 1e-9;
+                Evaluation {
+                    privacy: privacy_analysis.privacy,
+                    mse,
+                    max_posterior: max_post,
+                    feasible: within_bound,
+                }
+            }
+            _ => Evaluation {
+                privacy: privacy_analysis.privacy,
+                mse: f64::INFINITY,
+                max_posterior: max_post,
+                feasible: false,
+            },
+        }
+    }
+
+    /// Symmetrizes a matrix — used when `symmetric_only` is set (the
+    /// FRAPP-style restricted search of the A-SYM ablation).
+    ///
+    /// A symmetric column-stochastic matrix is doubly stochastic, so the
+    /// matrix is first averaged with its transpose and then driven to
+    /// double stochasticity with a symmetric Sinkhorn scaling
+    /// (`A ← D A D` with `D = diag(1/√rowsum)`), which preserves symmetry
+    /// at every step.
+    fn symmetrize(&self, m: &RrMatrix) -> RrMatrix {
+        let raw = m.as_matrix();
+        let t = raw.transpose();
+        let mut a = raw.add_matrix(&t).expect("same shape").scaled(0.5);
+        let n = a.rows();
+        for _ in 0..200 {
+            // Row sums (equal to column sums by symmetry).
+            let mut worst = 0.0_f64;
+            let mut scale = vec![0.0_f64; n];
+            for i in 0..n {
+                let s: f64 = (0..n).map(|j| a[(i, j)]).sum();
+                worst = worst.max((s - 1.0).abs());
+                scale[i] = 1.0 / s.max(f64::MIN_POSITIVE).sqrt();
+            }
+            if worst < 1e-12 {
+                break;
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] *= scale[i] * scale[j];
+                }
+            }
+        }
+        // Final exact column normalization is handled by RrMatrix::new; the
+        // residual is far below the symmetry tolerance.
+        RrMatrix::new(a).expect("Sinkhorn-scaled symmetric matrix is column stochastic")
+    }
+}
+
+impl Problem for OptrrProblem {
+    type Genome = RrMatrix;
+
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> RrMatrix {
+        let m = RrMatrix::random(self.num_categories(), rng)
+            .expect("num_categories >= 2 validated at construction");
+        if self.symmetric_only {
+            self.symmetrize(&m)
+        } else {
+            m
+        }
+    }
+
+    fn evaluate(&self, genome: &RrMatrix) -> Objectives {
+        let eval = self.evaluate_matrix(genome);
+        if !eval.feasible || !eval.mse.is_finite() {
+            // Infeasible: dominated by every feasible point.
+            return Objectives::pair(INFEASIBLE_PENALTY, INFEASIBLE_PENALTY);
+        }
+        // Objective 1: adversary accuracy (1 − privacy), minimized.
+        // Objective 2: MSE, minimized.
+        Objectives::pair(1.0 - eval.privacy, eval.mse)
+    }
+
+    fn crossover<R: Rng + ?Sized>(
+        &self,
+        a: &RrMatrix,
+        b: &RrMatrix,
+        rng: &mut R,
+    ) -> (RrMatrix, RrMatrix) {
+        let (c1, c2) = column_swap_crossover(a, b, rng);
+        if self.symmetric_only {
+            (self.symmetrize(&c1), self.symmetrize(&c2))
+        } else {
+            (c1, c2)
+        }
+    }
+
+    fn mutate<R: Rng + ?Sized>(&self, genome: &mut RrMatrix, rng: &mut R) {
+        let mutated = proportional_column_mutation(genome, self.mutation_step, rng);
+        *genome = if self.symmetric_only {
+            self.symmetrize(&mutated)
+        } else {
+            mutated
+        };
+    }
+
+    fn repair<R: Rng + ?Sized>(&self, genome: &mut RrMatrix, rng: &mut R) {
+        let (repaired, _ok) = repair_to_delta_bound(genome, &self.prior, self.delta, rng);
+        *genome = if self.symmetric_only {
+            self.symmetrize(&repaired)
+        } else {
+            repaired
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rr::schemes::warner;
+
+    fn prior() -> Categorical {
+        Categorical::new(vec![0.3, 0.25, 0.2, 0.15, 0.1]).unwrap()
+    }
+
+    fn problem(delta: f64) -> OptrrProblem {
+        let cfg = OptrrConfig { delta, ..OptrrConfig::fast(delta, 1) };
+        OptrrProblem::new(prior(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let cfg = OptrrConfig::fast(0.75, 1);
+        assert!(OptrrProblem::new(prior(), &cfg).is_ok());
+        let single = Categorical::new(vec![1.0]).unwrap();
+        assert!(OptrrProblem::new(single, &cfg).is_err());
+        let bad_cfg = OptrrConfig { delta: 2.0, ..cfg };
+        assert!(OptrrProblem::new(prior(), &bad_cfg).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = problem(0.8);
+        assert_eq!(p.num_categories(), 5);
+        assert_eq!(p.num_records(), 10_000);
+        assert_eq!(p.delta(), 0.8);
+        assert_eq!(p.prior().num_categories(), 5);
+        assert_eq!(Problem::num_objectives(&p), 2);
+    }
+
+    #[test]
+    fn evaluation_of_feasible_warner_matrix() {
+        let p = problem(0.8);
+        let m = warner(5, 0.6).unwrap();
+        let eval = p.evaluate_matrix(&m);
+        assert!(eval.feasible);
+        assert!(eval.privacy > 0.0 && eval.privacy < 1.0);
+        assert!(eval.mse > 0.0);
+        assert!(eval.max_posterior <= 0.8 + 1e-9);
+        // Objectives follow the convention (accuracy, mse).
+        let obj = Problem::evaluate(&p, &m);
+        assert!((obj.value(0) - (1.0 - eval.privacy)).abs() < 1e-12);
+        assert!((obj.value(1) - eval.mse).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bound_violation_is_penalized() {
+        let p = problem(0.5);
+        // Warner with very high retention has a near-1 max posterior.
+        let m = warner(5, 0.98).unwrap();
+        let eval = p.evaluate_matrix(&m);
+        assert!(!eval.feasible);
+        let obj = Problem::evaluate(&p, &m);
+        assert_eq!(obj.value(0), INFEASIBLE_PENALTY);
+        assert_eq!(obj.value(1), INFEASIBLE_PENALTY);
+    }
+
+    #[test]
+    fn singular_matrix_is_penalized() {
+        let p = problem(0.9);
+        let m = RrMatrix::uniform(5).unwrap();
+        let eval = p.evaluate_matrix(&m);
+        assert!(!eval.feasible);
+        assert!(!eval.mse.is_finite());
+        let obj = Problem::evaluate(&p, &m);
+        assert_eq!(obj.value(0), INFEASIBLE_PENALTY);
+    }
+
+    #[test]
+    fn random_genomes_have_the_right_size_and_validity() {
+        let p = problem(0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let g = Problem::random_genome(&p, &mut rng);
+            assert_eq!(g.num_categories(), 5);
+            assert!(g.as_matrix().is_column_stochastic(1e-9));
+        }
+    }
+
+    #[test]
+    fn repair_brings_genomes_inside_the_bound() {
+        let p = problem(0.7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = warner(5, 0.95).unwrap();
+        Problem::repair(&p, &mut g, &mut rng);
+        let eval = p.evaluate_matrix(&g);
+        assert!(eval.feasible, "max posterior {}", eval.max_posterior);
+    }
+
+    #[test]
+    fn mutation_and_crossover_preserve_validity() {
+        let p = problem(0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Problem::random_genome(&p, &mut rng);
+        let b = Problem::random_genome(&p, &mut rng);
+        let (c1, c2) = Problem::crossover(&p, &a, &b, &mut rng);
+        assert!(c1.as_matrix().is_column_stochastic(1e-9));
+        assert!(c2.as_matrix().is_column_stochastic(1e-9));
+        let mut m = c1;
+        Problem::mutate(&p, &mut m, &mut rng);
+        assert!(m.as_matrix().is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn symmetric_only_mode_produces_symmetric_genomes() {
+        let cfg = OptrrConfig { symmetric_only: true, ..OptrrConfig::fast(0.8, 5) };
+        let p = OptrrProblem::new(prior(), &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Problem::random_genome(&p, &mut rng);
+        assert!(g.is_symmetric());
+        let h = Problem::random_genome(&p, &mut rng);
+        let (c1, c2) = Problem::crossover(&p, &g, &h, &mut rng);
+        assert!(c1.is_symmetric());
+        assert!(c2.is_symmetric());
+        let mut m = c1;
+        Problem::mutate(&p, &mut m, &mut rng);
+        assert!(m.is_symmetric());
+        Problem::repair(&p, &mut m, &mut rng);
+        assert!(m.is_symmetric());
+        assert!(m.as_matrix().is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn identity_matrix_evaluation_matches_paper_intuition() {
+        // The identity matrix: worst privacy (0), best possible MSE for the
+        // given N (pure sampling error), but infeasible under any delta < 1.
+        let p = problem(0.9);
+        let id = RrMatrix::identity(5).unwrap();
+        let eval = p.evaluate_matrix(&id);
+        assert!(eval.privacy.abs() < 1e-12);
+        assert!(!eval.feasible);
+        assert!((eval.max_posterior - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Search-space size counting (Fact 1 of the paper).
+//!
+//! If every element of an `n x n` RR matrix is restricted to the grid
+//! `{0, 1/d, 2/d, ..., 1}` and each column must sum to one, the number of
+//! admissible matrices is `C(d + n − 1, d)^n` (each column independently is
+//! a weak composition of `d` into `n` parts). For `n = 10`, `d = 100` this
+//! is about `1.98 × 10^126`, which is why brute force is hopeless and the
+//! paper resorts to an evolutionary search.
+
+use serde::{Deserialize, Serialize};
+
+/// The size of the discretized RR-matrix search space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpaceSize {
+    /// Number of categories `n`.
+    pub num_categories: usize,
+    /// Grid resolution `d`.
+    pub resolution: usize,
+    /// Natural logarithm of the total count (exact counts overflow `u128`
+    /// long before the paper's example).
+    pub ln_count: f64,
+    /// Base-10 logarithm of the total count.
+    pub log10_count: f64,
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` computed via
+/// `ln Γ`, stable for large arguments.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    stats::continuous::ln_gamma(n as f64 + 1.0)
+        - stats::continuous::ln_gamma(k as f64 + 1.0)
+        - stats::continuous::ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Number of weak compositions of `d` into `n` parts (`C(d + n − 1, d)`),
+/// as a natural logarithm — the per-column count of Fact 1.
+pub fn ln_column_combinations(num_categories: usize, resolution: usize) -> f64 {
+    ln_binomial((resolution + num_categories - 1) as u64, resolution as u64)
+}
+
+/// The full Fact 1 count `C(d + n − 1, d)^n`, in logarithmic form.
+pub fn search_space_size(num_categories: usize, resolution: usize) -> SearchSpaceSize {
+    let ln_per_column = ln_column_combinations(num_categories, resolution);
+    let ln_count = ln_per_column * num_categories as f64;
+    SearchSpaceSize {
+        num_categories,
+        resolution,
+        ln_count,
+        log10_count: ln_count / std::f64::consts::LN_10,
+    }
+}
+
+/// Exact count for small cases (used to validate the logarithmic formula
+/// in tests and by the `exp_fact1` experiment for its small-n rows).
+/// Returns `None` on overflow.
+pub fn exact_search_space_size(num_categories: usize, resolution: usize) -> Option<u128> {
+    let per_column = exact_binomial((resolution + num_categories - 1) as u128, resolution as u128)?;
+    let mut total: u128 = 1;
+    for _ in 0..num_categories {
+        total = total.checked_mul(per_column)?;
+    }
+    Some(total)
+}
+
+fn exact_binomial(n: u128, k: u128) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.checked_mul(n - i)?;
+        result /= i + 1;
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_binomials() {
+        assert_eq!(exact_binomial(5, 2), Some(10));
+        assert_eq!(exact_binomial(10, 0), Some(1));
+        assert_eq!(exact_binomial(10, 10), Some(1));
+        assert_eq!(exact_binomial(3, 5), Some(0));
+        assert_eq!(exact_binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact_values() {
+        for &(n, k) in &[(5u64, 2u64), (10, 3), (52, 5), (100, 50)] {
+            let exact = exact_binomial(n as u128, k as u128).unwrap() as f64;
+            let approx = ln_binomial(n, k).exp();
+            assert!(
+                (approx - exact).abs() / exact < 1e-9,
+                "C({n},{k}): {approx} vs {exact}"
+            );
+        }
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn small_search_spaces_match_exhaustive_counting() {
+        // n = 2, d = 2: each column is a weak composition of 2 into 2 parts
+        // -> C(3, 2) = 3 options per column, 9 matrices total.
+        assert_eq!(exact_search_space_size(2, 2), Some(9));
+        let s = search_space_size(2, 2);
+        assert!((s.ln_count.exp() - 9.0).abs() < 1e-9);
+        // n = 3, d = 2: C(4, 2) = 6 per column, 216 total.
+        assert_eq!(exact_search_space_size(3, 2), Some(216));
+        let s = search_space_size(3, 2);
+        assert!((s.ln_count.exp() - 216.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_example_magnitude_is_reproduced() {
+        // Fact 1's example: n = 10, d = 100 gives about 1.98e126.
+        let s = search_space_size(10, 100);
+        assert_eq!(s.num_categories, 10);
+        assert_eq!(s.resolution, 100);
+        assert!(
+            (s.log10_count - 126.3).abs() < 0.5,
+            "log10 count {} not near 126.3",
+            s.log10_count
+        );
+        // The leading coefficient is about 1.98.
+        let mantissa = 10f64.powf(s.log10_count - s.log10_count.floor());
+        assert!(
+            (mantissa - 1.98).abs() < 0.15,
+            "mantissa {mantissa} not near 1.98"
+        );
+    }
+
+    #[test]
+    fn overflow_is_reported_as_none() {
+        assert!(exact_search_space_size(10, 100).is_none());
+    }
+
+    #[test]
+    fn search_space_grows_with_n_and_d() {
+        let base = search_space_size(5, 10).ln_count;
+        assert!(search_space_size(6, 10).ln_count > base);
+        assert!(search_space_size(5, 20).ln_count > base);
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic workload generation.
+//!
+//! Section VI.C of the paper evaluates on single-attribute data sets of
+//! `N = 10,000` records over `n = 10` categories whose category
+//! probabilities follow a chosen distribution (normal, gamma, discrete
+//! uniform). This module reproduces those workloads (plus Zipf and custom
+//! distributions for the extended experiments), in two steps:
+//!
+//! 1. build the *category distribution* `P(X)` by discretizing the chosen
+//!    continuous distribution into `n` bins (or using a discrete law
+//!    directly), and
+//! 2. draw `N` i.i.d. records from `P(X)`.
+
+use crate::dataset::CategoricalDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use stats::{
+    discretize_distribution, Categorical, Gamma, Normal, Result as StatsResult, StatsError, Zipf,
+};
+
+/// The source distribution of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceDistribution {
+    /// Category probabilities follow a discretized normal distribution
+    /// (the paper's Figure 4 workload).
+    Normal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Category probabilities follow a discretized gamma distribution
+    /// (the paper's Figure 5(a) workload uses `alpha = 1.0`, `beta = 2.0`).
+    Gamma {
+        /// Shape parameter.
+        alpha: f64,
+        /// Scale parameter.
+        beta: f64,
+    },
+    /// All categories equally likely (the paper's Figure 5(b) workload).
+    DiscreteUniform,
+    /// Zipf-distributed category probabilities with the given exponent
+    /// (extended experiment; a heavily skewed workload).
+    Zipf {
+        /// Power-law exponent.
+        exponent: f64,
+    },
+    /// An explicit category distribution.
+    Custom {
+        /// The category probabilities (must sum to one).
+        probs: Vec<f64>,
+    },
+}
+
+impl SourceDistribution {
+    /// The standard normal workload used by Figure 4.
+    pub fn standard_normal() -> Self {
+        SourceDistribution::Normal { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// The gamma workload used by Figure 5(a): `alpha = 1.0`, `beta = 2.0`.
+    pub fn paper_gamma() -> Self {
+        SourceDistribution::Gamma { alpha: 1.0, beta: 2.0 }
+    }
+
+    /// Materializes the category distribution over `n` categories.
+    pub fn category_distribution(&self, n: usize) -> StatsResult<Categorical> {
+        match self {
+            SourceDistribution::Normal { mu, sigma } => {
+                discretize_distribution(&Normal::new(*mu, *sigma)?, n)
+            }
+            SourceDistribution::Gamma { alpha, beta } => {
+                discretize_distribution(&Gamma::new(*alpha, *beta)?, n)
+            }
+            SourceDistribution::DiscreteUniform => Categorical::uniform(n),
+            SourceDistribution::Zipf { exponent } => {
+                let z = Zipf::new(n, *exponent)?;
+                Categorical::new((0..n).map(|k| z.prob(k)).collect())
+            }
+            SourceDistribution::Custom { probs } => {
+                if probs.len() != n {
+                    return Err(StatsError::SupportMismatch { left: probs.len(), right: n });
+                }
+                Categorical::new(probs.clone())
+            }
+        }
+    }
+
+    /// Short human-readable label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            SourceDistribution::Normal { mu, sigma } => format!("normal(mu={mu}, sigma={sigma})"),
+            SourceDistribution::Gamma { alpha, beta } => {
+                format!("gamma(alpha={alpha}, beta={beta})")
+            }
+            SourceDistribution::DiscreteUniform => "discrete-uniform".to_string(),
+            SourceDistribution::Zipf { exponent } => format!("zipf(s={exponent})"),
+            SourceDistribution::Custom { .. } => "custom".to_string(),
+        }
+    }
+}
+
+/// Configuration of a synthetic workload: the paper's defaults are
+/// `num_categories = 10` and `num_records = 10,000`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of categories `n` in the attribute domain.
+    pub num_categories: usize,
+    /// Number of records `N`.
+    pub num_records: usize,
+    /// The source distribution of category probabilities.
+    pub source: SourceDistribution,
+    /// RNG seed, so every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's default workload shape (10 categories, 10,000 records)
+    /// with the given source distribution and seed.
+    pub fn paper_default(source: SourceDistribution, seed: u64) -> Self {
+        Self { num_categories: 10, num_records: 10_000, source, seed }
+    }
+}
+
+/// A generated synthetic workload: the true category distribution and a
+/// data set sampled from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticWorkload {
+    /// The configuration that produced this workload.
+    pub config: SyntheticConfig,
+    /// The true (population) category distribution `P(X)`.
+    pub true_distribution: Categorical,
+    /// The sampled original data set `X_s`.
+    pub dataset: CategoricalDataset,
+}
+
+/// Generates a synthetic workload from the given configuration.
+pub fn generate(config: &SyntheticConfig) -> StatsResult<SyntheticWorkload> {
+    if config.num_records == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "num_records",
+            value: 0.0,
+            constraint: "must be positive",
+        });
+    }
+    let true_distribution = config.source.category_distribution(config.num_categories)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let records = true_distribution.sample_many(&mut rng, config.num_records);
+    let dataset = CategoricalDataset::new(config.num_categories, records)?;
+    Ok(SyntheticWorkload { config: config.clone(), true_distribution, dataset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = SyntheticConfig::paper_default(SourceDistribution::standard_normal(), 1);
+        assert_eq!(cfg.num_categories, 10);
+        assert_eq!(cfg.num_records, 10_000);
+        let w = generate(&cfg).unwrap();
+        assert_eq!(w.dataset.len(), 10_000);
+        assert_eq!(w.dataset.num_categories(), 10);
+        assert_eq!(w.true_distribution.num_categories(), 10);
+    }
+
+    #[test]
+    fn zero_records_rejected() {
+        let cfg = SyntheticConfig {
+            num_categories: 5,
+            num_records: 0,
+            source: SourceDistribution::DiscreteUniform,
+            seed: 0,
+        };
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = SyntheticConfig::paper_default(SourceDistribution::paper_gamma(), 77);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.dataset, b.dataset);
+        let cfg2 = SyntheticConfig { seed: 78, ..cfg };
+        let c = generate(&cfg2).unwrap();
+        assert_ne!(a.dataset, c.dataset);
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_true_distribution() {
+        let cfg = SyntheticConfig::paper_default(SourceDistribution::standard_normal(), 3);
+        let w = generate(&cfg).unwrap();
+        let emp = w.dataset.empirical_distribution().unwrap();
+        for i in 0..10 {
+            assert!(
+                (emp.prob(i) - w.true_distribution.prob(i)).abs() < 0.02,
+                "category {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_source_is_flat() {
+        let d = SourceDistribution::DiscreteUniform
+            .category_distribution(10)
+            .unwrap();
+        for i in 0..10 {
+            assert!((d.prob(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_source_is_skewed() {
+        let d = SourceDistribution::paper_gamma().category_distribution(10).unwrap();
+        assert!(d.prob(0) > d.prob(5));
+        assert!(d.max_prob() > 0.25);
+    }
+
+    #[test]
+    fn zipf_source_is_monotone() {
+        let d = SourceDistribution::Zipf { exponent: 1.0 }
+            .category_distribution(8)
+            .unwrap();
+        for i in 1..8 {
+            assert!(d.prob(i) <= d.prob(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn custom_source_validates_length_and_contents() {
+        let ok = SourceDistribution::Custom { probs: vec![0.5, 0.5] };
+        assert!(ok.category_distribution(2).is_ok());
+        assert!(ok.category_distribution(3).is_err());
+        let bad = SourceDistribution::Custom { probs: vec![0.7, 0.7] };
+        assert!(bad.category_distribution(2).is_err());
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(SourceDistribution::standard_normal().label().contains("normal"));
+        assert!(SourceDistribution::paper_gamma().label().contains("gamma"));
+        assert!(SourceDistribution::DiscreteUniform.label().contains("uniform"));
+        assert!(SourceDistribution::Zipf { exponent: 1.5 }.label().contains("zipf"));
+        assert!(SourceDistribution::Custom { probs: vec![1.0] }.label().contains("custom"));
+    }
+
+    #[test]
+    fn invalid_source_parameters_propagate() {
+        let bad = SourceDistribution::Normal { mu: 0.0, sigma: -1.0 };
+        assert!(bad.category_distribution(10).is_err());
+        let bad_gamma = SourceDistribution::Gamma { alpha: -1.0, beta: 1.0 };
+        assert!(bad_gamma.category_distribution(10).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! SPEA2 density estimation.
+//!
+//! When two solutions have the same raw fitness, SPEA2 breaks the tie with
+//! a density value derived from the distance to the k-th nearest neighbour
+//! in objective space:
+//!
+//! ```text
+//! d(i) = 1 / (σ_i^k + 2)
+//! ```
+//!
+//! The `+2` keeps the denominator positive and keeps the density strictly
+//! below 1, so it can never overturn a raw-fitness difference (which is
+//! always an integer ≥ 1). The paper (Section V.B) uses `k = 1` in
+//! practice, which is the default here.
+
+use crate::objectives::Objectives;
+
+/// Default neighbour index used by the density estimator (the paper's
+/// practical choice).
+pub const DEFAULT_K: usize = 1;
+
+/// Computes the distance from each point to its k-th nearest *other* point.
+///
+/// Points with no neighbours (singleton input) get `f64::INFINITY`.
+pub fn kth_nearest_distances(points: &[Objectives], k: usize) -> Vec<f64> {
+    let n = points.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| points[i].distance(&points[j]))
+            .collect();
+        if dists.is_empty() {
+            out.push(f64::INFINITY);
+            continue;
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let idx = k.saturating_sub(1).min(dists.len() - 1);
+        out.push(dists[idx]);
+    }
+    out
+}
+
+/// Computes the SPEA2 density `d(i) = 1 / (σ_i^k + 2)` for every point.
+pub fn densities(points: &[Objectives], k: usize) -> Vec<f64> {
+    kth_nearest_distances(points, k)
+        .into_iter()
+        .map(|sigma| {
+            if sigma.is_infinite() {
+                0.0
+            } else {
+                1.0 / (sigma + 2.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(a: f64, b: f64) -> Objectives {
+        Objectives::pair(a, b)
+    }
+
+    #[test]
+    fn kth_nearest_distances_simple_layout() {
+        // Three collinear points at x = 0, 1, 10.
+        let pts = vec![o(0.0, 0.0), o(1.0, 0.0), o(10.0, 0.0)];
+        let d1 = kth_nearest_distances(&pts, 1);
+        assert_eq!(d1, vec![1.0, 1.0, 9.0]);
+        let d2 = kth_nearest_distances(&pts, 2);
+        assert_eq!(d2, vec![10.0, 9.0, 10.0]);
+        // k beyond the number of neighbours clamps to the farthest one.
+        let d9 = kth_nearest_distances(&pts, 9);
+        assert_eq!(d9, vec![10.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn singleton_and_empty_inputs() {
+        assert!(kth_nearest_distances(&[], 1).is_empty());
+        let single = vec![o(1.0, 1.0)];
+        assert_eq!(kth_nearest_distances(&single, 1), vec![f64::INFINITY]);
+        assert_eq!(densities(&single, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn densities_are_below_one_and_ordered_by_crowding() {
+        // The paper's Figure 2 situation: a point with a close neighbour has
+        // a *higher* density (worse) than isolated points.
+        let pts = vec![
+            o(0.0, 0.0),
+            o(0.1, 0.0), // crowded pair
+            o(5.0, 5.0), // isolated
+        ];
+        let d = densities(&pts, DEFAULT_K);
+        assert!(d.iter().all(|&x| x < 1.0));
+        assert!(d.iter().all(|&x| x > 0.0));
+        assert!(d[0] > d[2], "crowded point should have higher density");
+        assert!(d[1] > d[2]);
+    }
+
+    #[test]
+    fn density_formula_matches_definition() {
+        let pts = vec![o(0.0, 0.0), o(3.0, 4.0)];
+        let d = densities(&pts, 1);
+        // sigma = 5 for both, so density = 1 / 7.
+        assert!((d[0] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Quality indicators for comparing Pareto fronts.
+//!
+//! The paper compares schemes visually ("if a Pareto front of scheme A is
+//! consistently below that of scheme B within a privacy range, A is better
+//! in that range"). The experiment harness quantifies that comparison with
+//! the standard indicators implemented here:
+//!
+//! * **hypervolume** (2-D) — area dominated by the front up to a reference
+//!   point; larger is better;
+//! * **coverage** (C-metric) — fraction of one front dominated by another;
+//! * **spread** — extent of the front along each objective;
+//! * **dominated-at-matched-x comparison** — the paper's "consistently
+//!   below" check made precise for two fronts over a shared first-objective
+//!   range.
+
+use crate::dominance::{dominates, pareto_front};
+use crate::objectives::Objectives;
+
+/// Computes the 2-D hypervolume (area dominated by the front, bounded by
+/// `reference`). Points not dominating the reference point are ignored.
+/// Larger is better. Only defined for two objectives.
+pub fn hypervolume_2d(front: &[Objectives], reference: &Objectives) -> f64 {
+    assert_eq!(reference.len(), 2, "hypervolume_2d needs two objectives");
+    // Keep only points that strictly dominate the reference box corner.
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .filter(|o| o.len() == 2 && o.value(0) < reference.value(0) && o.value(1) < reference.value(1))
+        .map(|o| (o.value(0), o.value(1)))
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Reduce to the non-dominated subset to avoid double counting.
+    let objs: Vec<Objectives> = pts.iter().map(|&(a, b)| Objectives::pair(a, b)).collect();
+    let nd = pareto_front(&objs);
+    pts = nd.iter().map(|o| (o.value(0), o.value(1))).collect();
+    // Sweep in increasing first objective.
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+    let mut area = 0.0;
+    let mut prev_x = None::<f64>;
+    let mut best_y = reference.value(1);
+    for (x, y) in pts {
+        if let Some(px) = prev_x {
+            area += (x - px) * (reference.value(1) - best_y);
+        }
+        prev_x = Some(x);
+        best_y = best_y.min(y);
+    }
+    if let Some(px) = prev_x {
+        area += (reference.value(0) - px) * (reference.value(1) - best_y);
+    }
+    area
+}
+
+/// The coverage (C) metric of Zitzler: the fraction of points in `b` that
+/// are dominated by at least one point of `a`. Returns a value in `[0, 1]`;
+/// `C(a, b) = 1` means every point of `b` is dominated by `a`.
+pub fn coverage(a: &[Objectives], b: &[Objectives]) -> f64 {
+    if b.is_empty() {
+        return 0.0;
+    }
+    let covered = b
+        .iter()
+        .filter(|y| a.iter().any(|x| dominates(x, y)))
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+/// The extent of the front along objective `m`: `(min, max)`.
+pub fn objective_extent(front: &[Objectives], m: usize) -> Option<(f64, f64)> {
+    if front.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for o in front {
+        lo = lo.min(o.value(m));
+        hi = hi.max(o.value(m));
+    }
+    Some((lo, hi))
+}
+
+/// For a two-objective front, returns the best (smallest) second-objective
+/// value achieved at or below the given first-objective level — i.e. the
+/// height of the staircase front at `x`. Returns `None` when no point
+/// qualifies.
+pub fn best_second_objective_at(front: &[Objectives], x: f64) -> Option<f64> {
+    front
+        .iter()
+        .filter(|o| o.value(0) <= x)
+        .map(|o| o.value(1))
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// The paper's "consistently below" comparison made numeric: samples
+/// `samples` evenly spaced first-objective levels across the overlap of the
+/// two fronts and returns the fraction of levels at which front `a`
+/// achieves a strictly better (smaller) second objective than front `b`.
+pub fn fraction_better_at_matched_levels(
+    a: &[Objectives],
+    b: &[Objectives],
+    samples: usize,
+) -> f64 {
+    if a.is_empty() || b.is_empty() || samples == 0 {
+        return 0.0;
+    }
+    let (a_lo, a_hi) = objective_extent(a, 0).expect("non-empty");
+    let (b_lo, b_hi) = objective_extent(b, 0).expect("non-empty");
+    let lo = a_lo.max(b_lo);
+    let hi = a_hi.min(b_hi);
+    if !(lo <= hi) {
+        return 0.0;
+    }
+    let mut better = 0usize;
+    let mut counted = 0usize;
+    for k in 0..samples {
+        let x = if samples == 1 {
+            lo
+        } else {
+            lo + (hi - lo) * k as f64 / (samples - 1) as f64
+        };
+        match (best_second_objective_at(a, x), best_second_objective_at(b, x)) {
+            (Some(ya), Some(yb)) => {
+                counted += 1;
+                if ya < yb {
+                    better += 1;
+                }
+            }
+            _ => continue,
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        better as f64 / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(a: f64, b: f64) -> Objectives {
+        Objectives::pair(a, b)
+    }
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        let front = vec![o(1.0, 1.0)];
+        let hv = hypervolume_2d(&front, &o(3.0, 3.0));
+        assert!((hv - 4.0).abs() < 1e-12);
+        // A point outside the reference box contributes nothing.
+        assert_eq!(hypervolume_2d(&[o(4.0, 4.0)], &o(3.0, 3.0)), 0.0);
+        assert_eq!(hypervolume_2d(&[], &o(3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_of_staircase_front() {
+        // Two points forming a staircase: (1,2) and (2,1) with ref (3,3).
+        // Area = (2-1)*(3-2) + (3-2)*(3-1)... computed by sweep:
+        // segment [1,2): height 3-2 = 1 -> 1; segment [2,3): height 3-1=2 -> 2. Total 3.
+        let front = vec![o(1.0, 2.0), o(2.0, 1.0)];
+        let hv = hypervolume_2d(&front, &o(3.0, 3.0));
+        assert!((hv - 3.0).abs() < 1e-12);
+        // Adding a dominated point must not change the hypervolume.
+        let with_dominated = vec![o(1.0, 2.0), o(2.0, 1.0), o(2.5, 2.5)];
+        assert!((hypervolume_2d(&with_dominated, &o(3.0, 3.0)) - hv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_grows_when_the_front_improves() {
+        let worse = vec![o(2.0, 2.0)];
+        let better = vec![o(1.0, 1.0)];
+        let r = o(4.0, 4.0);
+        assert!(hypervolume_2d(&better, &r) > hypervolume_2d(&worse, &r));
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let a = vec![o(1.0, 1.0)];
+        let b = vec![o(2.0, 2.0), o(0.5, 3.0), o(3.0, 0.5)];
+        // a dominates only the first member of b.
+        assert!((coverage(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(coverage(&b, &a), 0.0);
+        assert_eq!(coverage(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn extent_and_staircase_queries() {
+        let front = vec![o(0.2, 5.0), o(0.5, 2.0), o(0.8, 1.0)];
+        assert_eq!(objective_extent(&front, 0), Some((0.2, 0.8)));
+        assert_eq!(objective_extent(&front, 1), Some((1.0, 5.0)));
+        assert_eq!(objective_extent(&[], 0), None);
+        assert_eq!(best_second_objective_at(&front, 0.1), None);
+        assert_eq!(best_second_objective_at(&front, 0.3), Some(5.0));
+        assert_eq!(best_second_objective_at(&front, 0.6), Some(2.0));
+        assert_eq!(best_second_objective_at(&front, 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn matched_level_comparison_detects_a_dominating_front() {
+        // Front A sits strictly below front B at every privacy level.
+        let a = vec![o(0.2, 1.0), o(0.5, 0.5), o(0.8, 0.2)];
+        let b = vec![o(0.2, 2.0), o(0.5, 1.5), o(0.8, 1.0)];
+        let frac = fraction_better_at_matched_levels(&a, &b, 50);
+        assert!(frac > 0.95, "fraction {frac}");
+        let rev = fraction_better_at_matched_levels(&b, &a, 50);
+        assert_eq!(rev, 0.0);
+        // Degenerate inputs.
+        assert_eq!(fraction_better_at_matched_levels(&[], &b, 50), 0.0);
+        assert_eq!(fraction_better_at_matched_levels(&a, &b, 0), 0.0);
+        // Disjoint ranges give zero overlap.
+        let far = vec![o(5.0, 0.1)];
+        assert_eq!(fraction_better_at_matched_levels(&a, &far, 10), 0.0);
+    }
+}

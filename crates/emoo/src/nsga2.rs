@@ -1,0 +1,300 @@
+//! A compact NSGA-II implementation used as a cross-check for the SPEA2
+//! engine.
+//!
+//! The paper chooses SPEA2 (citing its comparative performance); providing
+//! a second, independent multi-objective optimizer lets the ablation
+//! experiments confirm that the OptRR results are not an artifact of the
+//! particular engine. NSGA-II ranks individuals by non-dominated sorting
+//! and breaks ties with crowding distance.
+
+use crate::dominance::dominates;
+use crate::individual::Individual;
+use crate::objectives::Objectives;
+use crate::spea2::{Problem, Spea2Config};
+use rand::Rng;
+
+/// Performs fast non-dominated sorting; returns the front index (0 = best)
+/// of every point.
+pub fn non_dominated_sort(points: &[Objectives]) -> Vec<usize> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // who i dominates
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+            } else if dominates(&points[j], &points[i]) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut rank = vec![0usize; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut front_index = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = front_index;
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        front_index += 1;
+        current = next;
+    }
+    rank
+}
+
+/// Computes the crowding distance of each point within its own front.
+pub fn crowding_distances(points: &[Objectives], ranks: &[usize]) -> Vec<f64> {
+    let n = points.len();
+    let mut distance = vec![0.0_f64; n];
+    if n == 0 {
+        return distance;
+    }
+    let num_objectives = points[0].len();
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    for front in 0..=max_rank {
+        let members: Vec<usize> = (0..n).filter(|&i| ranks[i] == front).collect();
+        if members.is_empty() {
+            continue;
+        }
+        for m in 0..num_objectives {
+            let mut sorted = members.clone();
+            sorted.sort_by(|&a, &b| {
+                points[a]
+                    .value(m)
+                    .partial_cmp(&points[b].value(m))
+                    .expect("finite objectives")
+            });
+            let lo = points[*sorted.first().expect("non-empty front")].value(m);
+            let hi = points[*sorted.last().expect("non-empty front")].value(m);
+            distance[sorted[0]] = f64::INFINITY;
+            distance[sorted[sorted.len() - 1]] = f64::INFINITY;
+            let span = hi - lo;
+            if span <= 0.0 {
+                continue;
+            }
+            for w in 1..sorted.len().saturating_sub(1) {
+                let prev = points[sorted[w - 1]].value(m);
+                let next = points[sorted[w + 1]].value(m);
+                distance[sorted[w]] += (next - prev) / span;
+            }
+        }
+    }
+    distance
+}
+
+/// The result of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Outcome<G> {
+    /// The final first front (rank-0 individuals).
+    pub front: Vec<Individual<G>>,
+    /// Number of generations executed.
+    pub generations_run: usize,
+}
+
+/// Runs NSGA-II on the given problem with (reusing) the SPEA2 configuration
+/// shape: `population_size`, `generations`, and `mutation_rate` are used;
+/// `archive_size` and `density_k` are ignored.
+pub fn run_nsga2<P: Problem, R: Rng + ?Sized>(
+    problem: &P,
+    config: &Spea2Config,
+    rng: &mut R,
+) -> Result<Nsga2Outcome<P::Genome>, String> {
+    config.validate()?;
+    let pop_size = config.population_size;
+
+    let mut population: Vec<Individual<P::Genome>> = (0..pop_size)
+        .map(|_| {
+            let mut g = problem.random_genome(rng);
+            problem.repair(&mut g, rng);
+            let o = problem.evaluate(&g);
+            Individual::new(g, o)
+        })
+        .collect();
+
+    let mut generations_run = 0usize;
+    for _generation in 0..config.generations {
+        generations_run += 1;
+        // Rank the current population.
+        let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
+        let ranks = non_dominated_sort(&points);
+        let crowd = crowding_distances(&points, &ranks);
+
+        // Binary-tournament selection on (rank, -crowding).
+        let better = |a: usize, b: usize| -> usize {
+            if ranks[a] < ranks[b] {
+                a
+            } else if ranks[b] < ranks[a] {
+                b
+            } else if crowd[a] >= crowd[b] {
+                a
+            } else {
+                b
+            }
+        };
+
+        // Produce offspring.
+        let mut offspring: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
+        while offspring.len() < pop_size {
+            let p1 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
+            let p2 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
+            let (mut c1, mut c2) =
+                problem.crossover(&population[p1].genome, &population[p2].genome, rng);
+            for c in [&mut c1, &mut c2] {
+                if rng.gen::<f64>() < config.mutation_rate {
+                    problem.mutate(c, rng);
+                }
+                problem.repair(c, rng);
+            }
+            for c in [c1, c2] {
+                if offspring.len() >= pop_size {
+                    break;
+                }
+                let o = problem.evaluate(&c);
+                offspring.push(Individual::new(c, o));
+            }
+        }
+
+        // Environmental selection over the union, by (rank, crowding).
+        let mut union = population;
+        union.append(&mut offspring);
+        let union_points: Vec<Objectives> = union.iter().map(|i| i.objectives.clone()).collect();
+        let union_ranks = non_dominated_sort(&union_points);
+        let union_crowd = crowding_distances(&union_points, &union_ranks);
+        let mut order: Vec<usize> = (0..union.len()).collect();
+        order.sort_by(|&a, &b| {
+            union_ranks[a]
+                .cmp(&union_ranks[b])
+                .then_with(|| {
+                    union_crowd[b]
+                        .partial_cmp(&union_crowd[a])
+                        .expect("finite or infinite crowding")
+                })
+        });
+        let survivors: Vec<usize> = order.into_iter().take(pop_size).collect();
+        let mut keep = vec![false; union.len()];
+        for &i in &survivors {
+            keep[i] = true;
+        }
+        let mut next = Vec::with_capacity(pop_size);
+        for (i, ind) in union.into_iter().enumerate() {
+            if keep[i] {
+                next.push(ind);
+            }
+        }
+        population = next;
+    }
+
+    // Extract the final first front.
+    let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
+    let ranks = non_dominated_sort(&points);
+    let front: Vec<Individual<P::Genome>> = population
+        .into_iter()
+        .zip(ranks)
+        .filter_map(|(ind, r)| if r == 0 { Some(ind) } else { None })
+        .collect();
+    Ok(Nsga2Outcome { front, generations_run })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn o(a: f64, b: f64) -> Objectives {
+        Objectives::pair(a, b)
+    }
+
+    #[test]
+    fn non_dominated_sort_ranks_layers() {
+        let pts = vec![
+            o(1.0, 1.0), // rank 0
+            o(2.0, 2.0), // rank 1 (dominated by the first only)
+            o(3.0, 3.0), // rank 2
+            o(0.5, 3.5), // rank 0 (incomparable with the first)
+        ];
+        let ranks = non_dominated_sort(&pts);
+        assert_eq!(ranks, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn non_dominated_sort_handles_empty_and_single() {
+        assert!(non_dominated_sort(&[]).is_empty());
+        assert_eq!(non_dominated_sort(&[o(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn crowding_distance_marks_extremes_infinite() {
+        let pts = vec![o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(4.0, 0.0)];
+        let ranks = vec![0, 0, 0, 0];
+        let d = crowding_distances(&pts, &ranks);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_distance_identical_points_do_not_divide_by_zero() {
+        let pts = vec![o(1.0, 1.0), o(1.0, 1.0), o(1.0, 1.0)];
+        let ranks = vec![0, 0, 0];
+        let d = crowding_distances(&pts, &ranks);
+        assert!(d.iter().all(|x| !x.is_nan()));
+    }
+
+    /// Reuse the Schaffer problem shape locally for an end-to-end check.
+    struct Schaffer;
+    impl Problem for Schaffer {
+        type Genome = f64;
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            rng.gen_range(-10.0..10.0)
+        }
+        fn evaluate(&self, x: &f64) -> Objectives {
+            Objectives::pair(x * x, (x - 2.0) * (x - 2.0))
+        }
+        fn crossover<R: Rng + ?Sized>(&self, a: &f64, b: &f64, rng: &mut R) -> (f64, f64) {
+            let w: f64 = rng.gen();
+            (w * a + (1.0 - w) * b, (1.0 - w) * a + w * b)
+        }
+        fn mutate<R: Rng + ?Sized>(&self, x: &mut f64, rng: &mut R) {
+            *x += rng.gen_range(-0.5..0.5);
+        }
+    }
+
+    #[test]
+    fn nsga2_finds_the_schaffer_front() {
+        let config = Spea2Config {
+            population_size: 60,
+            archive_size: 30,
+            generations: 60,
+            mutation_rate: 0.4,
+            density_k: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = run_nsga2(&Schaffer, &config, &mut rng).unwrap();
+        assert_eq!(outcome.generations_run, 60);
+        assert!(!outcome.front.is_empty());
+        for ind in &outcome.front {
+            assert!((-0.3..=2.3).contains(&ind.genome), "genome {}", ind.genome);
+        }
+    }
+
+    #[test]
+    fn nsga2_rejects_invalid_config() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = Spea2Config { population_size: 0, ..Default::default() };
+        assert!(run_nsga2(&Schaffer, &bad, &mut rng).is_err());
+    }
+}

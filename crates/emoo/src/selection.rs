@@ -1,0 +1,228 @@
+//! Mating selection (binary tournament) and environmental selection
+//! (archive update with truncation), following SPEA2 as described in
+//! Section V.C / V.D of the paper.
+
+use crate::individual::Individual;
+use crate::objectives::Objectives;
+use rand::Rng;
+
+/// Binary tournament selection: picks two members uniformly at random and
+/// returns the index of the one with the better (lower) fitness. Ties go to
+/// the first pick.
+pub fn binary_tournament<G, R: Rng + ?Sized>(pool: &[Individual<G>], rng: &mut R) -> usize {
+    assert!(!pool.is_empty(), "cannot select from an empty pool");
+    let a = rng.gen_range(0..pool.len());
+    let b = rng.gen_range(0..pool.len());
+    if pool[a].fitness_or_worst() <= pool[b].fitness_or_worst() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Fills a mating pool of `pool_size` indices by repeated binary
+/// tournaments over `candidates`.
+pub fn fill_mating_pool<G, R: Rng + ?Sized>(
+    candidates: &[Individual<G>],
+    pool_size: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    (0..pool_size).map(|_| binary_tournament(candidates, rng)).collect()
+}
+
+/// SPEA2 environmental selection over an already fitness-assigned combined
+/// population. Returns the indices selected for the next archive:
+///
+/// 1. all non-dominated members (fitness < 1);
+/// 2. if fewer than `archive_size`, topped up with the best dominated
+///    members by fitness;
+/// 3. if more than `archive_size`, iteratively truncated by removing the
+///    member with the smallest distance to its nearest neighbour
+///    (ties broken by the next-nearest distances).
+pub fn environmental_selection<G>(
+    combined: &[Individual<G>],
+    archive_size: usize,
+) -> Vec<usize> {
+    assert!(archive_size > 0, "archive size must be positive");
+    let mut selected: Vec<usize> = combined
+        .iter()
+        .enumerate()
+        .filter(|(_, ind)| ind.is_nondominated())
+        .map(|(i, _)| i)
+        .collect();
+
+    if selected.len() < archive_size {
+        // Top up with the best dominated individuals.
+        let mut dominated: Vec<usize> = combined
+            .iter()
+            .enumerate()
+            .filter(|(_, ind)| !ind.is_nondominated())
+            .map(|(i, _)| i)
+            .collect();
+        dominated.sort_by(|&a, &b| {
+            combined[a]
+                .fitness_or_worst()
+                .partial_cmp(&combined[b].fitness_or_worst())
+                .expect("finite fitness")
+        });
+        for idx in dominated {
+            if selected.len() >= archive_size {
+                break;
+            }
+            selected.push(idx);
+        }
+        return selected;
+    }
+
+    // Truncate by nearest-neighbour distance until the size fits.
+    while selected.len() > archive_size {
+        let points: Vec<&Objectives> = selected.iter().map(|&i| &combined[i].objectives).collect();
+        let remove_pos = most_crowded(&points);
+        selected.remove(remove_pos);
+    }
+    selected
+}
+
+/// Finds the index (into `points`) of the member with the lexicographically
+/// smallest sorted distance vector to the others — the SPEA2 truncation
+/// victim.
+fn most_crowded(points: &[&Objectives]) -> usize {
+    let n = points.len();
+    debug_assert!(n > 1);
+    // Pre-compute each member's sorted distance list.
+    let mut sorted_dists: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut d: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| points[i].distance(points[j]))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        sorted_dists.push(d);
+    }
+    let mut best = 0usize;
+    for i in 1..n {
+        if lexicographically_smaller(&sorted_dists[i], &sorted_dists[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// True when `a` is lexicographically smaller than `b` (first differing
+/// distance decides).
+fn lexicographically_smaller(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return true;
+        }
+        if x > y {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ind(a: f64, b: f64, fitness: f64) -> Individual<u32> {
+        let mut i = Individual::new(0u32, Objectives::pair(a, b));
+        i.fitness = Some(fitness);
+        i
+    }
+
+    #[test]
+    fn binary_tournament_prefers_lower_fitness() {
+        let pool = vec![ind(1.0, 1.0, 5.0), ind(2.0, 2.0, 0.1)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut wins = [0usize; 2];
+        for _ in 0..2000 {
+            wins[binary_tournament(&pool, &mut rng)] += 1;
+        }
+        // The low-fitness member should win clearly more often (it wins every
+        // mixed tournament, which is half of them, plus half of the rest).
+        assert!(wins[1] > wins[0], "wins: {wins:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn binary_tournament_rejects_empty_pool() {
+        let pool: Vec<Individual<u32>> = vec![];
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = binary_tournament(&pool, &mut rng);
+    }
+
+    #[test]
+    fn mating_pool_has_requested_size() {
+        let pool = vec![ind(1.0, 1.0, 0.2), ind(2.0, 2.0, 0.3), ind(3.0, 3.0, 2.0)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mates = fill_mating_pool(&pool, 10, &mut rng);
+        assert_eq!(mates.len(), 10);
+        assert!(mates.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn environmental_selection_keeps_all_nondominated_when_they_fit() {
+        let combined = vec![
+            ind(1.0, 5.0, 0.1),
+            ind(2.0, 3.0, 0.2),
+            ind(4.0, 1.0, 0.3),
+            ind(5.0, 5.0, 3.0), // dominated
+        ];
+        let selected = environmental_selection(&combined, 3);
+        assert_eq!(selected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn environmental_selection_tops_up_with_best_dominated() {
+        let combined = vec![
+            ind(1.0, 5.0, 0.1),
+            ind(5.0, 5.0, 3.0), // dominated, fitness 3
+            ind(6.0, 6.0, 7.0), // dominated, fitness 7
+        ];
+        let selected = environmental_selection(&combined, 2);
+        assert_eq!(selected, vec![0, 1]);
+        // Asking for more than exists returns everything.
+        let all = environmental_selection(&combined, 10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn environmental_selection_truncates_the_most_crowded() {
+        // Four non-dominated points; two nearly coincident. Truncation to 3
+        // must remove one of the crowded pair, keeping the extremes.
+        let combined = vec![
+            ind(0.0, 10.0, 0.1),
+            ind(5.0, 5.0, 0.1),
+            ind(5.05, 4.95, 0.1),
+            ind(10.0, 0.0, 0.1),
+        ];
+        let selected = environmental_selection(&combined, 3);
+        assert_eq!(selected.len(), 3);
+        assert!(selected.contains(&0));
+        assert!(selected.contains(&3));
+        // Exactly one of the crowded pair survives.
+        assert_eq!(
+            selected.contains(&1) as usize + selected.contains(&2) as usize,
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "archive size must be positive")]
+    fn zero_archive_size_panics() {
+        let combined = vec![ind(1.0, 1.0, 0.1)];
+        let _ = environmental_selection(&combined, 0);
+    }
+
+    #[test]
+    fn lexicographic_comparison() {
+        assert!(lexicographically_smaller(&[1.0, 5.0], &[2.0, 1.0]));
+        assert!(!lexicographically_smaller(&[2.0, 1.0], &[1.0, 5.0]));
+        assert!(lexicographically_smaller(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!lexicographically_smaller(&[1.0, 3.0], &[1.0, 3.0]));
+    }
+}

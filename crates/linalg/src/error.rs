@@ -1,0 +1,130 @@
+//! Error types for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors that can arise from linear-algebra operations.
+///
+/// The OptRR pipeline inverts randomized-response matrices (Theorem 1 and
+/// Theorem 6 of the paper); a candidate matrix produced by the evolutionary
+/// search can be singular or ill-conditioned, so callers must be able to
+/// recover gracefully rather than panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized / inverted.
+    Singular {
+        /// Index of the pivot at which factorization broke down.
+        pivot: usize,
+    },
+    /// A matrix or vector with zero rows/columns/length was supplied where a
+    /// non-empty one is required.
+    Empty,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The allowed extent.
+        extent: usize,
+    },
+    /// A non-finite (NaN or infinite) value was encountered.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "square matrix required, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot {pivot} is zero or negligible)")
+            }
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+            LinalgError::IndexOutOfBounds { index, extent } => {
+                write!(f, "index {index} out of bounds for extent {extent}")
+            }
+            LinalgError::NonFinite => write!(f, "non-finite value encountered"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 2 };
+        assert!(e.to_string().contains("singular"));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn display_empty_and_bounds_and_nonfinite() {
+        assert!(LinalgError::Empty.to_string().contains("empty"));
+        let e = LinalgError::IndexOutOfBounds { index: 7, extent: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        assert!(LinalgError::NonFinite.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&LinalgError::Empty);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::Empty, LinalgError::Empty);
+        assert_ne!(
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::Singular { pivot: 2 }
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! # optrr-linalg
+//!
+//! Dense linear-algebra substrate for the OptRR reproduction (Huang & Du,
+//! *OptRR: Optimizing Randomized Response Schemes for Privacy-Preserving
+//! Data Mining*, ICDE 2008).
+//!
+//! Randomized-response distribution reconstruction (Theorem 1 of the paper)
+//! and the closed-form utility metric (Theorem 6) both require the inverse
+//! of the disguise matrix `M`. RR matrices are small, dense and square, so
+//! this crate provides exactly what that workload needs and nothing more:
+//!
+//! * [`Vector`] — an owned dense `f64` vector with probability-vector
+//!   helpers (simplex projection, total-variation distance, MSE).
+//! * [`Matrix`] — an owned dense row-major `f64` matrix with the structural
+//!   predicates RR matrices care about (column stochasticity, symmetry,
+//!   diagonal dominance).
+//! * [`LuDecomposition`] — LU factorization with partial pivoting, plus
+//!   [`invert`], [`solve`], [`determinant`] and [`condition_number_1`]
+//!   convenience wrappers.
+//!
+//! The crate is `#![forbid(unsafe_code)]` and has no dependencies beyond
+//! `serde` (for experiment serialization).
+//!
+//! ## Example
+//!
+//! ```
+//! use linalg::{Matrix, Vector, invert};
+//!
+//! // A 3-category Warner RR matrix with p = 0.8.
+//! let m = Matrix::from_rows(&[
+//!     vec![0.8, 0.1, 0.1],
+//!     vec![0.1, 0.8, 0.1],
+//!     vec![0.1, 0.1, 0.8],
+//! ]).unwrap();
+//! assert!(m.is_column_stochastic(1e-12));
+//!
+//! // Reconstruct an original distribution from a disguised one (Theorem 1).
+//! let p_star = Vector::from_vec(vec![0.40, 0.33, 0.27]);
+//! let p_hat = invert(&m).unwrap().mul_vector(&p_star).unwrap();
+//! assert!((p_hat.sum() - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod vector;
+
+pub use error::{LinalgError, Result};
+pub use lu::{condition_number_1, determinant, invert, solve, LuDecomposition, SINGULARITY_TOLERANCE};
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing random column-stochastic matrices of size 2..=8
+    /// with diagonal emphasis (so they are almost always invertible).
+    fn column_stochastic_matrix() -> impl Strategy<Value = Matrix> {
+        (2usize..=8).prop_flat_map(|n| {
+            proptest::collection::vec(0.05f64..1.0, n * n).prop_map(move |raw| {
+                let mut m = Matrix::zeros(n, n);
+                for j in 0..n {
+                    let mut col: Vec<f64> = (0..n).map(|i| raw[j * n + i]).collect();
+                    // Emphasize the diagonal to keep the matrix invertible.
+                    col[j] += n as f64;
+                    let s: f64 = col.iter().sum();
+                    for i in 0..n {
+                        m[(i, j)] = col[i] / s;
+                    }
+                }
+                m
+            })
+        })
+    }
+
+    fn probability_vector() -> impl Strategy<Value = Vector> {
+        (2usize..=8).prop_flat_map(|n| {
+            proptest::collection::vec(0.01f64..1.0, n).prop_map(|raw| {
+                let s: f64 = raw.iter().sum();
+                Vector::from_vec(raw.into_iter().map(|x| x / s).collect())
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn generated_matrices_are_column_stochastic(m in column_stochastic_matrix()) {
+            prop_assert!(m.is_column_stochastic(1e-9));
+        }
+
+        #[test]
+        fn inverse_round_trip(m in column_stochastic_matrix()) {
+            let inv = invert(&m).unwrap();
+            let prod = m.mul_matrix(&inv).unwrap();
+            prop_assert!(prod.approx_eq(&Matrix::identity(m.rows()), 1e-7));
+        }
+
+        #[test]
+        fn solve_matches_inverse_multiplication(
+            m in column_stochastic_matrix(),
+            seed in 0u64..1000
+        ) {
+            let n = m.rows();
+            // Deterministic pseudo-random right-hand side from the seed.
+            let b = Vector::from_vec(
+                (0..n).map(|i| ((seed as f64 + 1.0) * (i as f64 + 1.0)).sin().abs() + 0.1).collect(),
+            );
+            let x1 = solve(&m, &b).unwrap();
+            let x2 = invert(&m).unwrap().mul_vector(&b).unwrap();
+            prop_assert!(x1.approx_eq(&x2, 1e-7));
+        }
+
+        #[test]
+        fn determinant_of_product_is_product_of_determinants(
+            a in column_stochastic_matrix(),
+        ) {
+            // Use a and its transpose (same size by construction).
+            let b = a.transpose();
+            let ab = a.mul_matrix(&b).unwrap();
+            let lhs = determinant(&ab).unwrap();
+            let rhs = determinant(&a).unwrap() * determinant(&b).unwrap();
+            prop_assert!((lhs - rhs).abs() <= 1e-8 * lhs.abs().max(1.0));
+        }
+
+        #[test]
+        fn column_stochastic_times_probability_is_probability(
+            m in column_stochastic_matrix(),
+            p in probability_vector()
+        ) {
+            // Only meaningful when dimensions agree; resize p by truncation/renormalization.
+            let n = m.rows();
+            let mut vals: Vec<f64> = p.as_slice().iter().copied().cycle().take(n).collect();
+            let s: f64 = vals.iter().sum();
+            for v in &mut vals { *v /= s; }
+            let p = Vector::from_vec(vals);
+            let q = m.mul_vector(&p).unwrap();
+            prop_assert!(q.is_probability(1e-9));
+        }
+
+        #[test]
+        fn simplex_projection_is_idempotent(p in probability_vector()) {
+            let proj = p.project_to_simplex();
+            prop_assert!(proj.approx_eq(&proj.project_to_simplex(), 1e-12));
+            prop_assert!(proj.is_probability(1e-9));
+        }
+
+        #[test]
+        fn transpose_preserves_frobenius_norm(m in column_stochastic_matrix()) {
+            prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn total_variation_is_a_metric_within_bounds(
+            p in probability_vector(),
+            q in probability_vector()
+        ) {
+            let n = p.len().min(q.len());
+            let take = |v: &Vector| {
+                let vals: Vec<f64> = v.as_slice()[..n].to_vec();
+                let s: f64 = vals.iter().sum();
+                Vector::from_vec(vals.into_iter().map(|x| x / s).collect())
+            };
+            let (p, q) = (take(&p), take(&q));
+            let d = p.total_variation(&q).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+            prop_assert!((p.total_variation(&p).unwrap()).abs() < 1e-12);
+            let sym = q.total_variation(&p).unwrap();
+            prop_assert!((d - sym).abs() < 1e-12);
+        }
+    }
+}

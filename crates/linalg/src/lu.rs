@@ -1,0 +1,379 @@
+//! LU decomposition with partial pivoting, and the solvers / inversion /
+//! determinant routines built on top of it.
+//!
+//! The randomized-response estimation of Theorem 1 requires `M⁻¹`, and the
+//! closed-form utility of Theorem 6 requires individual entries `β_{g,h}` of
+//! `M⁻¹`. RR matrices are small (n ≤ a few dozen), so an `O(n³)` dense LU
+//! with partial pivoting is more than sufficient and numerically robust for
+//! the column-stochastic matrices the evolutionary search produces.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Pivot magnitude below which a matrix is treated as singular.
+pub const SINGULARITY_TOLERANCE: f64 = 1e-12;
+
+/// An LU decomposition `P A = L U` of a square matrix `A`, with partial
+/// (row) pivoting.
+///
+/// `L` is unit lower triangular and `U` upper triangular; both are packed
+/// into a single matrix (`L` strictly below the diagonal, `U` on and above).
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed LU factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of `U` came from row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0); used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes `a` with partial pivoting.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot smaller than
+    /// [`SINGULARITY_TOLERANCE`] (relative to the matrix scale) is
+    /// encountered, and [`LinalgError::NotSquare`] / [`LinalgError::Empty`] /
+    /// [`LinalgError::NonFinite`] for malformed input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0_f64;
+        // Scale-aware singularity threshold.
+        let scale = lu.max_abs().max(1.0);
+        let tol = SINGULARITY_TOLERANCE * scale;
+
+        for k in 0..n {
+            // Find the pivot row: the largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < tol {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(k, pivot_row)?;
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upd = lu[(k, j)];
+                    lu[(i, j)] -= factor * upd;
+                }
+            }
+        }
+        Ok(Self { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.perm_sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
+        // Forward substitution with unit lower-triangular L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut columns = Vec::with_capacity(b.cols());
+        for j in 0..b.cols() {
+            columns.push(self.solve(&b.column(j)?)?);
+        }
+        Matrix::from_columns(&columns)
+    }
+
+    /// Computes `A⁻¹`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience function: inverts a square matrix, returning an error when it
+/// is singular or malformed.
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+/// Convenience function: solves `A x = b`.
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience function: determinant of a square matrix. Singular matrices
+/// report a determinant of zero rather than an error.
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    match LuDecomposition::new(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Estimates the 1-norm condition number `κ₁(A) = ‖A‖₁ ‖A⁻¹‖₁`.
+///
+/// The OptRR fitness evaluation uses this to reject candidate RR matrices so
+/// ill-conditioned that the reconstruction of Theorem 1 would be numerically
+/// meaningless. Returns `f64::INFINITY` for singular matrices.
+pub fn condition_number_1(a: &Matrix) -> Result<f64> {
+    match invert(a) {
+        Ok(inv) => Ok(a.norm1() * inv.norm1()),
+        Err(LinalgError::Singular { .. }) => Ok(f64::INFINITY),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warner(n: usize, p: f64) -> Matrix {
+        let off = (1.0 - p) / (n as f64 - 1.0);
+        let mut m = Matrix::filled(n, n, off);
+        for i in 0..n {
+            m[(i, i)] = p;
+        }
+        m
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let id = Matrix::identity(5);
+        let inv = invert(&id).unwrap();
+        assert!(inv.approx_eq(&id, 1e-12));
+        assert!((determinant(&id).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_inverse() {
+        let m = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let inv = invert(&m).unwrap();
+        let expected =
+            Matrix::from_rows(&[vec![0.6, -0.7], vec![-0.2, 0.4]]).unwrap();
+        assert!(inv.approx_eq(&expected, 1e-12));
+        assert!((determinant(&m).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let m = warner(6, 0.7);
+        let inv = invert(&m).unwrap();
+        let prod = m.mul_matrix(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(6), 1e-10));
+        let prod2 = inv.mul_matrix(&m).unwrap();
+        assert!(prod2.approx_eq(&Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = Vector::from_vec(vec![8.0, -11.0, -3.0]);
+        let x = solve(&m, &b).unwrap();
+        let expected = Vector::from_vec(vec![2.0, 3.0, -1.0]);
+        assert!(x.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let m = warner(4, 0.6);
+        let lu = LuDecomposition::new(&m).unwrap();
+        let b = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![0.0, 0.2],
+            vec![0.0, 0.2],
+            vec![0.0, 0.1],
+        ])
+        .unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        for j in 0..2 {
+            let col = lu.solve(&b.column(j).unwrap()).unwrap();
+            assert!(x.column(j).unwrap().approx_eq(&col, 1e-12));
+        }
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&m),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(invert(&m).is_err());
+        assert_eq!(determinant(&m).unwrap(), 0.0);
+        assert_eq!(condition_number_1(&m).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn uniform_rr_matrix_is_singular() {
+        // The "perfect privacy" matrix M2 from the paper (all entries 1/n)
+        // destroys all information and is not invertible.
+        let m = Matrix::filled(3, 3, 1.0 / 3.0);
+        assert!(invert(&m).is_err());
+    }
+
+    #[test]
+    fn non_square_and_empty_rejected() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut m = Matrix::identity(2);
+        m[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            LuDecomposition::new(&m),
+            Err(LinalgError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inv = invert(&m).unwrap();
+        assert!(inv.approx_eq(&m, 1e-12));
+        assert!((determinant(&m).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutations() {
+        let m = Matrix::from_rows(&[
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        // Even permutation: determinant +1.
+        assert!((determinant(&m).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let m = Matrix::identity(3);
+        let lu = LuDecomposition::new(&m).unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn condition_number_of_identity_is_one() {
+        assert!((condition_number_1(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_number_grows_near_uniform_matrix() {
+        // As the Warner scheme approaches p = 1/n the matrix approaches the
+        // singular uniform matrix and the condition number must blow up.
+        let good = condition_number_1(&warner(5, 0.9)).unwrap();
+        let bad = condition_number_1(&warner(5, 0.21)).unwrap();
+        assert!(bad > good * 10.0, "bad={bad}, good={good}");
+    }
+
+    #[test]
+    fn warner_inverse_entries_match_closed_form() {
+        // For the Warner matrix p on the diagonal and q=(1-p)/(n-1) elsewhere,
+        // the inverse has diagonal (p + (n-2) q) / ((p - q)(p + (n-1) q)) and
+        // off-diagonal -q / ((p - q)(p + (n-1) q)).
+        let n = 5;
+        let p = 0.7;
+        let q = (1.0 - p) / (n as f64 - 1.0);
+        let denom = (p - q) * (p + (n as f64 - 1.0) * q);
+        let diag = (p + (n as f64 - 2.0) * q) / denom;
+        let off = -q / denom;
+        let inv = invert(&warner(n, p)).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { diag } else { off };
+                assert!(
+                    (inv[(i, j)] - expected).abs() < 1e-10,
+                    "entry ({i},{j}) = {} expected {expected}",
+                    inv[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let lu = LuDecomposition::new(&Matrix::identity(7)).unwrap();
+        assert_eq!(lu.dim(), 7);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the privacy-preserving data-mining crate.
+
+use std::fmt;
+
+/// Errors produced by the mining algorithms over disguised data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Constraint violated.
+        constraint: &'static str,
+    },
+    /// The data set is empty or otherwise unusable.
+    EmptyData,
+    /// An error bubbled up from the randomized-response substrate.
+    Rr(rr::RrError),
+    /// An error bubbled up from the statistics substrate.
+    Stats(stats::StatsError),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name}={value}: {constraint}")
+            }
+            MiningError::EmptyData => write!(f, "empty data set"),
+            MiningError::Rr(e) => write!(f, "randomized response error: {e}"),
+            MiningError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiningError::Rr(e) => Some(e),
+            MiningError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rr::RrError> for MiningError {
+    fn from(e: rr::RrError) -> Self {
+        MiningError::Rr(e)
+    }
+}
+
+impl From<stats::StatsError> for MiningError {
+    fn from(e: stats::StatsError) -> Self {
+        MiningError::Stats(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MiningError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        use std::error::Error;
+        let p = MiningError::InvalidParameter { name: "support", value: 2.0, constraint: "in [0,1]" };
+        assert!(p.to_string().contains("support"));
+        assert!(p.source().is_none());
+        assert!(MiningError::EmptyData.to_string().contains("empty"));
+        let r: MiningError = rr::RrError::SingularMatrix.into();
+        assert!(r.to_string().contains("singular"));
+        assert!(r.source().is_some());
+        let s: MiningError = stats::StatsError::EmptyData.into();
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type for the randomized-response substrate.
+
+use std::fmt;
+
+/// Errors produced by randomized-response matrix construction, disguise,
+/// estimation, and metric computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrError {
+    /// The supplied matrix is not a valid RR matrix (not square, not column
+    /// stochastic, negative entries, or non-finite values).
+    InvalidMatrix {
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The RR matrix and the data / distribution have mismatched category
+    /// counts.
+    DimensionMismatch {
+        /// Categories in the RR matrix.
+        matrix: usize,
+        /// Categories in the data or distribution.
+        data: usize,
+    },
+    /// The RR matrix is singular, so the inversion estimator (Theorem 1)
+    /// cannot be applied.
+    SingularMatrix,
+    /// The iterative estimator failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The data set is empty where records are required.
+    EmptyData,
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(linalg::LinalgError),
+    /// An error bubbled up from the statistics substrate.
+    Stats(stats::StatsError),
+}
+
+impl fmt::Display for RrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrError::InvalidMatrix { reason } => write!(f, "invalid RR matrix: {reason}"),
+            RrError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name}={value}: {constraint}")
+            }
+            RrError::DimensionMismatch { matrix, data } => write!(
+                f,
+                "dimension mismatch: RR matrix has {matrix} categories but data has {data}"
+            ),
+            RrError::SingularMatrix => {
+                write!(f, "RR matrix is singular; inversion estimation is impossible")
+            }
+            RrError::NoConvergence { iterations } => {
+                write!(f, "iterative estimator did not converge after {iterations} iterations")
+            }
+            RrError::EmptyData => write!(f, "empty data set"),
+            RrError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            RrError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RrError::Linalg(e) => Some(e),
+            RrError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for RrError {
+    fn from(e: linalg::LinalgError) -> Self {
+        match e {
+            linalg::LinalgError::Singular { .. } => RrError::SingularMatrix,
+            other => RrError::Linalg(other),
+        }
+    }
+}
+
+impl From<stats::StatsError> for RrError {
+    fn from(e: stats::StatsError) -> Self {
+        RrError::Stats(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RrError::InvalidMatrix { reason: "not square" }
+            .to_string()
+            .contains("not square"));
+        assert!(RrError::InvalidParameter { name: "p", value: 2.0, constraint: "in [0,1]" }
+            .to_string()
+            .contains("p=2"));
+        assert!(RrError::DimensionMismatch { matrix: 3, data: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(RrError::SingularMatrix.to_string().contains("singular"));
+        assert!(RrError::NoConvergence { iterations: 10 }.to_string().contains("10"));
+        assert!(RrError::EmptyData.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let singular: RrError = linalg::LinalgError::Singular { pivot: 0 }.into();
+        assert_eq!(singular, RrError::SingularMatrix);
+        let other: RrError = linalg::LinalgError::Empty.into();
+        assert!(matches!(other, RrError::Linalg(_)));
+        assert!(other.to_string().contains("linear algebra"));
+        let stats_err: RrError = stats::StatsError::EmptyData.into();
+        assert!(matches!(stats_err, RrError::Stats(_)));
+        assert!(stats_err.to_string().contains("statistics"));
+    }
+
+    #[test]
+    fn source_is_exposed_for_wrapped_errors() {
+        use std::error::Error;
+        let e: RrError = stats::StatsError::EmptyData.into();
+        assert!(e.source().is_some());
+        assert!(RrError::EmptyData.source().is_none());
+    }
+}

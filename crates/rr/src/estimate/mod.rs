@@ -1,0 +1,21 @@
+//! Distribution estimation from disguised data.
+//!
+//! Section III.A of the paper gives two ways to reconstruct the original
+//! distribution `P(X)` from the disguised data `Y_s`:
+//!
+//! * the **inversion approach** (Theorem 1): `P̂ = M⁻¹ P̂*`, where `P̂*` is
+//!   the vector of disguised-category relative frequencies — see
+//!   [`inversion`];
+//! * the **iterative approach** (Equation 3, from Agrawal, Srikant &
+//!   Thomas): a fixed-point / EM-style update of the posterior
+//!   redistribution — see [`iterative`].
+//!
+//! The paper's optimizer uses the inversion approach because it admits the
+//! closed-form error of Theorem 6; Figure 5(d) re-scores the found matrices
+//! under the iterative estimator, which `iterative` supports.
+
+pub mod inversion;
+pub mod iterative;
+
+pub use inversion::{estimate_distribution, estimate_from_counts, estimate_from_disguised_frequencies};
+pub use iterative::{iterative_estimate, IterativeConfig, IterativeOutcome};

@@ -1,0 +1,262 @@
+//! The privacy metric (Section IV.A of the paper).
+//!
+//! Privacy quantifies how well an adversary can recover individual records
+//! from their disguised values. Theorems 3 and 4 show the best the
+//! adversary can do — with the 0/1 accuracy function of Equation (6) — is
+//! the MAP estimate `X̂_Y = argmax_X P(X | Y)`, whether or not the adversary
+//! is allowed to be inconsistent. The expected accuracy of that estimate is
+//!
+//! ```text
+//! A = Σ_Y P(Y | X̂_Y) · P(X̂_Y)
+//! ```
+//!
+//! and privacy is defined as `1 − A` (Equation 8). This module also exposes
+//! an empirical adversary simulation used to validate the closed form.
+
+use crate::error::{Result, RrError};
+use crate::matrix::RrMatrix;
+use crate::metrics::bounds::posterior_matrix;
+use datagen::CategoricalDataset;
+use serde::{Deserialize, Serialize};
+use stats::Categorical;
+
+/// The full privacy analysis of an RR matrix against a prior distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyAnalysis {
+    /// The MAP estimate `X̂_Y` for each observed value `Y` (index = observed
+    /// category, value = estimated original category).
+    pub map_estimates: Vec<usize>,
+    /// The expected adversary accuracy `A` of Equation (8)'s derivation.
+    pub adversary_accuracy: f64,
+    /// Privacy `= 1 − A`.
+    pub privacy: f64,
+    /// The worst-case posterior `max_Y P(X̂_Y | Y)` that the δ bound of
+    /// Equation (9) constrains.
+    pub max_posterior: f64,
+}
+
+/// Computes the MAP estimate `X̂_Y` for every observed value `Y`.
+pub fn map_estimates(m: &RrMatrix, prior: &Categorical) -> Result<Vec<usize>> {
+    let q = posterior_matrix(m, prior)?;
+    let n = m.num_categories();
+    let mut estimates = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = q.row(i).map_err(RrError::from)?;
+        estimates.push(row.argmax().unwrap_or(0));
+    }
+    Ok(estimates)
+}
+
+/// Computes the expected adversary accuracy
+/// `A = Σ_Y P(Y | X̂_Y) · P(X̂_Y)` (the simplified form derived in §IV.A).
+pub fn adversary_accuracy(m: &RrMatrix, prior: &Categorical) -> Result<f64> {
+    let analysis = analyze(m, prior)?;
+    Ok(analysis.adversary_accuracy)
+}
+
+/// Computes privacy `= 1 − A`.
+pub fn privacy(m: &RrMatrix, prior: &Categorical) -> Result<f64> {
+    let analysis = analyze(m, prior)?;
+    Ok(analysis.privacy)
+}
+
+/// Computes the full privacy analysis in one pass.
+pub fn analyze(m: &RrMatrix, prior: &Categorical) -> Result<PrivacyAnalysis> {
+    let n = m.num_categories();
+    if prior.num_categories() != n {
+        return Err(RrError::DimensionMismatch { matrix: n, data: prior.num_categories() });
+    }
+    let q = posterior_matrix(m, prior)?;
+
+    let mut estimates = Vec::with_capacity(n);
+    let mut accuracy = 0.0;
+    let mut max_post: f64 = 0.0;
+
+    for i in 0..n {
+        // Posterior row for observed value Y = c_i.
+        let row = q.row(i).map_err(RrError::from)?;
+        let x_hat = row.argmax().unwrap_or(0);
+        estimates.push(x_hat);
+        max_post = max_post.max(row[x_hat]);
+        // A contribution: P(Y = c_i | X = x_hat) * P(X = x_hat)
+        //              = θ_{i, x_hat} * P(x_hat)
+        // which equals P(x_hat | Y = c_i) * P(Y = c_i) by Bayes' rule.
+        accuracy += m.theta(i, x_hat) * prior.prob(x_hat);
+    }
+
+    Ok(PrivacyAnalysis {
+        map_estimates: estimates,
+        adversary_accuracy: accuracy,
+        privacy: 1.0 - accuracy,
+        max_posterior: max_post,
+    })
+}
+
+/// Simulates the MAP adversary on actual paired (original, disguised)
+/// records and returns the empirical accuracy — used by tests and the
+/// experiment harness to validate the closed-form `A`.
+pub fn empirical_adversary_accuracy(
+    m: &RrMatrix,
+    prior: &Categorical,
+    pairs: &[(usize, usize)],
+) -> Result<f64> {
+    if pairs.is_empty() {
+        return Err(RrError::EmptyData);
+    }
+    let estimates = map_estimates(m, prior)?;
+    let n = m.num_categories();
+    let mut correct = 0usize;
+    for &(original, disguised) in pairs {
+        if original >= n || disguised >= n {
+            return Err(RrError::DimensionMismatch { matrix: n, data: original.max(disguised) + 1 });
+        }
+        if estimates[disguised] == original {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / pairs.len() as f64)
+}
+
+/// Convenience wrapper: analyzes privacy using the *empirical* distribution
+/// of an original data set as the prior (the setting of the paper's
+/// experiments, where the data owner evaluates a candidate matrix against
+/// the data set being disguised).
+pub fn analyze_for_dataset(m: &RrMatrix, original: &CategoricalDataset) -> Result<PrivacyAnalysis> {
+    let prior = original.empirical_distribution()?;
+    analyze(m, &prior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disguise::disguise_paired;
+    use crate::schemes::{uniform_perturbation, warner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prior() -> Categorical {
+        Categorical::new(vec![0.5, 0.3, 0.2]).unwrap()
+    }
+
+    #[test]
+    fn identity_matrix_has_zero_privacy() {
+        // M1 from the paper: no disguise, adversary always right.
+        let m = RrMatrix::identity(3).unwrap();
+        let a = analyze(&m, &prior()).unwrap();
+        assert!((a.adversary_accuracy - 1.0).abs() < 1e-12);
+        assert!(a.privacy.abs() < 1e-12);
+        assert_eq!(a.map_estimates, vec![0, 1, 2]);
+        assert!((a.max_posterior - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_matrix_has_maximal_privacy_for_the_prior() {
+        // M2 from the paper: all information destroyed. The adversary's
+        // best move is to always guess the mode of the prior, so accuracy
+        // equals max_X P(X) and privacy equals 1 - max_X P(X).
+        let m = RrMatrix::uniform(3).unwrap();
+        let p = prior();
+        let a = analyze(&m, &p).unwrap();
+        assert!((a.adversary_accuracy - p.max_prob()).abs() < 1e-12);
+        assert!((a.privacy - (1.0 - p.max_prob())).abs() < 1e-12);
+        assert!(a.map_estimates.iter().all(|&e| e == p.mode()));
+    }
+
+    #[test]
+    fn privacy_decreases_as_retention_grows() {
+        let p = prior();
+        let mut last = f64::INFINITY;
+        for &param in &[0.34, 0.5, 0.7, 0.9, 1.0] {
+            let m = warner(3, param).unwrap();
+            let priv_val = privacy(&m, &p).unwrap();
+            assert!(
+                priv_val <= last + 1e-12,
+                "privacy should not increase with p: {priv_val} after {last}"
+            );
+            last = priv_val;
+        }
+    }
+
+    #[test]
+    fn privacy_is_within_bounds() {
+        let p = Categorical::new(vec![0.4, 0.25, 0.2, 0.1, 0.05]).unwrap();
+        for k in 1..=10 {
+            let m = warner(5, 0.2 + 0.08 * k as f64).unwrap();
+            let a = analyze(&m, &p).unwrap();
+            assert!(a.privacy >= -1e-12);
+            // Privacy can never exceed 1 - max prior (Theorem 5 corollary).
+            assert!(a.privacy <= 1.0 - p.max_prob() + 1e-9);
+            assert!(a.adversary_accuracy >= p.max_prob() - 1e-9);
+            assert!(a.adversary_accuracy <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hand_computed_accuracy_for_warner() {
+        // Warner p=0.7, prior (0.5, 0.3, 0.2). Posterior argmax for every
+        // observed value is category 0? Check: for Y=c1, numerators are
+        // 0.15*0.5=0.075 (X=0), 0.7*0.3=0.21 (X=1), 0.15*0.2=0.03 -> MAP=1.
+        // For Y=c2: 0.075, 0.045, 0.14 -> MAP=2. For Y=c0: 0.35, .045, .03 -> 0.
+        // A = θ_{0,0} P(0) + θ_{1,1} P(1) + θ_{2,2} P(2) = 0.7*(0.5+0.3+0.2) = 0.7
+        let m = warner(3, 0.7).unwrap();
+        let a = analyze(&m, &prior()).unwrap();
+        assert_eq!(a.map_estimates, vec![0, 1, 2]);
+        assert!((a.adversary_accuracy - 0.7).abs() < 1e-12);
+        assert!((a.privacy - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_prior_pulls_map_estimates_to_the_mode() {
+        // With a strongly skewed prior and heavy disguise, the MAP estimate
+        // ignores the observation and always answers the mode.
+        let p = Categorical::new(vec![0.9, 0.05, 0.05]).unwrap();
+        let m = warner(3, 0.4).unwrap();
+        let a = analyze(&m, &p).unwrap();
+        assert!(a.map_estimates.iter().all(|&e| e == 0));
+        // Accuracy is then P(Y | X=0 chosen) summed = Σ_Y θ_{Y,0} * 0.9 = 0.9.
+        assert!((a.adversary_accuracy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_accuracy_matches_simulation() {
+        let p = Categorical::new(vec![0.45, 0.3, 0.15, 0.1]).unwrap();
+        let m = uniform_perturbation(4, 0.5).unwrap();
+        // Draw originals from the prior, disguise them, run the MAP attacker.
+        let mut rng = StdRng::seed_from_u64(31);
+        let originals = CategoricalDataset::new(4, p.sample_many(&mut rng, 100_000)).unwrap();
+        let pairs = disguise_paired(&m, &originals, &mut rng).unwrap();
+        let empirical = empirical_adversary_accuracy(&m, &p, &pairs).unwrap();
+        let closed = adversary_accuracy(&m, &p).unwrap();
+        assert!(
+            (empirical - closed).abs() < 0.01,
+            "empirical {empirical} vs closed-form {closed}"
+        );
+    }
+
+    #[test]
+    fn analyze_for_dataset_uses_empirical_prior() {
+        let data = CategoricalDataset::new(3, vec![0, 0, 0, 1, 1, 2]).unwrap();
+        let m = warner(3, 0.8).unwrap();
+        let via_dataset = analyze_for_dataset(&m, &data).unwrap();
+        let via_prior = analyze(&m, &data.empirical_distribution().unwrap()).unwrap();
+        assert_eq!(via_dataset, via_prior);
+        let empty = CategoricalDataset::new(3, vec![]).unwrap();
+        assert!(analyze_for_dataset(&m, &empty).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = warner(3, 0.8).unwrap();
+        assert!(matches!(
+            analyze(&m, &Categorical::uniform(4).unwrap()),
+            Err(RrError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            empirical_adversary_accuracy(&m, &prior(), &[]),
+            Err(RrError::EmptyData)
+        ));
+        assert!(empirical_adversary_accuracy(&m, &prior(), &[(0, 7)]).is_err());
+    }
+
+    use crate::matrix::RrMatrix;
+}

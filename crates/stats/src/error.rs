@@ -1,0 +1,84 @@
+//! Error type for the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by distribution construction, sampling, and divergence
+/// computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was outside its valid domain (e.g. a negative variance).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Human-readable description of the constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A probability vector was empty, negative, or did not sum to one.
+    InvalidDistribution {
+        /// Explanation of what is wrong.
+        reason: &'static str,
+    },
+    /// Two distributions that must share a support had different lengths.
+    SupportMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// An empty sample or data set was supplied where data are required.
+    EmptyData,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name}={value}: {constraint}")
+            }
+            StatsError::InvalidDistribution { reason } => {
+                write!(f, "invalid probability distribution: {reason}")
+            }
+            StatsError::SupportMismatch { left, right } => {
+                write!(f, "distribution support mismatch: {left} vs {right} categories")
+            }
+            StatsError::EmptyData => write!(f, "empty data"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            constraint: "must be positive",
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("positive"));
+
+        assert!(StatsError::InvalidDistribution { reason: "sums to 2" }
+            .to_string()
+            .contains("sums to 2"));
+        assert!(StatsError::SupportMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains('3'));
+        assert!(StatsError::EmptyData.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&StatsError::EmptyData);
+    }
+}

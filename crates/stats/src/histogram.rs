@@ -1,0 +1,189 @@
+//! Category histograms and empirical distributions.
+//!
+//! The disguised data set `Y_s = {y_1, ..., y_N}` is summarized by its
+//! category counts `N_i`; the MLE of the disguised distribution is the
+//! vector of relative frequencies `N_i / N` (Theorem 1 of the paper).
+
+use crate::categorical::Categorical;
+use crate::error::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Counts of observations per category over a fixed domain of `n` categories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `n` categories.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(Self { counts: vec![0; n], total: 0 })
+    }
+
+    /// Builds a histogram over `n` categories from observed category indices.
+    /// Indices `>= n` are rejected.
+    pub fn from_observations(n: usize, observations: &[usize]) -> Result<Self> {
+        let mut h = Self::new(n)?;
+        for &obs in observations {
+            h.record(obs)?;
+        }
+        Ok(h)
+    }
+
+    /// Builds a histogram directly from per-category counts.
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(StatsError::InvalidParameter {
+                name: "counts",
+                value: 0.0,
+                constraint: "must be non-empty",
+            });
+        }
+        let total = counts.iter().sum();
+        Ok(Self { counts, total })
+    }
+
+    /// Records one observation of category `i`.
+    pub fn record(&mut self, i: usize) -> Result<()> {
+        if i >= self.counts.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "category",
+                value: i as f64,
+                constraint: "must be < number of categories",
+            });
+        }
+        self.counts[i] += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of category `i` (0 when out of range).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Borrow the raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Relative frequency of category `i` (0.0 when the histogram is empty).
+    pub fn frequency(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(i) as f64 / self.total as f64
+        }
+    }
+
+    /// Relative-frequency vector.
+    pub fn frequencies(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.frequency(i)).collect()
+    }
+
+    /// The empirical distribution (MLE of the underlying categorical
+    /// distribution). Errs when the histogram is empty.
+    pub fn empirical_distribution(&self) -> Result<Categorical> {
+        if self.total == 0 {
+            return Err(StatsError::EmptyData);
+        }
+        Categorical::from_counts(&self.counts)
+    }
+
+    /// Merges another histogram over the same domain into this one.
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.num_categories() != other.num_categories() {
+            return Err(StatsError::SupportMismatch {
+                left: self.num_categories(),
+                right: other.num_categories(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_construction() {
+        assert!(Histogram::new(0).is_err());
+        let h = Histogram::new(3).unwrap();
+        assert_eq!(h.num_categories(), 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.frequency(0), 0.0);
+        assert!(h.empirical_distribution().is_err());
+    }
+
+    #[test]
+    fn record_and_frequencies() {
+        let mut h = Histogram::new(3).unwrap();
+        h.record(0).unwrap();
+        h.record(1).unwrap();
+        h.record(1).unwrap();
+        h.record(2).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 0);
+        assert!((h.frequency(1) - 0.5).abs() < 1e-12);
+        assert_eq!(h.frequencies(), vec![0.25, 0.5, 0.25]);
+        assert!(h.record(3).is_err());
+    }
+
+    #[test]
+    fn from_observations_validates() {
+        let h = Histogram::from_observations(4, &[0, 1, 1, 3, 3, 3]).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 0, 3]);
+        assert!(Histogram::from_observations(2, &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn from_counts() {
+        let h = Histogram::from_counts(vec![5, 0, 5]).unwrap();
+        assert_eq!(h.total(), 10);
+        assert!((h.frequency(0) - 0.5).abs() < 1e-12);
+        assert!(Histogram::from_counts(vec![]).is_err());
+    }
+
+    #[test]
+    fn empirical_distribution_matches_frequencies() {
+        let h = Histogram::from_observations(3, &[0, 0, 1, 2, 2, 2]).unwrap();
+        let d = h.empirical_distribution().unwrap();
+        assert!((d.prob(0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((d.prob(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::from_observations(3, &[0, 1]).unwrap();
+        let b = Histogram::from_observations(3, &[1, 2, 2]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[1, 2, 2]);
+        assert_eq!(a.total(), 5);
+        let c = Histogram::new(4).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! # optrr-stats
+//!
+//! Statistics substrate for the OptRR reproduction (Huang & Du, ICDE 2008).
+//!
+//! The paper's workloads are single-attribute categorical data sets whose
+//! category probabilities follow normal, gamma, or uniform distributions
+//! (Section VI.C), and both its privacy and utility metrics are estimation
+//! quantities built from categorical distributions and multinomial counts.
+//! This crate provides those building blocks, implemented from scratch on
+//! top of `rand`'s uniform source:
+//!
+//! * [`Categorical`] — finite discrete distributions with sampling,
+//!   entropy, Bayes pointwise products, and mode/argmax helpers.
+//! * [`continuous`] — analytic normal / gamma / exponential / uniform
+//!   distributions (pdf, cdf, moments) with an `erf` and incomplete-gamma
+//!   implementation.
+//! * [`sampler`] — Box–Muller, Marsaglia–Tsang, inversion, and Zipf
+//!   samplers.
+//! * [`discretize`] — equal-width binning of continuous distributions and
+//!   samples into `n` categories (the workload construction of §VI).
+//! * [`Histogram`] — category counts and empirical distributions (the MLE
+//!   `N_i / N` of Theorem 1).
+//! * [`multinomial`] — `Var(N_i/N)` and `Cov(N_i/N, N_j/N)` (Theorem 6).
+//! * [`divergence`] — MSE, total variation, KL, chi-square, Hellinger.
+//! * [`summary`] — descriptive statistics for experiment reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categorical;
+pub mod continuous;
+pub mod discretize;
+pub mod divergence;
+pub mod error;
+pub mod histogram;
+pub mod multinomial;
+pub mod sampler;
+pub mod summary;
+
+pub use categorical::{Categorical, PROBABILITY_TOLERANCE};
+pub use continuous::{ContinuousDistribution, Exponential, Gamma, Normal, Uniform};
+pub use discretize::{
+    assign_bins, discretize_distribution, discretize_distribution_over, discretize_samples,
+    EqualWidthBins,
+};
+pub use error::{Result, StatsError};
+pub use histogram::Histogram;
+pub use sampler::{Sampler, Zipf};
+pub use summary::{correlation, median, quantile, Summary};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probability_vec() -> impl Strategy<Value = Vec<f64>> {
+        (2usize..=12).prop_flat_map(|n| {
+            proptest::collection::vec(0.01f64..1.0, n).prop_map(|raw| {
+                let s: f64 = raw.iter().sum();
+                raw.into_iter().map(|x| x / s).collect()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn categorical_round_trip(probs in probability_vec()) {
+            let d = Categorical::new(probs.clone()).unwrap();
+            prop_assert_eq!(d.num_categories(), probs.len());
+            let total: f64 = d.probs().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(d.max_prob() <= 1.0 + 1e-12);
+            prop_assert!(d.entropy() >= -1e-12);
+            prop_assert!(d.entropy() <= (probs.len() as f64).ln() + 1e-9);
+        }
+
+        #[test]
+        fn empirical_distribution_converges(probs in probability_vec(), seed in 0u64..100) {
+            let d = Categorical::new(probs).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = d.sample_many(&mut rng, 20_000);
+            let h = Histogram::from_observations(d.num_categories(), &samples).unwrap();
+            let emp = h.empirical_distribution().unwrap();
+            // Convergence within a loose tolerance per category.
+            for i in 0..d.num_categories() {
+                prop_assert!((emp.prob(i) - d.prob(i)).abs() < 0.03);
+            }
+        }
+
+        #[test]
+        fn divergences_are_nonnegative(p in probability_vec(), q in probability_vec()) {
+            let n = p.len().min(q.len());
+            let renorm = |v: &[f64]| {
+                let s: f64 = v[..n].iter().sum();
+                Categorical::new(v[..n].iter().map(|x| x / s).collect()).unwrap()
+            };
+            let (p, q) = (renorm(&p), renorm(&q));
+            prop_assert!(divergence::mean_squared_error(&p, &q).unwrap() >= 0.0);
+            prop_assert!(divergence::total_variation(&p, &q).unwrap() >= 0.0);
+            prop_assert!(divergence::kl_divergence(&p, &q).unwrap() >= -1e-12);
+            prop_assert!(divergence::chi_square(&p, &q).unwrap() >= 0.0);
+            prop_assert!(divergence::hellinger(&p, &q).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn pinsker_inequality_holds(p in probability_vec(), q in probability_vec()) {
+            // TV(p, q)^2 <= KL(p || q) / 2 — a sanity relation tying the
+            // divergence implementations together.
+            let n = p.len().min(q.len());
+            let renorm = |v: &[f64]| {
+                let s: f64 = v[..n].iter().sum();
+                Categorical::new(v[..n].iter().map(|x| x / s).collect()).unwrap()
+            };
+            let (p, q) = (renorm(&p), renorm(&q));
+            let tv = divergence::total_variation(&p, &q).unwrap();
+            let kl = divergence::kl_divergence(&p, &q).unwrap();
+            prop_assert!(tv * tv <= kl / 2.0 + 1e-9);
+        }
+
+        #[test]
+        fn discretized_distribution_is_valid(n in 2usize..=20, mu in -5.0f64..5.0, sigma in 0.1f64..3.0) {
+            let d = discretize_distribution(&Normal::new(mu, sigma).unwrap(), n).unwrap();
+            prop_assert_eq!(d.num_categories(), n);
+            let total: f64 = d.probs().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn quantiles_are_monotone(mut xs in proptest::collection::vec(-100.0f64..100.0, 3..50)) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q25 = quantile(&xs, 0.25).unwrap();
+            let q50 = quantile(&xs, 0.50).unwrap();
+            let q75 = quantile(&xs, 0.75).unwrap();
+            prop_assert!(q25 <= q50 + 1e-12);
+            prop_assert!(q50 <= q75 + 1e-12);
+            prop_assert!(*xs.first().unwrap() <= q25 + 1e-12);
+            prop_assert!(q75 <= *xs.last().unwrap() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Multinomial count statistics.
+//!
+//! Theorem 6 of the paper expresses the closed-form utility (MSE of the
+//! reconstructed distribution) in terms of the variance and covariance of
+//! the per-category relative frequencies `N_i / N` of the disguised data,
+//! which follow a multinomial law:
+//!
+//! * `Var(N_i / N)   =  P(Y=c_i)(1 - P(Y=c_i)) / N`
+//! * `Cov(N_i/N, N_j/N) = - P(Y=c_i) P(Y=c_j) / N`  for `i ≠ j`
+//!
+//! This module provides those quantities plus the full covariance matrix of
+//! the frequency vector and a multinomial sampler used in simulation-based
+//! cross-checks of the closed form.
+
+use crate::categorical::Categorical;
+use crate::error::{Result, StatsError};
+use rand::Rng;
+
+/// Variance of the relative frequency `N_i / N` of category `i` when `N`
+/// records are drawn i.i.d. from `dist`.
+pub fn frequency_variance(dist: &Categorical, i: usize, n_records: u64) -> Result<f64> {
+    if n_records == 0 {
+        return Err(StatsError::EmptyData);
+    }
+    let p = dist.prob(i);
+    Ok(p * (1.0 - p) / n_records as f64)
+}
+
+/// Covariance of the relative frequencies of two *distinct* categories.
+/// For `i == j` this returns the variance instead.
+pub fn frequency_covariance(dist: &Categorical, i: usize, j: usize, n_records: u64) -> Result<f64> {
+    if n_records == 0 {
+        return Err(StatsError::EmptyData);
+    }
+    if i == j {
+        return frequency_variance(dist, i, n_records);
+    }
+    Ok(-dist.prob(i) * dist.prob(j) / n_records as f64)
+}
+
+/// Full covariance matrix (row-major, `n x n`) of the frequency vector.
+pub fn frequency_covariance_matrix(dist: &Categorical, n_records: u64) -> Result<Vec<Vec<f64>>> {
+    if n_records == 0 {
+        return Err(StatsError::EmptyData);
+    }
+    let n = dist.num_categories();
+    let mut cov = vec![vec![0.0; n]; n];
+    for (i, row) in cov.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = frequency_covariance(dist, i, j, n_records)?;
+        }
+    }
+    Ok(cov)
+}
+
+/// Draws one multinomial count vector: `n_records` records distributed over
+/// the categories of `dist`.
+pub fn sample_counts<R: Rng + ?Sized>(
+    dist: &Categorical,
+    n_records: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; dist.num_categories()];
+    for _ in 0..n_records {
+        counts[dist.sample(rng)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> Categorical {
+        Categorical::new(vec![0.2, 0.3, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn variance_formula() {
+        let d = dist();
+        let v = frequency_variance(&d, 0, 1000).unwrap();
+        assert!((v - 0.2 * 0.8 / 1000.0).abs() < 1e-15);
+        assert!(frequency_variance(&d, 0, 0).is_err());
+        // Out-of-range category has probability 0 hence variance 0.
+        assert_eq!(frequency_variance(&d, 9, 1000).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn covariance_formula() {
+        let d = dist();
+        let c = frequency_covariance(&d, 0, 2, 1000).unwrap();
+        assert!((c + 0.2 * 0.5 / 1000.0).abs() < 1e-15);
+        // Diagonal falls back to variance.
+        assert_eq!(
+            frequency_covariance(&d, 1, 1, 1000).unwrap(),
+            frequency_variance(&d, 1, 1000).unwrap()
+        );
+        assert!(frequency_covariance(&d, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn covariance_matrix_rows_sum_to_zero() {
+        // Because the frequencies sum to exactly one, each row of the
+        // covariance matrix sums to zero.
+        let d = dist();
+        let cov = frequency_covariance_matrix(&d, 500).unwrap();
+        for row in &cov {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-15, "row sum {s}");
+        }
+        assert!(frequency_covariance_matrix(&d, 0).is_err());
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric_with_negative_off_diagonals() {
+        let d = dist();
+        let cov = frequency_covariance_matrix(&d, 100).unwrap();
+        for i in 0..3 {
+            assert!(cov[i][i] > 0.0);
+            for j in 0..3 {
+                assert!((cov[i][j] - cov[j][i]).abs() < 1e-18);
+                if i != j {
+                    assert!(cov[i][j] < 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        let d = dist();
+        let n_records = 2_000u64;
+        let trials = 3_000usize;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut freqs0 = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let counts = sample_counts(&d, n_records, &mut rng);
+            freqs0.push(counts[0] as f64 / n_records as f64);
+        }
+        let mean: f64 = freqs0.iter().sum::<f64>() / trials as f64;
+        let var: f64 =
+            freqs0.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        let expected = frequency_variance(&d, 0, n_records).unwrap();
+        assert!(
+            (var - expected).abs() < expected * 0.15,
+            "empirical {var} vs formula {expected}"
+        );
+    }
+
+    #[test]
+    fn sample_counts_total_is_preserved() {
+        let d = dist();
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = sample_counts(&d, 1234, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 1234);
+        assert_eq!(counts.len(), 3);
+    }
+}

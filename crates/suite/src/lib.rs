@@ -1,0 +1,47 @@
+//! # optrr-suite
+//!
+//! Host crate for the repository-level runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`) of the OptRR reproduction. It
+//! re-exports the workspace crates so examples and tests can reach every
+//! public API through a single dependency, and provides a few tiny helpers
+//! shared by the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use datagen;
+pub use emoo;
+pub use linalg;
+pub use mining;
+pub use optrr;
+pub use rr;
+pub use stats;
+
+/// A reduced-budget optimizer configuration for integration tests: large
+/// enough that OptRR reliably matches-or-beats the Warner baseline on the
+/// paper's 10-category workloads, small enough to keep the test suite
+/// quick.
+pub fn integration_config(delta: f64, seed: u64) -> optrr::OptrrConfig {
+    optrr::OptrrConfig {
+        engine: emoo::Spea2Config {
+            population_size: 40,
+            archive_size: 20,
+            generations: 120,
+            mutation_rate: 0.5,
+            density_k: 1,
+        },
+        omega_slots: 600,
+        ..optrr::OptrrConfig::fast(delta, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integration_config_is_valid() {
+        assert!(integration_config(0.75, 1).validate().is_ok());
+        assert!(integration_config(0.6, 2).validate().is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: disguise a data set with a classical scheme, reconstruct its
+//! distribution, measure privacy and utility, then let OptRR find better
+//! matrices and pick one for a target privacy level.
+//!
+//! Run with: `cargo run -p optrr-suite --release --example quickstart`
+
+use datagen::{synthetic, SourceDistribution, SyntheticConfig};
+use optrr::{Optimizer, OptrrConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rr::disguise::disguise_dataset;
+use rr::estimate::inversion::estimate_distribution;
+use rr::metrics::{privacy, utility};
+use rr::schemes::warner;
+use stats::divergence::total_variation;
+
+fn main() {
+    // 1. A synthetic single-attribute data set: 10 categories whose
+    //    probabilities follow a discretized normal distribution, 10,000
+    //    records — the paper's standard workload.
+    let workload = synthetic::generate(&SyntheticConfig::paper_default(
+        SourceDistribution::standard_normal(),
+        42,
+    ))
+    .expect("valid workload configuration");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty data set");
+    println!("original distribution : {:?}", rounded(prior.probs()));
+
+    // 2. Disguise the data with the classical Warner scheme (p = 0.7) and
+    //    reconstruct the distribution from the disguised records alone.
+    let m = warner(10, 0.7).expect("valid Warner parameter");
+    let mut rng = StdRng::seed_from_u64(7);
+    let outcome = disguise_dataset(&m, &workload.dataset, &mut rng).expect("matching domain");
+    println!(
+        "disguised {} records; {:.1}% kept their original value",
+        outcome.disguised.len(),
+        outcome.retention_rate() * 100.0
+    );
+    let estimate = estimate_distribution(&m, &outcome.disguised).expect("invertible matrix");
+    let err = total_variation(&estimate.distribution, &prior).expect("same support");
+    println!("reconstruction error   : total variation {err:.4}");
+
+    // 3. Score that matrix with the paper's two metrics.
+    let p = privacy::privacy(&m, &prior).expect("matching domain");
+    let u = utility::utility(&m, &prior, workload.dataset.len() as u64).expect("invertible matrix");
+    println!("Warner(p=0.7)          : privacy {p:.4}, utility (MSE) {u:.3e}");
+
+    // 4. Run OptRR (small budget for the example) and ask the optimal set
+    //    for a matrix with at least that much privacy but better utility.
+    let config = OptrrConfig {
+        num_records: workload.dataset.len() as u64,
+        ..OptrrConfig::fast(0.8, 42)
+    };
+    let result = Optimizer::new(config)
+        .expect("valid configuration")
+        .optimize_dataset(&workload.dataset)
+        .expect("optimization succeeds");
+    println!(
+        "OptRR found {} Pareto-optimal matrices covering privacy {:?}",
+        result.front.len(),
+        result.front.privacy_range()
+    );
+    if let Some(entry) = result.omega.best_for_privacy_at_least(p) {
+        println!(
+            "best OptRR matrix with privacy >= {p:.3}: privacy {:.4}, utility {:.3e}",
+            entry.evaluation.privacy, entry.evaluation.mse
+        );
+        println!(
+            "utility improvement over Warner at equal-or-better privacy: {:.1}%",
+            (1.0 - entry.evaluation.mse / u) * 100.0
+        );
+    }
+}
+
+fn rounded(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+}

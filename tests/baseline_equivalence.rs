@@ -1,0 +1,98 @@
+//! Integration tests of the baseline machinery: the Warner / UP / FRAPP
+//! sweeps produce coinciding fronts (the empirical side of Theorem 2), the
+//! sweeps honor the δ bound, and the degenerate matrices of Section III.C
+//! sit at the extreme ends of the trade-off.
+
+use suite::{datagen, integration_config, optrr, rr, stats};
+
+use datagen::{synthetic, SourceDistribution, SyntheticConfig};
+use optrr::{baseline_sweep, OptrrProblem, SchemeKind};
+use rr::metrics::{privacy, utility};
+use rr::RrMatrix;
+use stats::Categorical;
+
+fn prior_and_problem(delta: f64, seed: u64) -> (Categorical, OptrrProblem) {
+    let workload = synthetic::generate(&SyntheticConfig::paper_default(
+        SourceDistribution::standard_normal(),
+        seed,
+    ))
+    .unwrap();
+    let prior = workload.dataset.empirical_distribution().unwrap();
+    let mut config = integration_config(delta, seed);
+    config.num_records = workload.dataset.len() as u64;
+    let problem = OptrrProblem::new(prior.clone(), &config).unwrap();
+    (prior, problem)
+}
+
+#[test]
+fn warner_up_frapp_sweeps_produce_coinciding_fronts() {
+    let (_, problem) = prior_and_problem(0.75, 111);
+    let steps = 601;
+    let warner = baseline_sweep(&problem, SchemeKind::Warner, steps).front;
+    let up = baseline_sweep(&problem, SchemeKind::UniformPerturbation, steps).front;
+    let frapp = baseline_sweep(&problem, SchemeKind::Frapp, steps).front;
+
+    let (w_lo, w_hi) = warner.privacy_range().unwrap();
+    for front in [&up, &frapp] {
+        let (lo, hi) = front.privacy_range().unwrap();
+        assert!((lo - w_lo).abs() < 0.03, "low end {lo} vs {w_lo}");
+        assert!((hi - w_hi).abs() < 0.03, "high end {hi} vs {w_hi}");
+    }
+    // MSE agreement at matched privacy levels. The very top of the privacy
+    // range is excluded: there the matrices approach singularity and the MSE
+    // curve is so steep that the finite sweep resolutions of the three
+    // parameterizations sample visibly different points even though the
+    // underlying families coincide (Theorem 2).
+    for k in 1..=8 {
+        let privacy_level = w_lo + (w_hi - w_lo) * k as f64 / 10.0;
+        let w = warner.best_mse_at_privacy_at_least(privacy_level).unwrap();
+        let u = up.best_mse_at_privacy_at_least(privacy_level).unwrap();
+        let f = frapp.best_mse_at_privacy_at_least(privacy_level).unwrap();
+        assert!((w - u).abs() / w < 0.1, "privacy {privacy_level}: warner {w} vs up {u}");
+        assert!((w - f).abs() / w < 0.1, "privacy {privacy_level}: warner {w} vs frapp {f}");
+    }
+}
+
+#[test]
+fn baseline_fronts_respect_the_delta_bound() {
+    for &delta in &[0.6, 0.75, 0.9] {
+        let (prior, problem) = prior_and_problem(delta, 112);
+        let sweep = baseline_sweep(&problem, SchemeKind::Warner, 401);
+        for point in sweep.points.iter().filter(|p| p.evaluation.feasible) {
+            assert!(point.evaluation.max_posterior <= delta + 1e-6);
+        }
+        // The identity-like end (p close to 1) must be excluded whenever the
+        // prior mode is below delta < 1.
+        assert!(prior.max_prob() < delta);
+        let infeasible_count = sweep.points.iter().filter(|p| !p.evaluation.feasible).count();
+        assert!(infeasible_count > 0, "delta {delta} should exclude the near-identity matrices");
+    }
+}
+
+#[test]
+fn identity_and_uniform_matrices_sit_at_the_extremes() {
+    let (prior, _) = prior_and_problem(0.75, 113);
+    let n = prior.num_categories();
+    let n_records = 10_000u64;
+
+    // Identity: zero privacy, minimal (sampling-only) MSE.
+    let identity = RrMatrix::identity(n).unwrap();
+    let id_privacy = privacy::privacy(&identity, &prior).unwrap();
+    let id_mse = utility::utility(&identity, &prior, n_records).unwrap();
+    assert!(id_privacy.abs() < 1e-9);
+
+    // Any proper Warner disguise has strictly more privacy and strictly
+    // larger MSE than the identity.
+    for &p in &[0.85, 0.7, 0.55] {
+        let m = rr::schemes::warner(n, p).unwrap();
+        assert!(privacy::privacy(&m, &prior).unwrap() > id_privacy);
+        assert!(utility::utility(&m, &prior, n_records).unwrap() > id_mse);
+    }
+
+    // Uniform: maximal privacy (1 - prior mode), but unusable for
+    // reconstruction (singular).
+    let uniform = RrMatrix::uniform(n).unwrap();
+    let uni_privacy = privacy::privacy(&uniform, &prior).unwrap();
+    assert!((uni_privacy - (1.0 - prior.max_prob())).abs() < 1e-9);
+    assert!(utility::utility(&uniform, &prior, n_records).is_err());
+}

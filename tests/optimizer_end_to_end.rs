@@ -1,0 +1,129 @@
+//! End-to-end integration tests of the OptRR optimizer against the Warner
+//! baseline on the paper's workloads — the reduced-budget counterpart of
+//! the Figure 4 / Figure 5 experiments.
+
+use suite::{datagen, integration_config, optrr, rr, stats};
+
+use datagen::{synthetic, SourceDistribution, SyntheticConfig};
+use optrr::{baseline_sweep, FrontComparison, Optimizer, OptrrProblem, SchemeKind};
+use rr::metrics::bounds::satisfies_delta_bound;
+use stats::Categorical;
+
+fn workload_prior(source: SourceDistribution, seed: u64) -> (Categorical, u64) {
+    let workload =
+        synthetic::generate(&SyntheticConfig::paper_default(source, seed)).unwrap();
+    let prior = workload.dataset.empirical_distribution().unwrap();
+    (prior, workload.dataset.len() as u64)
+}
+
+fn run_comparison(source: SourceDistribution, delta: f64, seed: u64) -> FrontComparison {
+    let (prior, num_records) = workload_prior(source, seed);
+    let mut config = integration_config(delta, seed);
+    config.num_records = num_records;
+
+    let problem = OptrrProblem::new(prior.clone(), &config).unwrap();
+    let warner = baseline_sweep(&problem, SchemeKind::Warner, 501);
+    let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+
+    // Every matrix in the optimal set respects the delta bound.
+    for entry in outcome.omega.entries() {
+        assert!(entry.evaluation.feasible);
+        assert!(
+            satisfies_delta_bound(&entry.matrix, &prior, delta, 1e-6).unwrap(),
+            "omega entry violates the delta bound"
+        );
+    }
+    assert!(!outcome.front.is_empty());
+    FrontComparison::compare(&outcome.front, &warner.front, 60)
+}
+
+#[test]
+fn optrr_matches_or_beats_warner_on_the_normal_workload() {
+    let cmp = run_comparison(SourceDistribution::standard_normal(), 0.8, 71);
+    assert!(
+        cmp.challenger_hypervolume >= cmp.baseline_hypervolume * 0.98,
+        "hypervolume {} vs {}",
+        cmp.challenger_hypervolume,
+        cmp.baseline_hypervolume
+    );
+    assert!(
+        cmp.fraction_better_at_matched_privacy >= 0.3,
+        "better at only {:.0}% of matched privacy levels",
+        cmp.fraction_better_at_matched_privacy * 100.0
+    );
+    // OptRR covers at least Warner's privacy range on its low end.
+    let (c_lo, _) = cmp.challenger_privacy_range.unwrap();
+    let (b_lo, _) = cmp.baseline_privacy_range.unwrap();
+    assert!(c_lo <= b_lo + 0.03, "OptRR min privacy {c_lo} vs Warner {b_lo}");
+}
+
+#[test]
+fn optrr_matches_or_beats_warner_on_the_gamma_workload() {
+    let cmp = run_comparison(SourceDistribution::paper_gamma(), 0.75, 72);
+    assert!(cmp.challenger_hypervolume >= cmp.baseline_hypervolume * 0.98);
+    assert!(cmp.fraction_better_at_matched_privacy >= 0.3);
+}
+
+#[test]
+fn optrr_matches_warner_privacy_range_on_the_uniform_workload() {
+    // The paper's Figure 5(b) observation: on the uniform distribution the
+    // privacy ranges coincide (OptRR cannot extend below Warner's minimum),
+    // while utility is no worse.
+    let cmp = run_comparison(SourceDistribution::DiscreteUniform, 0.75, 73);
+    let (c_lo, c_hi) = cmp.challenger_privacy_range.unwrap();
+    let (b_lo, b_hi) = cmp.baseline_privacy_range.unwrap();
+    assert!((c_lo - b_lo).abs() < 0.1, "low ends {c_lo} vs {b_lo}");
+    assert!((c_hi - b_hi).abs() < 0.1, "high ends {c_hi} vs {b_hi}");
+    assert!(cmp.challenger_hypervolume >= cmp.baseline_hypervolume * 0.95);
+}
+
+#[test]
+fn stricter_delta_narrows_warner_but_optrr_still_covers_it() {
+    // Figure 4 trend: as delta tightens, the Warner scheme loses its
+    // low-privacy end; OptRR keeps covering at least what Warner covers.
+    let (prior, num_records) = workload_prior(SourceDistribution::standard_normal(), 74);
+
+    let mut warner_min_privacy = Vec::new();
+    for &delta in &[0.9, 0.7] {
+        let mut config = integration_config(delta, 74);
+        config.num_records = num_records;
+        let problem = OptrrProblem::new(prior.clone(), &config).unwrap();
+        let warner = baseline_sweep(&problem, SchemeKind::Warner, 501);
+        let (w_lo, _) = warner.front.privacy_range().unwrap();
+        warner_min_privacy.push(w_lo);
+
+        let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+        let (o_lo, _) = outcome.front.privacy_range().unwrap();
+        assert!(
+            o_lo <= w_lo + 0.03,
+            "delta {delta}: OptRR min privacy {o_lo} vs Warner {w_lo}"
+        );
+    }
+    assert!(
+        warner_min_privacy[1] > warner_min_privacy[0],
+        "tighter delta must raise Warner's minimum privacy: {warner_min_privacy:?}"
+    );
+}
+
+#[test]
+fn recommended_matrices_satisfy_the_requested_privacy() {
+    let (prior, num_records) = workload_prior(SourceDistribution::paper_gamma(), 75);
+    let mut config = integration_config(0.8, 75);
+    config.num_records = num_records;
+    let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+
+    let (lo, hi) = outcome.front.privacy_range().unwrap();
+    let target = (lo + hi) / 2.0;
+    let entry = outcome
+        .omega
+        .best_for_privacy_at_least(target)
+        .expect("a matrix exists in the covered range");
+    assert!(entry.evaluation.privacy >= target);
+    // And it is the best such matrix: no other omega entry with >= target
+    // privacy has a strictly lower MSE.
+    for other in outcome.omega.entries() {
+        if other.evaluation.privacy >= target {
+            assert!(other.evaluation.mse >= entry.evaluation.mse - 1e-15);
+        }
+    }
+}

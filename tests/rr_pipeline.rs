@@ -1,0 +1,107 @@
+//! Integration test of the full randomized-response pipeline across
+//! crates: workload generation (datagen) → disguise (rr) → distribution
+//! reconstruction (rr::estimate) → metric agreement (rr::metrics), on the
+//! paper's standard workload shapes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use suite::{datagen, rr, stats};
+
+use datagen::{synthetic, SourceDistribution, SyntheticConfig};
+use rr::disguise::{disguise_dataset, disguise_paired};
+use rr::estimate::inversion::estimate_distribution;
+use rr::estimate::iterative::{iterative_estimate, IterativeConfig};
+use rr::metrics::privacy;
+use rr::metrics::utility::{empirical_mse, utility};
+use rr::schemes::{uniform_perturbation, warner};
+use stats::divergence::total_variation;
+
+fn paper_workload(source: SourceDistribution, seed: u64) -> synthetic::SyntheticWorkload {
+    synthetic::generate(&SyntheticConfig::paper_default(source, seed)).unwrap()
+}
+
+#[test]
+fn disguise_then_reconstruct_recovers_every_paper_workload() {
+    for (source, label) in [
+        (SourceDistribution::standard_normal(), "normal"),
+        (SourceDistribution::paper_gamma(), "gamma"),
+        (SourceDistribution::DiscreteUniform, "uniform"),
+    ] {
+        let workload = paper_workload(source, 31);
+        let prior = workload.dataset.empirical_distribution().unwrap();
+        let m = warner(10, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let disguised = disguise_dataset(&m, &workload.dataset, &mut rng).unwrap().disguised;
+
+        let inversion = estimate_distribution(&m, &disguised).unwrap().distribution;
+        let iterative = iterative_estimate(&m, &disguised, &IterativeConfig::default())
+            .unwrap()
+            .distribution;
+
+        let inv_err = total_variation(&inversion, &prior).unwrap();
+        let itr_err = total_variation(&iterative, &prior).unwrap();
+        assert!(inv_err < 0.05, "{label}: inversion error {inv_err}");
+        assert!(itr_err < 0.05, "{label}: iterative error {itr_err}");
+        // The two estimators agree with each other.
+        assert!(total_variation(&inversion, &iterative).unwrap() < 0.03, "{label}");
+    }
+}
+
+#[test]
+fn closed_form_privacy_matches_simulated_map_adversary() {
+    let workload = paper_workload(SourceDistribution::standard_normal(), 41);
+    let prior = workload.dataset.empirical_distribution().unwrap();
+    let m = uniform_perturbation(10, 0.55).unwrap();
+    let analysis = privacy::analyze(&m, &prior).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let pairs = disguise_paired(&m, &workload.dataset, &mut rng).unwrap();
+    let empirical = privacy::empirical_adversary_accuracy(&m, &prior, &pairs).unwrap();
+
+    assert!(
+        (empirical - analysis.adversary_accuracy).abs() < 0.01,
+        "closed-form accuracy {} vs simulated {}",
+        analysis.adversary_accuracy,
+        empirical
+    );
+    assert!(analysis.privacy > 0.0 && analysis.privacy < 1.0);
+}
+
+#[test]
+fn closed_form_utility_matches_monte_carlo_on_paper_workload() {
+    let workload = paper_workload(SourceDistribution::paper_gamma(), 51);
+    let prior = workload.dataset.empirical_distribution().unwrap();
+    let m = warner(10, 0.65).unwrap();
+    let n_records = 2_000u64;
+
+    let closed = utility(&m, &prior, n_records).unwrap();
+    let mut rng = StdRng::seed_from_u64(52);
+    let simulated = empirical_mse(&m, &prior, n_records, 400, &mut rng, |matrix, counts| {
+        Ok(rr::estimate::inversion::estimate_from_counts(matrix, counts)?.raw)
+    })
+    .unwrap();
+
+    let rel = (simulated - closed).abs() / closed;
+    assert!(rel < 0.2, "closed {closed} vs simulated {simulated} (rel {rel})");
+}
+
+#[test]
+fn stronger_disguise_trades_utility_for_privacy() {
+    // The qualitative trade-off the whole paper is about: as the Warner
+    // retention probability drops, privacy rises and utility (MSE) worsens.
+    let workload = paper_workload(SourceDistribution::standard_normal(), 61);
+    let prior = workload.dataset.empirical_distribution().unwrap();
+    let n_records = workload.dataset.len() as u64;
+
+    let mut last_privacy = -1.0;
+    let mut last_mse = -1.0;
+    for &p in &[0.95, 0.8, 0.65, 0.5, 0.35] {
+        let m = warner(10, p).unwrap();
+        let priv_val = privacy::privacy(&m, &prior).unwrap();
+        let mse = utility(&m, &prior, n_records).unwrap();
+        assert!(priv_val >= last_privacy - 1e-9, "privacy must not decrease as p drops");
+        assert!(mse >= last_mse - 1e-12, "MSE must not decrease as p drops");
+        last_privacy = priv_val;
+        last_mse = mse;
+    }
+}

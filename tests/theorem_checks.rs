@@ -1,0 +1,176 @@
+//! Integration tests for the paper's named theorems and facts, checked
+//! across crates on realistic workloads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use suite::{datagen, optrr, rr, stats};
+
+use datagen::{synthetic, SourceDistribution, SyntheticConfig};
+use optrr::search_space::{exact_search_space_size, search_space_size};
+use rr::metrics::bounds::max_posterior;
+use rr::metrics::{privacy, utility};
+use rr::schemes::{frapp, theorem2, uniform_perturbation, warner};
+use rr::RrMatrix;
+use stats::Categorical;
+
+fn paper_prior() -> Categorical {
+    let workload = synthetic::generate(&SyntheticConfig::paper_default(
+        SourceDistribution::standard_normal(),
+        81,
+    ))
+    .unwrap();
+    workload.dataset.empirical_distribution().unwrap()
+}
+
+#[test]
+fn theorem1_inversion_estimate_is_unbiased() {
+    // Average the inversion estimate over many disguised samples of the
+    // same original data: the mean converges to the true distribution.
+    let prior = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+    let m = warner(4, 0.6).unwrap();
+    let n_records = 2_000u64;
+    let trials = 600;
+    let mut rng = StdRng::seed_from_u64(82);
+    let mut mean_estimate = vec![0.0; 4];
+    for _ in 0..trials {
+        let counts = stats::multinomial::sample_counts(
+            &m.disguised_distribution(&prior).unwrap(),
+            n_records,
+            &mut rng,
+        );
+        let est = rr::estimate::inversion::estimate_from_counts(&m, &counts).unwrap();
+        for (acc, value) in mean_estimate.iter_mut().zip(est.raw.iter()) {
+            *acc += value / trials as f64;
+        }
+    }
+    for (k, &mean) in mean_estimate.iter().enumerate() {
+        assert!(
+            (mean - prior.prob(k)).abs() < 0.01,
+            "category {k}: mean estimate {mean} vs true {}",
+            prior.prob(k)
+        );
+    }
+}
+
+#[test]
+fn theorem2_warner_up_frapp_have_identical_metric_pairs() {
+    let prior = paper_prior();
+    let n = prior.num_categories();
+    for k in 1..=8 {
+        let p = 1.0 / n as f64 + 0.1 * k as f64 * (1.0 - 1.0 / n as f64) / 1.0_f64.max(0.8 * 1.0);
+        let p = p.min(0.97);
+        let w = warner(n, p).unwrap();
+        let q = theorem2::warner_to_up(n, p);
+        let u = uniform_perturbation(n, q).unwrap();
+        let lambda = theorem2::warner_to_frapp(n, p);
+        let f = frapp(n, lambda).unwrap();
+
+        assert!(w.approx_eq(&u, 1e-12));
+        assert!(w.approx_eq(&f, 1e-12));
+
+        let pw = privacy::privacy(&w, &prior).unwrap();
+        let pu = privacy::privacy(&u, &prior).unwrap();
+        let pf = privacy::privacy(&f, &prior).unwrap();
+        assert!((pw - pu).abs() < 1e-12);
+        assert!((pw - pf).abs() < 1e-12);
+
+        let uw = utility::utility(&w, &prior, 10_000).unwrap();
+        let uu = utility::utility(&u, &prior, 10_000).unwrap();
+        let uf = utility::utility(&f, &prior, 10_000).unwrap();
+        assert!((uw - uu).abs() <= 1e-12 * uw.max(1e-12));
+        assert!((uw - uf).abs() <= 1e-12 * uw.max(1e-12));
+    }
+}
+
+#[test]
+fn theorems_3_and_4_map_estimate_is_the_best_attack() {
+    // Simulate several alternative attack strategies on disguised records
+    // and verify none beats the MAP adversary's expected accuracy.
+    let prior = Categorical::new(vec![0.45, 0.25, 0.2, 0.1]).unwrap();
+    let m = warner(4, 0.55).unwrap();
+    let analysis = privacy::analyze(&m, &prior).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(84);
+    let original = datagen::CategoricalDataset::new(4, prior.sample_many(&mut rng, 60_000)).unwrap();
+    let pairs = rr::disguise::disguise_paired(&m, &original, &mut rng).unwrap();
+
+    // Attack 1: answer the observed value itself.
+    let echo_accuracy = pairs.iter().filter(|(x, y)| x == y).count() as f64 / pairs.len() as f64;
+    // Attack 2: always answer the prior mode.
+    let mode = prior.mode();
+    let mode_accuracy = pairs.iter().filter(|(x, _)| *x == mode).count() as f64 / pairs.len() as f64;
+    // Attack 3: answer a uniformly random category.
+    let mut rng2 = StdRng::seed_from_u64(85);
+    let uniform_accuracy = pairs
+        .iter()
+        .filter(|(x, _)| *x == (stats::Categorical::uniform(4).unwrap().sample(&mut rng2)))
+        .count() as f64
+        / pairs.len() as f64;
+
+    let map_accuracy = analysis.adversary_accuracy;
+    for (name, acc) in [
+        ("echo", echo_accuracy),
+        ("mode", mode_accuracy),
+        ("uniform", uniform_accuracy),
+    ] {
+        assert!(
+            acc <= map_accuracy + 0.01,
+            "{name} attack accuracy {acc} exceeds the MAP bound {map_accuracy}"
+        );
+    }
+}
+
+#[test]
+fn theorem5_max_posterior_never_drops_below_the_prior_mode() {
+    let prior = paper_prior();
+    let mut rng = StdRng::seed_from_u64(86);
+    for _ in 0..50 {
+        let m = RrMatrix::random(prior.num_categories(), &mut rng).unwrap();
+        let mp = max_posterior(&m, &prior).unwrap();
+        assert!(mp >= prior.max_prob() - 1e-9, "max posterior {mp} below prior mode");
+    }
+    // And for the uniform matrix it equals the prior mode exactly.
+    let uniform = RrMatrix::uniform(prior.num_categories()).unwrap();
+    let mp = max_posterior(&uniform, &prior).unwrap();
+    assert!((mp - prior.max_prob()).abs() < 1e-9);
+}
+
+#[test]
+fn theorem6_closed_form_matches_simulation_for_asymmetric_matrices() {
+    // Theorem 6 must hold for arbitrary invertible RR matrices, not just
+    // the symmetric classical ones.
+    let prior = Categorical::new(vec![0.35, 0.3, 0.2, 0.15]).unwrap();
+    let mut rng = StdRng::seed_from_u64(87);
+    // A diagonally-biased random (asymmetric) matrix.
+    let random = RrMatrix::random(4, &mut rng).unwrap();
+    let mut blended = linalg::Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            let id = if i == j { 1.0 } else { 0.0 };
+            blended[(i, j)] = 0.55 * id + 0.45 * random.theta(i, j);
+        }
+    }
+    let m = RrMatrix::new(blended).unwrap();
+    assert!(!m.is_symmetric());
+
+    let n_records = 3_000u64;
+    let closed = utility::utility(&m, &prior, n_records).unwrap();
+    let simulated = utility::empirical_mse(&m, &prior, n_records, 600, &mut rng, |matrix, counts| {
+        Ok(rr::estimate::inversion::estimate_from_counts(matrix, counts)?.raw)
+    })
+    .unwrap();
+    let rel = (simulated - closed).abs() / closed;
+    assert!(rel < 0.2, "closed {closed} vs simulated {simulated}");
+}
+
+#[test]
+fn fact1_search_space_counts() {
+    // Small cases are verified exactly; the paper's example magnitude is
+    // reproduced in log space.
+    assert_eq!(exact_search_space_size(2, 2), Some(9));
+    assert_eq!(exact_search_space_size(3, 2), Some(216));
+    let paper = search_space_size(10, 100);
+    assert!((paper.log10_count - 126.3).abs() < 0.5);
+}
+
+use suite::linalg;
