@@ -38,7 +38,10 @@ fn bench_iterative(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[5usize, 10, 20] {
         let (m, disguised) = disguised_workload(n, 10_000);
-        let cfg = IterativeConfig { max_iterations: 10_000, tolerance: 1e-9 };
+        let cfg = IterativeConfig {
+            max_iterations: 10_000,
+            tolerance: 1e-9,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| iterative_estimate(black_box(&m), black_box(&disguised), &cfg).unwrap())
         });

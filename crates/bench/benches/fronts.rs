@@ -46,7 +46,10 @@ fn bench_indicators(c: &mut Criterion) {
     let points: Vec<FrontPoint> = (0..500)
         .map(|i| {
             let privacy = i as f64 / 500.0 * 0.7;
-            FrontPoint { privacy, mse: 1e-3 * (1.0 - privacy) + 1e-5 }
+            FrontPoint {
+                privacy,
+                mse: 1e-3 * (1.0 - privacy) + 1e-5,
+            }
         })
         .collect();
     let front = ParetoFront::from_points("bench", &points);
@@ -56,5 +59,10 @@ fn bench_indicators(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_baseline_sweep, bench_pareto_extraction, bench_indicators);
+criterion_group!(
+    benches,
+    bench_baseline_sweep,
+    bench_pareto_extraction,
+    bench_indicators
+);
 criterion_main!(benches);

@@ -20,8 +20,7 @@ fn bench_record_disguise(c: &mut Criterion) {
     let prior = discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), 10).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     for &records in &[10_000usize, 100_000] {
-        let data =
-            CategoricalDataset::new(10, prior.sample_many(&mut rng, records)).unwrap();
+        let data = CategoricalDataset::new(10, prior.sample_many(&mut rng, records)).unwrap();
         let m = warner(10, 0.7).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
             let mut rng = StdRng::seed_from_u64(2);
@@ -54,7 +53,11 @@ fn bench_support_estimation(c: &mut Criterion) {
 fn bench_tree_building(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision_tree_build");
     group.sample_size(10);
-    let train = generate_labeled(&LabeledConfig { num_records: 10_000, ..Default::default() }).unwrap();
+    let train = generate_labeled(&LabeledConfig {
+        num_records: 10_000,
+        ..Default::default()
+    })
+    .unwrap();
     let domain = train.attribute(0).unwrap().num_categories();
     let m = warner(domain, 0.8).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
@@ -75,5 +78,10 @@ fn bench_tree_building(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_record_disguise, bench_support_estimation, bench_tree_building);
+criterion_group!(
+    benches,
+    bench_record_disguise,
+    bench_support_estimation,
+    bench_tree_building
+);
 criterion_main!(benches);

@@ -1,28 +1,78 @@
 //! Benchmarks of the optimizer itself: the per-candidate evaluation, the
-//! genetic operators, and a short end-to-end run (the quantity behind the
+//! batched serial-vs-parallel evaluation path, the genetic operators, and
+//! short end-to-end runs of both EMOO backends (the quantity behind the
 //! paper's "about 12 minutes per experiment" observation, E-TIME).
+//!
+//! Under `cargo bench` this also emits a `BENCH_optimizer.json` baseline at
+//! the workspace root so future performance PRs have a trajectory to beat.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use optrr::operators::{column_swap_crossover, proportional_column_mutation, repair_to_delta_bound};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use emoo::EngineKind;
+use optrr::operators::{
+    column_swap_crossover, proportional_column_mutation, repair_to_delta_bound,
+};
 use optrr::{Optimizer, OptrrConfig, OptrrProblem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rr::schemes::warner;
 use rr::RrMatrix;
+use serde::Serialize;
 use stats::{discretize_distribution, Normal};
 
 fn prior(n: usize) -> stats::Categorical {
     discretize_distribution(&Normal::new(0.0, 1.0).unwrap(), n).unwrap()
 }
 
+fn problem(n: usize, parallel: bool) -> OptrrProblem {
+    let config = OptrrConfig {
+        parallel_evaluation: parallel,
+        ..OptrrConfig::fast(0.75, 1)
+    };
+    OptrrProblem::new(prior(n), &config).unwrap()
+}
+
+fn random_matrices(n: usize, count: usize, seed: u64) -> Vec<RrMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| RrMatrix::random(n, &mut rng).unwrap())
+        .collect()
+}
+
 fn bench_candidate_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("candidate_evaluation");
     for &n in &[10usize, 20] {
-        let p = prior(n);
-        let problem = OptrrProblem::new(p, &OptrrConfig::fast(0.75, 1)).unwrap();
+        let problem = problem(n, false);
         let m = warner(n, 0.65).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| problem.evaluate_matrix(black_box(&m)))
+            // Clone per sample so the evaluation cache stays cold and the
+            // bench measures the actual computation.
+            b.iter(|| problem.clone().evaluate_matrix(black_box(&m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_evaluation(c: &mut Criterion) {
+    // The engine hot path: one generation's worth of candidate matrices
+    // through the batched evaluation, serial vs parallel. Evaluation is
+    // pure, so both paths return bit-identical results; on a single-core
+    // host the parallel path falls back to the serial loop.
+    let mut group = c.benchmark_group("batch_evaluation");
+    group.sample_size(30);
+    for &n in &[10usize, 20] {
+        let matrices = random_matrices(n, 128, 7);
+        for (label, parallel) in [("serial", false), ("parallel", true)] {
+            let p = problem(n, parallel);
+            group.bench_function(format!("{label}_n{n}_x128"), |b| {
+                b.iter(|| p.clone().evaluate_matrices(black_box(&matrices)))
+            });
+        }
+        // Warm-cache lookups: what Ω offers and archive reporting cost
+        // after the engine has already evaluated the generation.
+        let warm = problem(n, false);
+        let _ = warm.evaluate_matrices(&matrices);
+        group.bench_function(format!("cached_n{n}_x128"), |b| {
+            b.iter(|| warm.evaluate_matrices(black_box(&matrices)))
         });
     }
     group.finish();
@@ -50,31 +100,90 @@ fn bench_operators(c: &mut Criterion) {
     });
 }
 
-fn bench_short_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer_short_run");
-    group.sample_size(10);
-    let p = prior(10);
-    let config = OptrrConfig {
-        engine: emoo::Spea2Config {
+fn short_run_config(kind: EngineKind, parallel: bool) -> OptrrConfig {
+    OptrrConfig {
+        engine: emoo::EngineConfig {
             population_size: 24,
             archive_size: 12,
             generations: 10,
             mutation_rate: 0.5,
             density_k: 1,
         },
+        engine_kind: kind,
+        parallel_evaluation: parallel,
         omega_slots: 200,
         ..OptrrConfig::fast(0.75, 9)
-    };
-    group.bench_function("10_generations_n10", |b| {
-        b.iter(|| {
-            Optimizer::new(config.clone())
-                .unwrap()
-                .optimize_distribution(black_box(&p))
-                .unwrap()
-        })
-    });
+    }
+}
+
+fn bench_short_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_short_run");
+    group.sample_size(10);
+    let p = prior(10);
+    for (label, kind) in [("spea2", EngineKind::Spea2), ("nsga2", EngineKind::Nsga2)] {
+        for (mode, parallel) in [("serial", false), ("parallel", true)] {
+            let config = short_run_config(kind, parallel);
+            group.bench_function(format!("10_generations_n10_{label}_{mode}"), |b| {
+                b.iter(|| {
+                    Optimizer::new(config.clone())
+                        .unwrap()
+                        .optimize_distribution(black_box(&p))
+                        .unwrap()
+                })
+            });
+        }
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_candidate_evaluation, bench_operators, bench_short_run);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_candidate_evaluation,
+    bench_batch_evaluation,
+    bench_operators,
+    bench_short_run
+);
+
+/// One row of the emitted baseline file.
+#[derive(Serialize)]
+struct BaselineEntry {
+    name: String,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    iterations: u64,
+}
+
+/// Writes `BENCH_optimizer.json` at the workspace root from the recorded
+/// measurements (relies on the vendored criterion stand-in's `results()`
+/// accessor; with the real criterion, read `target/criterion` instead).
+fn write_baseline(criterion: &Criterion) {
+    let entries: Vec<BaselineEntry> = criterion
+        .results()
+        .iter()
+        .map(|(name, m)| BaselineEntry {
+            name: name.clone(),
+            mean_ns: m.mean.as_nanos() as u64,
+            min_ns: m.min.as_nanos() as u64,
+            max_ns: m.max.as_nanos() as u64,
+            iterations: m.iterations,
+        })
+        .collect();
+    if entries.is_empty() {
+        return; // smoke-check mode (cargo test): nothing measured
+    }
+    let json = serde_json::to_string_pretty(&entries).expect("baseline serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimizer.json");
+    if let Err(error) = std::fs::write(path, json + "\n") {
+        eprintln!("warning: could not write {path}: {error}");
+    } else {
+        println!("wrote baseline {path}");
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+    write_baseline(&criterion);
+}

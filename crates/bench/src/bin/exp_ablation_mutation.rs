@@ -50,9 +50,16 @@ fn main() {
         _ => 10_000,
     };
     let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
     let n = prior.num_categories();
-    let config = OptrrConfig { num_records: workload.config.num_records as u64, ..OptrrConfig::fast(0.75, 1) };
+    let mut config = OptrrConfig {
+        num_records: workload.config.num_records as u64,
+        ..OptrrConfig::fast(0.75, 1)
+    };
+    bench_support::apply_engine_selection(&mut config);
     let problem = OptrrProblem::new(prior, &config).expect("valid problem");
 
     let start = warner(n, 0.7).expect("valid parameter");
@@ -101,7 +108,9 @@ fn main() {
     println!("avg ratio distortion, naive        : {naive_distortion:.4}");
     println!();
     println!("hill-climb final (privacy, MSE), proportional: ({prop_privacy:.4}, {prop_mse:.4e})");
-    println!("hill-climb final (privacy, MSE), naive       : ({naive_privacy:.4}, {naive_mse:.4e})");
+    println!(
+        "hill-climb final (privacy, MSE), naive       : ({naive_privacy:.4}, {naive_mse:.4e})"
+    );
     println!();
     println!(
         "note: the naive operator renormalizes the whole column, which preserves the ratios of"

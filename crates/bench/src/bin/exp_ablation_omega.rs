@@ -16,10 +16,14 @@ fn main() {
     let fidelity = Fidelity::from_env_and_args();
     let delta = 0.75;
     let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
 
     let mut config = fidelity.optimizer_config(delta, 2008);
     config.num_records = workload.config.num_records as u64;
+    bench_support::apply_engine_selection(&mut config);
     let outcome = Optimizer::new(config)
         .expect("validated configuration")
         .optimize_distribution(&prior)
@@ -53,10 +57,7 @@ fn main() {
     println!("=== ablation summary (Omega vs archive) ===");
     println!("omega front points   : {}", omega_front.len());
     println!("archive front points : {}", archive_front.len());
-    println!(
-        "omega privacy range   : {:?}",
-        omega_front.privacy_range()
-    );
+    println!("omega privacy range   : {:?}", omega_front.privacy_range());
     println!(
         "archive privacy range : {:?}",
         archive_front.privacy_range()

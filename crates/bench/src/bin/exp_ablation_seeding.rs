@@ -12,12 +12,16 @@ fn main() {
     let fidelity = Fidelity::from_env_and_args();
     let delta = 0.75;
     let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
 
     let run = |seeded: bool, label: &str| {
         let mut config = fidelity.optimizer_config(delta, 2008);
         config.num_records = workload.config.num_records as u64;
         config.seed_with_baselines = seeded;
+        bench_support::apply_engine_selection(&mut config);
         let outcome = Optimizer::new(config)
             .expect("validated configuration")
             .optimize_distribution(&prior)
@@ -44,8 +48,16 @@ fn main() {
     print_report(&report);
 
     println!("=== ablation summary (seeded vs random init) ===");
-    println!("seeded  : front {} points, privacy range {:?}, {} evaluations",
-        seeded_front.len(), seeded_front.privacy_range(), seeded_stats.evaluations);
-    println!("random  : front {} points, privacy range {:?}, {} evaluations",
-        random_front.len(), random_front.privacy_range(), random_stats.evaluations);
+    println!(
+        "seeded  : front {} points, privacy range {:?}, {} evaluations",
+        seeded_front.len(),
+        seeded_front.privacy_range(),
+        seeded_stats.evaluations
+    );
+    println!(
+        "random  : front {} points, privacy range {:?}, {} evaluations",
+        random_front.len(),
+        random_front.privacy_range(),
+        random_stats.evaluations
+    );
 }

@@ -12,12 +12,16 @@ fn main() {
     let fidelity = Fidelity::from_env_and_args();
     let delta = 0.75;
     let workload = paper_workload(SourceDistribution::paper_gamma(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
 
     let run = |symmetric_only: bool, label: &str| {
         let mut config = fidelity.optimizer_config(delta, 2008);
         config.num_records = workload.config.num_records as u64;
         config.symmetric_only = symmetric_only;
+        bench_support::apply_engine_selection(&mut config);
         let outcome = Optimizer::new(config)
             .expect("validated configuration")
             .optimize_distribution(&prior)
@@ -44,8 +48,14 @@ fn main() {
     print_report(&report);
 
     println!("=== ablation summary (full vs symmetric-only) ===");
-    println!("full search privacy range      : {:?}", full_front.privacy_range());
-    println!("symmetric-only privacy range   : {:?}", symmetric_front.privacy_range());
+    println!(
+        "full search privacy range      : {:?}",
+        full_front.privacy_range()
+    );
+    println!(
+        "symmetric-only privacy range   : {:?}",
+        symmetric_front.privacy_range()
+    );
     println!("full search front points       : {}", full_front.len());
     println!("symmetric-only front points    : {}", symmetric_front.len());
 }

@@ -4,7 +4,9 @@
 //!
 //! Usage: `cargo run -p optrr-bench --release --bin exp_fig5c [--fast|--paper]`
 
-use bench_support::{adult_first_attribute, print_report, run_figure_experiment, summary_line, Fidelity};
+use bench_support::{
+    adult_first_attribute, print_report, run_figure_experiment, summary_line, Fidelity,
+};
 
 fn main() {
     let fidelity = Fidelity::from_env_and_args();

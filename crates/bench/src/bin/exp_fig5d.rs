@@ -38,7 +38,10 @@ fn iterative_mse(
         let est = iterative_estimate_from_frequencies(
             matrix,
             &p_star,
-            &IterativeConfig { max_iterations: 50_000, tolerance: 1e-6 },
+            &IterativeConfig {
+                max_iterations: 50_000,
+                tolerance: 1e-6,
+            },
         )?;
         Ok(est.distribution.probs().to_vec())
     })
@@ -56,11 +59,15 @@ fn main() {
 
     // Same workload and optimal set as Figure 5(a).
     let workload = paper_workload(SourceDistribution::paper_gamma(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
     let num_records = workload.config.num_records as u64;
 
     let mut config = fidelity.optimizer_config(delta, 2008);
     config.num_records = num_records;
+    bench_support::apply_engine_selection(&mut config);
     let problem = OptrrProblem::new(prior.clone(), &config).expect("valid problem");
     let warner = baseline_sweep(&problem, SchemeKind::Warner, fidelity.sweep_steps());
     let outcome = Optimizer::new(config)
@@ -74,8 +81,12 @@ fn main() {
             .iter()
             .enumerate()
             .filter_map(|(i, (privacy, m))| {
-                iterative_mse(m, &prior, num_records, trials, 9000 + i as u64)
-                    .map(|mse| FrontPoint { privacy: *privacy, mse })
+                iterative_mse(m, &prior, num_records, trials, 9000 + i as u64).map(|mse| {
+                    FrontPoint {
+                        privacy: *privacy,
+                        mse,
+                    }
+                })
             })
             .collect();
         ParetoFront::from_points(label, &points)
@@ -93,8 +104,7 @@ fn main() {
         .collect();
     // Thin the Warner set so the Monte Carlo stays tractable.
     let step = (warner_matrices.len() / 40).max(1);
-    let warner_matrices: Vec<(f64, RrMatrix)> =
-        warner_matrices.into_iter().step_by(step).collect();
+    let warner_matrices: Vec<(f64, RrMatrix)> = warner_matrices.into_iter().step_by(step).collect();
 
     let optrr_matrices: Vec<(f64, RrMatrix)> = outcome
         .omega

@@ -13,7 +13,10 @@ use optrr::Optimizer;
 fn main() {
     let requested = Fidelity::from_env_and_args();
     let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
 
     println!("# E-TIME: optimizer wall-clock vs budget (normal workload, n = 10, N = 10,000)");
     println!(
@@ -27,6 +30,7 @@ fn main() {
     for fidelity in fidelities {
         let mut config = fidelity.optimizer_config(0.75, 2008);
         config.num_records = workload.config.num_records as u64;
+        bench_support::apply_engine_selection(&mut config);
         let generations = config.engine.generations;
         let outcome = Optimizer::new(config)
             .expect("validated configuration")

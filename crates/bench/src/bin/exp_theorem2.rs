@@ -18,12 +18,16 @@ fn main() {
     let fidelity = Fidelity::from_env_and_args();
     let delta = 0.75;
     let workload = paper_workload(SourceDistribution::standard_normal(), 2008);
-    let prior = workload.dataset.empirical_distribution().expect("non-empty");
+    let prior = workload
+        .dataset
+        .empirical_distribution()
+        .expect("non-empty");
     let n = prior.num_categories();
 
     let config = {
         let mut c = fidelity.optimizer_config(delta, 2008);
         c.num_records = workload.config.num_records as u64;
+        bench_support::apply_engine_selection(&mut c);
         c
     };
     let problem = OptrrProblem::new(prior.clone(), &config).expect("valid problem");

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use datagen::{synthetic, AdultConfig, SourceDistribution, SyntheticConfig};
+use emoo::EngineKind;
 use optrr::{
     baseline_sweep, ExperimentReport, FrontComparison, Optimizer, OptrrConfig, OptrrProblem,
     ParetoFront, SchemeKind,
@@ -45,7 +46,11 @@ impl Fidelity {
         if args.iter().any(|a| a == "--paper") {
             return Fidelity::Paper;
         }
-        match std::env::var("OPTRR_FIDELITY").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("OPTRR_FIDELITY")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "fast" => Fidelity::Fast,
             "paper" => Fidelity::Paper,
             _ => Fidelity::Standard,
@@ -56,7 +61,7 @@ impl Fidelity {
     pub fn optimizer_config(self, delta: f64, seed: u64) -> OptrrConfig {
         match self {
             Fidelity::Fast => OptrrConfig {
-                engine: emoo::Spea2Config {
+                engine: emoo::EngineConfig {
                     population_size: 32,
                     archive_size: 16,
                     generations: 60,
@@ -67,7 +72,7 @@ impl Fidelity {
                 ..OptrrConfig::fast(delta, seed)
             },
             Fidelity::Standard => OptrrConfig {
-                engine: emoo::Spea2Config {
+                engine: emoo::EngineConfig {
                     population_size: 60,
                     archive_size: 30,
                     generations: 400,
@@ -91,6 +96,54 @@ impl Fidelity {
             Fidelity::Paper => optrr::PAPER_SWEEP_STEPS,
         }
     }
+}
+
+/// Reads the EMOO backend selection from the command line (`--nsga2` /
+/// `--spea2`) and the `OPTRR_ENGINE` environment variable (`nsga2` /
+/// `spea2`), defaulting to the paper's SPEA2. Every experiment binary runs
+/// against either backend through this one switch.
+pub fn engine_kind_from_env_and_args() -> EngineKind {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--nsga2") {
+        return EngineKind::Nsga2;
+    }
+    if args.iter().any(|a| a == "--spea2") {
+        return EngineKind::Spea2;
+    }
+    match std::env::var("OPTRR_ENGINE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "nsga2" | "nsga-ii" => EngineKind::Nsga2,
+        _ => EngineKind::Spea2,
+    }
+}
+
+/// Reads the parallel-evaluation switch from the command line
+/// (`--parallel`) and the `OPTRR_PARALLEL` environment variable (`1` /
+/// `true`). Parallel evaluation is bit-identical to serial; it only
+/// changes wall-clock time.
+pub fn parallel_evaluation_from_env_and_args() -> bool {
+    if std::env::args().any(|a| a == "--parallel") {
+        return true;
+    }
+    matches!(
+        std::env::var("OPTRR_PARALLEL")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str(),
+        "1" | "true" | "yes"
+    )
+}
+
+/// Applies the run-wide engine selection (backend kind and parallel
+/// evaluation) to a configuration. Every experiment binary calls this so
+/// the backend is chosen purely by flags/environment, through one code
+/// path.
+pub fn apply_engine_selection(config: &mut OptrrConfig) {
+    config.engine_kind = engine_kind_from_env_and_args();
+    config.parallel_evaluation = parallel_evaluation_from_env_and_args();
 }
 
 /// The standard paper workload: 10 categories, 10,000 records.
@@ -123,6 +176,7 @@ pub fn run_figure_experiment(
 ) -> ExperimentReport {
     let mut config = fidelity.optimizer_config(delta, seed);
     config.num_records = num_records;
+    apply_engine_selection(&mut config);
 
     let problem = OptrrProblem::new(prior.clone(), &config).expect("valid problem");
     let warner = baseline_sweep(&problem, SchemeKind::Warner, fidelity.sweep_steps());
@@ -218,10 +272,16 @@ mod tests {
         }
         assert!(
             Fidelity::Fast.optimizer_config(0.8, 0).engine.generations
-                < Fidelity::Standard.optimizer_config(0.8, 0).engine.generations
+                < Fidelity::Standard
+                    .optimizer_config(0.8, 0)
+                    .engine
+                    .generations
         );
         assert!(
-            Fidelity::Standard.optimizer_config(0.8, 0).engine.generations
+            Fidelity::Standard
+                .optimizer_config(0.8, 0)
+                .engine
+                .generations
                 < Fidelity::Paper.optimizer_config(0.8, 0).engine.generations
         );
         assert!(Fidelity::Fast.sweep_steps() < Fidelity::Paper.sweep_steps());

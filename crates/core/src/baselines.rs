@@ -45,14 +45,11 @@ pub struct BaselineSweep {
 /// as infeasible and excluded from the front, mirroring the paper's
 /// methodology (the Warner scheme "cannot find an RR matrix with privacy
 /// less than ..." because those parameters violate the bound).
-pub fn sweep_scheme(
-    problem: &OptrrProblem,
-    kind: SchemeKind,
-    steps: usize,
-) -> Vec<BaselinePoint> {
+pub fn sweep_scheme(problem: &OptrrProblem, kind: SchemeKind, steps: usize) -> Vec<BaselinePoint> {
     assert!(steps >= 2, "need at least two sweep steps");
     let n = problem.num_categories();
-    let mut points = Vec::with_capacity(steps);
+    let mut parameters = Vec::with_capacity(steps);
+    let mut matrices = Vec::with_capacity(steps);
     for k in 0..steps {
         let t = k as f64 / (steps - 1) as f64;
         let built: Option<(f64, RrMatrix)> = match kind {
@@ -72,11 +69,22 @@ pub fn sweep_scheme(
             }
         };
         if let Some((parameter, matrix)) = built {
-            let evaluation = problem.evaluate_matrix(&matrix);
-            points.push(BaselinePoint { kind, parameter, evaluation });
+            parameters.push(parameter);
+            matrices.push(matrix);
         }
     }
-    points
+    // One batched evaluation over the whole sweep: the same cached (and
+    // optionally parallel) path the engines use.
+    let evaluations = problem.evaluate_matrices(&matrices);
+    parameters
+        .into_iter()
+        .zip(evaluations)
+        .map(|(parameter, evaluation)| BaselinePoint {
+            kind,
+            parameter,
+            evaluation,
+        })
+        .collect()
 }
 
 /// Runs the paper's Warner baseline: sweep, evaluate, and extract the front
@@ -93,7 +101,11 @@ pub fn baseline_sweep(problem: &OptrrProblem, kind: SchemeKind, steps: usize) ->
         SchemeKind::UniformPerturbation => "UP",
         SchemeKind::Frapp => "FRAPP",
     };
-    BaselineSweep { kind, points, front: ParetoFront::from_points(label, &feasible) }
+    BaselineSweep {
+        kind,
+        points,
+        front: ParetoFront::from_points(label, &feasible),
+    }
 }
 
 /// The paper's default Warner sweep resolution (p from 0 to 1 in steps of
@@ -144,16 +156,20 @@ mod tests {
     fn infeasible_points_are_recorded_but_not_on_the_front() {
         let p = problem(0.6);
         let sweep = baseline_sweep(&p, SchemeKind::Warner, 101);
-        let infeasible = sweep.points.iter().filter(|pt| !pt.evaluation.feasible).count();
-        assert!(infeasible > 0, "some high-p Warner matrices must violate delta = 0.6");
+        let infeasible = sweep
+            .points
+            .iter()
+            .filter(|pt| !pt.evaluation.feasible)
+            .count();
+        assert!(
+            infeasible > 0,
+            "some high-p Warner matrices must violate delta = 0.6"
+        );
         // Front points all come from feasible evaluations.
         for fp in &sweep.front.points {
-            assert!(sweep
-                .points
-                .iter()
-                .any(|bp| bp.evaluation.feasible
-                    && (bp.evaluation.privacy - fp.privacy).abs() < 1e-12
-                    && (bp.evaluation.mse - fp.mse).abs() < 1e-15));
+            assert!(sweep.points.iter().any(|bp| bp.evaluation.feasible
+                && (bp.evaluation.privacy - fp.privacy).abs() < 1e-12
+                && (bp.evaluation.mse - fp.mse).abs() < 1e-15));
         }
     }
 
@@ -178,7 +194,10 @@ mod tests {
         for &privacy in &[w_lo + 0.02, (w_lo + w_hi) / 2.0, w_hi - 0.02] {
             let wm = warner_front.best_mse_at_privacy_at_least(privacy).unwrap();
             let um = up_front.best_mse_at_privacy_at_least(privacy).unwrap();
-            assert!((wm - um).abs() / wm < 0.1, "privacy {privacy}: {wm} vs {um}");
+            assert!(
+                (wm - um).abs() / wm < 0.1,
+                "privacy {privacy}: {wm} vs {um}"
+            );
         }
     }
 

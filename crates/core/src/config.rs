@@ -1,7 +1,7 @@
 //! Configuration of the OptRR search.
 
 use crate::error::{OptrrError, Result};
-use emoo::Spea2Config;
+use emoo::{EngineConfig, EngineKind};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of an OptRR optimization run.
@@ -21,8 +21,15 @@ pub struct OptrrConfig {
     pub num_records: u64,
     /// Size of the optimal set Ω (number of privacy-indexed slots).
     pub omega_slots: usize,
-    /// Underlying SPEA2 engine parameters.
-    pub engine: Spea2Config,
+    /// Shared EMOO engine parameters (population, archive, generations…).
+    pub engine: EngineConfig,
+    /// Which EMOO backend runs the search. The paper uses SPEA2; NSGA-II is
+    /// the cross-check engine, selectable purely through configuration.
+    pub engine_kind: EngineKind,
+    /// Evaluate each generation's candidate matrices in parallel across all
+    /// cores. Evaluation is pure, so results are bit-identical to the
+    /// serial path; this only changes wall-clock time.
+    pub parallel_evaluation: bool,
     /// When `Some(g)`, stop early if Ω has not improved for `g` consecutive
     /// generations (the paper's second termination criterion, §V.I).
     pub stagnation_generations: Option<usize>,
@@ -48,13 +55,15 @@ impl Default for OptrrConfig {
             delta: 0.75,
             num_records: 10_000,
             omega_slots: 1_000,
-            engine: Spea2Config {
+            engine: EngineConfig {
                 population_size: 60,
                 archive_size: 30,
                 generations: 200,
                 mutation_rate: 0.5,
                 density_k: 1,
             },
+            engine_kind: EngineKind::Spea2,
+            parallel_evaluation: false,
             stagnation_generations: None,
             symmetric_only: false,
             seed_with_baselines: true,
@@ -70,7 +79,7 @@ impl OptrrConfig {
     pub fn fast(delta: f64, seed: u64) -> Self {
         Self {
             delta,
-            engine: Spea2Config {
+            engine: EngineConfig {
                 population_size: 32,
                 archive_size: 16,
                 generations: 60,
@@ -88,7 +97,7 @@ impl OptrrConfig {
     pub fn paper_fidelity(delta: f64, seed: u64) -> Self {
         Self {
             delta,
-            engine: Spea2Config {
+            engine: EngineConfig {
                 population_size: 80,
                 archive_size: 40,
                 generations: 20_000,
@@ -109,10 +118,14 @@ impl OptrrConfig {
             });
         }
         if self.num_records == 0 {
-            return Err(OptrrError::InvalidConfig { reason: "num_records must be positive".into() });
+            return Err(OptrrError::InvalidConfig {
+                reason: "num_records must be positive".into(),
+            });
         }
         if self.omega_slots == 0 {
-            return Err(OptrrError::InvalidConfig { reason: "omega_slots must be positive".into() });
+            return Err(OptrrError::InvalidConfig {
+                reason: "omega_slots must be positive".into(),
+            });
         }
         if let Some(0) = self.stagnation_generations {
             return Err(OptrrError::InvalidConfig {
@@ -147,16 +160,47 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(OptrrConfig { delta: 0.0, ..Default::default() }.validate().is_err());
-        assert!(OptrrConfig { delta: 1.5, ..Default::default() }.validate().is_err());
-        assert!(OptrrConfig { delta: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(OptrrConfig { num_records: 0, ..Default::default() }.validate().is_err());
-        assert!(OptrrConfig { omega_slots: 0, ..Default::default() }.validate().is_err());
-        assert!(OptrrConfig { stagnation_generations: Some(0), ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(OptrrConfig {
+            delta: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OptrrConfig {
+            delta: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OptrrConfig {
+            delta: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OptrrConfig {
+            num_records: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OptrrConfig {
+            omega_slots: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OptrrConfig {
+            stagnation_generations: Some(0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         let mut bad_engine = OptrrConfig::default();
         bad_engine.engine.population_size = 0;
-        assert!(matches!(bad_engine.validate(), Err(OptrrError::Engine { .. })));
+        assert!(matches!(
+            bad_engine.validate(),
+            Err(OptrrError::Engine { .. })
+        ));
     }
 }

@@ -24,7 +24,9 @@ pub enum OptrrError {
 impl fmt::Display for OptrrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OptrrError::InvalidConfig { reason } => write!(f, "invalid OptRR configuration: {reason}"),
+            OptrrError::InvalidConfig { reason } => {
+                write!(f, "invalid OptRR configuration: {reason}")
+            }
             OptrrError::Rr(e) => write!(f, "randomized response error: {e}"),
             OptrrError::Stats(e) => write!(f, "statistics error: {e}"),
             OptrrError::Engine { reason } => write!(f, "optimization engine error: {reason}"),
@@ -64,7 +66,9 @@ mod tests {
     #[test]
     fn display_and_sources() {
         use std::error::Error;
-        let c = OptrrError::InvalidConfig { reason: "delta out of range".into() };
+        let c = OptrrError::InvalidConfig {
+            reason: "delta out of range".into(),
+        };
         assert!(c.to_string().contains("delta"));
         assert!(c.source().is_none());
 
@@ -76,7 +80,9 @@ mod tests {
         assert!(s.to_string().contains("statistics"));
         assert!(s.source().is_some());
 
-        let e = OptrrError::Engine { reason: "bad config".into() };
+        let e = OptrrError::Engine {
+            reason: "bad config".into(),
+        };
         assert!(e.to_string().contains("engine"));
     }
 }

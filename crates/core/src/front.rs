@@ -25,7 +25,10 @@ pub struct FrontPoint {
 impl FrontPoint {
     /// Builds a point from an evaluation.
     pub fn from_evaluation(e: &Evaluation) -> Self {
-        Self { privacy: e.privacy, mse: e.mse }
+        Self {
+            privacy: e.privacy,
+            mse: e.mse,
+        }
     }
 
     /// Converts to the minimization convention used by the EMOO crate:
@@ -61,8 +64,13 @@ impl ParetoFront {
             .map(|i| finite[i])
             .collect();
         points.sort_by(|a, b| a.privacy.partial_cmp(&b.privacy).expect("finite privacy"));
-        points.dedup_by(|a, b| (a.privacy - b.privacy).abs() < 1e-12 && (a.mse - b.mse).abs() < 1e-15);
-        Self { label: label.into(), points }
+        points.dedup_by(|a, b| {
+            (a.privacy - b.privacy).abs() < 1e-12 && (a.mse - b.mse).abs() < 1e-15
+        });
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Number of points on the front.
@@ -217,10 +225,7 @@ mod tests {
 
     #[test]
     fn privacy_range_and_queries() {
-        let front = ParetoFront::from_points(
-            "f",
-            &[pt(0.2, 1e-5), pt(0.5, 8e-5), pt(0.7, 4e-4)],
-        );
+        let front = ParetoFront::from_points("f", &[pt(0.2, 1e-5), pt(0.5, 8e-5), pt(0.7, 4e-4)]);
         assert_eq!(front.privacy_range(), Some((0.2, 0.7)));
         assert_eq!(front.best_mse_at_privacy_at_least(0.4), Some(8e-5));
         assert_eq!(front.best_mse_at_privacy_at_least(0.69), Some(4e-4));
@@ -240,14 +245,9 @@ mod tests {
         // Challenger is better everywhere and extends to lower privacy...
         // wait: extending to *lower* privacy means covering privacy values the
         // baseline cannot reach (the paper's Figure 4 observation).
-        let challenger = ParetoFront::from_points(
-            "OptRR",
-            &[pt(0.25, 5e-5), pt(0.45, 8e-5), pt(0.65, 2e-4)],
-        );
-        let baseline = ParetoFront::from_points(
-            "Warner",
-            &[pt(0.45, 2e-4), pt(0.65, 6e-4)],
-        );
+        let challenger =
+            ParetoFront::from_points("OptRR", &[pt(0.25, 5e-5), pt(0.45, 8e-5), pt(0.65, 2e-4)]);
+        let baseline = ParetoFront::from_points("Warner", &[pt(0.45, 2e-4), pt(0.65, 6e-4)]);
         let cmp = FrontComparison::compare(&challenger, &baseline, 50);
         assert!(cmp.fraction_better_at_matched_privacy > 0.9);
         assert!(cmp.coverage_of_baseline > 0.9);
@@ -272,7 +272,12 @@ mod tests {
 
     #[test]
     fn from_evaluation_copies_fields() {
-        let e = Evaluation { privacy: 0.42, mse: 3e-4, max_posterior: 0.7, feasible: true };
+        let e = Evaluation {
+            privacy: 0.42,
+            mse: 3e-4,
+            max_posterior: 0.7,
+            feasible: true,
+        };
         let p = FrontPoint::from_evaluation(&e);
         assert_eq!(p.privacy, 0.42);
         assert_eq!(p.mse, 3e-4);

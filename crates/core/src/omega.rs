@@ -36,7 +36,10 @@ impl OmegaSet {
     /// Creates an empty Ω with the given number of privacy slots.
     pub fn new(num_slots: usize) -> Self {
         assert!(num_slots > 0, "omega needs at least one slot");
-        Self { slots: vec![None; num_slots], improvements: 0 }
+        Self {
+            slots: vec![None; num_slots],
+            improvements: 0,
+        }
     }
 
     /// Number of slots.
@@ -80,7 +83,10 @@ impl OmegaSet {
             Some(existing) => evaluation.mse < existing.evaluation.mse,
         };
         if improved {
-            self.slots[slot] = Some(OmegaEntry { matrix: matrix.clone(), evaluation: *evaluation });
+            self.slots[slot] = Some(OmegaEntry {
+                matrix: matrix.clone(),
+                evaluation: *evaluation,
+            });
             self.improvements += 1;
         }
         improved
@@ -164,7 +170,12 @@ mod tests {
     use rr::schemes::warner;
 
     fn eval(privacy: f64, mse: f64) -> Evaluation {
-        Evaluation { privacy, mse, max_posterior: 0.7, feasible: true }
+        Evaluation {
+            privacy,
+            mse,
+            max_posterior: 0.7,
+            feasible: true,
+        }
     }
 
     fn matrix() -> RrMatrix {
@@ -217,9 +228,19 @@ mod tests {
     fn infeasible_entries_are_rejected() {
         let mut omega = OmegaSet::new(10);
         let m = matrix();
-        let infeasible = Evaluation { privacy: 0.4, mse: 1e-4, max_posterior: 0.95, feasible: false };
+        let infeasible = Evaluation {
+            privacy: 0.4,
+            mse: 1e-4,
+            max_posterior: 0.95,
+            feasible: false,
+        };
         assert!(!omega.offer(&m, &infeasible));
-        let nan_mse = Evaluation { privacy: 0.4, mse: f64::INFINITY, max_posterior: 0.7, feasible: true };
+        let nan_mse = Evaluation {
+            privacy: 0.4,
+            mse: f64::INFINITY,
+            max_posterior: 0.7,
+            feasible: true,
+        };
         assert!(!omega.offer(&m, &nan_mse));
         assert!(omega.is_empty());
     }

@@ -82,10 +82,16 @@ mod tests {
             // Child 1's column j comes from a or b; child 2's from the other.
             let c1_from_a = col_matches(&c1, &a);
             let c1_from_b = col_matches(&c1, &b);
-            assert!(c1_from_a || c1_from_b, "column {j} of child 1 matches neither parent");
+            assert!(
+                c1_from_a || c1_from_b,
+                "column {j} of child 1 matches neither parent"
+            );
             let c2_from_a = col_matches(&c2, &a);
             let c2_from_b = col_matches(&c2, &b);
-            assert!(c2_from_a || c2_from_b, "column {j} of child 2 matches neither parent");
+            assert!(
+                c2_from_a || c2_from_b,
+                "column {j} of child 2 matches neither parent"
+            );
             // The two children take the column from different parents
             // (unless the parents agree on that column).
             if !col_matches(&a, &b) {

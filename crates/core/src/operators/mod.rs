@@ -15,5 +15,5 @@ pub mod mutation;
 pub mod repair;
 
 pub use crossover::column_swap_crossover;
-pub use mutation::{proportional_column_mutation, naive_column_mutation};
+pub use mutation::{naive_column_mutation, proportional_column_mutation};
 pub use repair::repair_to_delta_bound;

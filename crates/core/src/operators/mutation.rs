@@ -215,11 +215,7 @@ mod tests {
     fn degenerate_point_mass_column_is_left_unchanged_on_add() {
         // Column 1 is a point mass on row 1: the "others" sum is zero, so an
         // add-mutation of that element must leave the matrix unchanged.
-        let m = RrMatrix::from_rows(&[
-            vec![0.8, 0.0],
-            vec![0.2, 1.0],
-        ])
-        .unwrap();
+        let m = RrMatrix::from_rows(&[vec![0.8, 0.0], vec![0.2, 1.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..50 {
             let mutated = proportional_column_mutation(&m, 0.5, &mut rng);

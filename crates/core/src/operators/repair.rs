@@ -149,7 +149,10 @@ mod tests {
         assert!(ok);
         let post = max_posterior(&repaired, &p).unwrap();
         assert!(post <= delta + 1e-6);
-        assert!(post >= delta - 0.02, "repair overshot: posterior {post} far below {delta}");
+        assert!(
+            post >= delta - 0.02,
+            "repair overshot: posterior {post} far below {delta}"
+        );
     }
 
     #[test]
@@ -161,7 +164,10 @@ mod tests {
             let m = RrMatrix::random(5, &mut rng).unwrap();
             let (repaired, ok) = repair_to_delta_bound(&m, &p, delta, &mut rng);
             assert!(repaired.as_matrix().is_column_stochastic(1e-9));
-            assert!(ok, "delta 0.6 exceeds the prior mode 0.35, so repair must succeed");
+            assert!(
+                ok,
+                "delta 0.6 exceeds the prior mode 0.35, so repair must succeed"
+            );
             assert!(satisfies_delta_bound(&repaired, &p, delta, 1e-6).unwrap());
         }
     }

@@ -1,6 +1,9 @@
-//! The OptRR optimizer: the paper's SPEA2-based search for optimal RR
-//! matrices (Section V), wiring the RR-matrix problem, the custom genetic
-//! operators, and the optimal set Ω into the generic engine.
+//! The OptRR optimizer: the paper's search for optimal RR matrices
+//! (Section V), wiring the RR-matrix problem, the custom genetic operators,
+//! and the optimal set Ω into the generic engine layer. The EMOO backend
+//! (SPEA2 per the paper, or NSGA-II as the cross-check) is selected purely
+//! by [`OptrrConfig::engine_kind`] and driven through one code path,
+//! [`emoo::run_engine`].
 
 use crate::config::OptrrConfig;
 use crate::error::{OptrrError, Result};
@@ -8,7 +11,7 @@ use crate::front::{FrontPoint, ParetoFront};
 use crate::omega::OmegaSet;
 use crate::problem::{Evaluation, OptrrProblem};
 use datagen::CategoricalDataset;
-use emoo::{Spea2, Spea2Outcome};
+use emoo::{run_engine, EngineOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rr::RrMatrix;
@@ -28,6 +31,11 @@ pub struct RunStatistics {
     pub omega_improvements: u64,
     /// Number of filled Ω slots at the end.
     pub omega_filled: usize,
+    /// Evaluation-cache hits over the whole run (Ω offers and archive
+    /// reporting resolve from the cache instead of re-evaluating).
+    pub cache_hits: u64,
+    /// Evaluation-cache misses (i.e. evaluations actually computed).
+    pub cache_misses: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_clock_seconds: f64,
 }
@@ -97,8 +105,6 @@ impl Optimizer {
     /// Runs the search against an explicit prior distribution.
     pub fn optimize_distribution(&self, prior: &Categorical) -> Result<OptrrOutcome> {
         let problem = OptrrProblem::new(prior.clone(), &self.config)?;
-        let engine = Spea2::new(&problem, self.config.engine)
-            .map_err(|reason| OptrrError::Engine { reason })?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut omega = OmegaSet::new(self.config.omega_slots);
         let seeds = self.baseline_seeds(&problem);
@@ -107,12 +113,19 @@ impl Optimizer {
         let stagnation_limit = self.config.stagnation_generations;
         let mut generations_without_improvement = 0usize;
 
-        let outcome: Spea2Outcome<RrMatrix> = engine.run_seeded(&mut rng, seeds, |snapshot| {
+        let observer = |snapshot: &emoo::GenerationSnapshot<'_, RrMatrix>| {
             // Offer every archive and population member to Ω (Section V.H:
             // the archive/population and Ω update each other at the end of
             // each iteration; storing the better-utility matrix per slot).
+            // The snapshot individuals carry their engine-computed
+            // objectives, so infeasible candidates are screened without any
+            // lookup and feasible ones resolve from the evaluation cache —
+            // nothing is re-evaluated here.
             let mut improved = false;
             for ind in snapshot.archive.iter().chain(snapshot.population.iter()) {
+                if !OptrrProblem::objectives_are_feasible(&ind.objectives) {
+                    continue;
+                }
                 let eval = problem.evaluate_matrix(&ind.genome);
                 if omega.offer(&ind.genome, &eval) {
                     improved = true;
@@ -127,7 +140,16 @@ impl Optimizer {
                 Some(limit) => generations_without_improvement < limit,
                 None => true,
             }
-        });
+        };
+        let outcome: EngineOutcome<RrMatrix> = run_engine(
+            self.config.engine_kind,
+            &problem,
+            self.config.engine,
+            &mut rng,
+            seeds,
+            observer,
+        )
+        .map_err(|reason| OptrrError::Engine { reason })?;
         let wall_clock_seconds = started.elapsed().as_secs_f64();
 
         // Evaluate the final archive in reporting convention.
@@ -147,22 +169,28 @@ impl Optimizer {
             .collect();
         let front = ParetoFront::from_points("OptRR", &points);
 
+        let (cache_hits, cache_misses) = problem.cache_stats();
         let statistics = RunStatistics {
             generations_run: outcome.generations_run,
             evaluations: outcome.evaluations,
             omega_improvements: omega.improvements(),
             omega_filled: omega.len(),
+            cache_hits,
+            cache_misses,
             wall_clock_seconds,
         };
-        Ok(OptrrOutcome { omega, archive, front, statistics })
+        Ok(OptrrOutcome {
+            omega,
+            archive,
+            front,
+            statistics,
+        })
     }
 
     /// Runs the search against a data set, using its empirical distribution
     /// as the prior (the paper's experimental setting).
     pub fn optimize_dataset(&self, dataset: &CategoricalDataset) -> Result<OptrrOutcome> {
-        let prior = dataset
-            .empirical_distribution()
-            .map_err(OptrrError::from)?;
+        let prior = dataset.empirical_distribution().map_err(OptrrError::from)?;
         self.optimize_distribution(&prior)
     }
 }
@@ -176,7 +204,7 @@ mod tests {
 
     fn fast_config(delta: f64) -> OptrrConfig {
         OptrrConfig {
-            engine: emoo::Spea2Config {
+            engine: emoo::EngineConfig {
                 population_size: 32,
                 archive_size: 16,
                 generations: 80,
@@ -196,7 +224,10 @@ mod tests {
 
     #[test]
     fn optimizer_rejects_invalid_config() {
-        let bad = OptrrConfig { delta: 0.0, ..OptrrConfig::default() };
+        let bad = OptrrConfig {
+            delta: 0.0,
+            ..OptrrConfig::default()
+        };
         assert!(Optimizer::new(bad).is_err());
     }
 
@@ -257,7 +288,10 @@ mod tests {
         // OptRR should cover at least as wide a privacy range as Warner.
         let (c_lo, _) = cmp.challenger_privacy_range.unwrap();
         let (b_lo, _) = cmp.baseline_privacy_range.unwrap();
-        assert!(c_lo <= b_lo + 0.05, "OptRR min privacy {c_lo} vs Warner {b_lo}");
+        assert!(
+            c_lo <= b_lo + 0.05,
+            "OptRR min privacy {c_lo} vs Warner {b_lo}"
+        );
     }
 
     #[test]
@@ -300,7 +334,7 @@ mod tests {
     fn stagnation_criterion_stops_early() {
         let config = OptrrConfig {
             stagnation_generations: Some(3),
-            engine: emoo::Spea2Config {
+            engine: emoo::EngineConfig {
                 population_size: 16,
                 archive_size: 8,
                 generations: 500,

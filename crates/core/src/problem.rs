@@ -1,7 +1,16 @@
 //! The OptRR optimization problem: RR matrices as genomes, (adversary
 //! accuracy, MSE) as the two minimized objectives, with the paper's custom
-//! crossover, mutation, and δ-bound repair plugged into the generic SPEA2
-//! engine.
+//! crossover, mutation, and δ-bound repair plugged into the generic EMOO
+//! engine layer.
+//!
+//! Evaluation — the hottest path of the whole system — is batched, cached,
+//! and optionally parallel: the engines route all evaluation through
+//! [`emoo::Problem::evaluate_batch`], which this problem implements on top
+//! of [`OptrrProblem::evaluate_matrices`] (data-parallel across cores when
+//! `parallel_evaluation` is configured), and every computed
+//! [`Evaluation`] lands in a genome-keyed cache so later lookups of the
+//! same matrix (Ω offers, archive reporting, baseline sweeps) are O(1)
+//! instead of a fresh matrix inversion.
 
 use crate::config::OptrrConfig;
 use crate::error::{OptrrError, Result};
@@ -15,6 +24,9 @@ use rr::metrics::privacy::analyze;
 use rr::metrics::utility::utility;
 use rr::RrMatrix;
 use stats::Categorical;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Penalty objective value assigned to infeasible genomes (singular
 /// matrices, δ-bound violations that repair could not fix). Large but
@@ -40,15 +52,45 @@ pub struct Evaluation {
     pub feasible: bool,
 }
 
+/// Approximate byte budget of the evaluation cache; the cache is cleared
+/// when the derived entry cap fills, bounding memory for very long
+/// (20,000-generation) runs regardless of category count.
+const CACHE_BYTE_BUDGET: usize = 64 << 20;
+
 /// The OptRR problem instance: a prior distribution (from the data set
-/// being disguised), the record count, and the δ bound.
-#[derive(Debug, Clone)]
+/// being disguised), the record count, and the δ bound, plus the
+/// genome-keyed evaluation cache shared by the engine loop, Ω maintenance,
+/// and the baseline sweeps.
+#[derive(Debug)]
 pub struct OptrrProblem {
     prior: Categorical,
     num_records: u64,
     delta: f64,
     mutation_step: f64,
     symmetric_only: bool,
+    parallel_evaluation: bool,
+    cache_capacity: usize,
+    cache: Mutex<HashMap<Vec<u64>, Evaluation>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Clone for OptrrProblem {
+    fn clone(&self) -> Self {
+        Self {
+            prior: self.prior.clone(),
+            num_records: self.num_records,
+            delta: self.delta,
+            mutation_step: self.mutation_step,
+            symmetric_only: self.symmetric_only,
+            parallel_evaluation: self.parallel_evaluation,
+            cache_capacity: self.cache_capacity,
+            // The cache is derived state; a clone starts cold.
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl OptrrProblem {
@@ -61,12 +103,22 @@ impl OptrrProblem {
                 reason: "the attribute must have at least two categories".into(),
             });
         }
+        // Each cache entry costs roughly n²·8 bytes of key plus map
+        // overhead, so derive the entry cap from the byte budget.
+        let n = prior.num_categories();
+        let entry_bytes = n * n * 8 + 96;
+        let cache_capacity = (CACHE_BYTE_BUDGET / entry_bytes).clamp(1 << 10, 1 << 17);
         Ok(Self {
             prior,
             num_records: config.num_records,
             delta: config.delta,
             mutation_step: DEFAULT_MUTATION_STEP,
             symmetric_only: config.symmetric_only,
+            parallel_evaluation: config.parallel_evaluation,
+            cache_capacity,
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         })
     }
 
@@ -91,8 +143,133 @@ impl OptrrProblem {
         self.num_records
     }
 
-    /// Evaluates a matrix into the paper's reporting convention.
+    /// Whether batch evaluation runs in parallel across cores.
+    pub fn parallel_evaluation(&self) -> bool {
+        self.parallel_evaluation
+    }
+
+    /// Evaluation-cache statistics: `(hits, misses)` since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The cache key of a matrix: the exact bit patterns of its entries.
+    fn genome_key(m: &RrMatrix) -> Vec<u64> {
+        m.as_matrix()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect()
+    }
+
+    /// Evaluates a matrix into the paper's reporting convention, consulting
+    /// the genome-keyed cache first. Engine-evaluated individuals are
+    /// therefore never recomputed when they are later offered to Ω or
+    /// reported from the archive.
     pub fn evaluate_matrix(&self, m: &RrMatrix) -> Evaluation {
+        let key = Self::genome_key(m);
+        if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let evaluation = self.compute_evaluation(m);
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.len() >= self.cache_capacity {
+            cache.clear();
+        }
+        cache.insert(key, evaluation);
+        evaluation
+    }
+
+    /// Evaluates a whole batch of matrices, in input order — serially, or
+    /// data-parallel across all cores when `parallel_evaluation` is
+    /// configured. Evaluation is pure, so the parallel path returns
+    /// bit-identical results. This is the single evaluation path shared by
+    /// the engines (via [`emoo::Problem::evaluate_batch`]) and the baseline
+    /// sweeps.
+    pub fn evaluate_matrices(&self, matrices: &[RrMatrix]) -> Vec<Evaluation> {
+        if !self.parallel_evaluation {
+            return matrices.iter().map(|m| self.evaluate_matrix(m)).collect();
+        }
+        // Resolve cache hits in one pre-pass and deduplicate repeated
+        // genomes within the batch, so the parallel workers never touch
+        // the lock and never compute the same matrix twice; evaluation is
+        // pure, so the par_iter body is lock-free. Hit/miss accounting
+        // matches the serial path: an in-batch duplicate counts as a hit.
+        let keys: Vec<Vec<u64>> = matrices.iter().map(Self::genome_key).collect();
+        let mut results: Vec<Option<Evaluation>> = {
+            let cache = self.cache.lock().expect("cache lock");
+            keys.iter().map(|key| cache.get(key).copied()).collect()
+        };
+        let mut position_of: HashMap<&[u64], usize> = HashMap::new();
+        let mut unique_misses: Vec<usize> = Vec::new();
+        let mut miss_slots: Vec<(usize, usize)> = Vec::new(); // (result idx, unique pos)
+        for i in 0..matrices.len() {
+            if results[i].is_some() {
+                continue;
+            }
+            let position = *position_of.entry(keys[i].as_slice()).or_insert_with(|| {
+                unique_misses.push(i);
+                unique_misses.len() - 1
+            });
+            miss_slots.push((i, position));
+        }
+        let hits = (matrices.len() - unique_misses.len()) as u64;
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(unique_misses.len() as u64, Ordering::Relaxed);
+
+        use rayon::prelude::*;
+        let computed: Vec<Evaluation> = unique_misses
+            .par_iter()
+            .map(|&i| self.compute_evaluation(&matrices[i]))
+            .collect();
+
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (position, &i) in unique_misses.iter().enumerate() {
+                if cache.len() >= self.cache_capacity {
+                    cache.clear();
+                }
+                cache.insert(keys[i].clone(), computed[position]);
+            }
+        }
+        for (i, position) in miss_slots {
+            results[i] = Some(computed[position]);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index resolved from cache or computation"))
+            .collect()
+    }
+
+    /// Whether an engine-reported objective vector corresponds to a
+    /// feasible evaluation. Objective 0 is the adversary accuracy
+    /// (1 − privacy), which lies in [0, 1] for every feasible evaluation,
+    /// while infeasible genomes carry [`INFEASIBLE_PENALTY`] there — so
+    /// the first objective alone discriminates exactly, no matter how
+    /// large a feasible MSE (objective 1) gets.
+    pub fn objectives_are_feasible(objectives: &Objectives) -> bool {
+        objectives.value(0) < INFEASIBLE_PENALTY
+    }
+
+    /// Converts an evaluation into the engine's minimized objective vector.
+    fn objectives_from(eval: &Evaluation) -> Objectives {
+        if !eval.feasible || !eval.mse.is_finite() {
+            // Infeasible: dominated by every feasible point.
+            return Objectives::pair(INFEASIBLE_PENALTY, INFEASIBLE_PENALTY);
+        }
+        // Objective 1: adversary accuracy (1 − privacy), minimized.
+        // Objective 2: MSE, minimized.
+        Objectives::pair(1.0 - eval.privacy, eval.mse)
+    }
+
+    /// Computes an evaluation from scratch (cache miss path).
+    fn compute_evaluation(&self, m: &RrMatrix) -> Evaluation {
         let max_post = match max_posterior(m, &self.prior) {
             Ok(v) => v,
             Err(_) => {
@@ -190,14 +367,14 @@ impl Problem for OptrrProblem {
     }
 
     fn evaluate(&self, genome: &RrMatrix) -> Objectives {
-        let eval = self.evaluate_matrix(genome);
-        if !eval.feasible || !eval.mse.is_finite() {
-            // Infeasible: dominated by every feasible point.
-            return Objectives::pair(INFEASIBLE_PENALTY, INFEASIBLE_PENALTY);
-        }
-        // Objective 1: adversary accuracy (1 − privacy), minimized.
-        // Objective 2: MSE, minimized.
-        Objectives::pair(1.0 - eval.privacy, eval.mse)
+        Self::objectives_from(&self.evaluate_matrix(genome))
+    }
+
+    fn evaluate_batch(&self, genomes: &[RrMatrix]) -> Vec<Objectives> {
+        self.evaluate_matrices(genomes)
+            .iter()
+            .map(Self::objectives_from)
+            .collect()
     }
 
     fn crossover<R: Rng + ?Sized>(
@@ -245,7 +422,10 @@ mod tests {
     }
 
     fn problem(delta: f64) -> OptrrProblem {
-        let cfg = OptrrConfig { delta, ..OptrrConfig::fast(delta, 1) };
+        let cfg = OptrrConfig {
+            delta,
+            ..OptrrConfig::fast(delta, 1)
+        };
         OptrrProblem::new(prior(), &cfg).unwrap()
     }
 
@@ -344,7 +524,10 @@ mod tests {
 
     #[test]
     fn symmetric_only_mode_produces_symmetric_genomes() {
-        let cfg = OptrrConfig { symmetric_only: true, ..OptrrConfig::fast(0.8, 5) };
+        let cfg = OptrrConfig {
+            symmetric_only: true,
+            ..OptrrConfig::fast(0.8, 5)
+        };
         let p = OptrrProblem::new(prior(), &cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let g = Problem::random_genome(&p, &mut rng);
@@ -359,6 +542,70 @@ mod tests {
         Problem::repair(&p, &mut m, &mut rng);
         assert!(m.is_symmetric());
         assert!(m.as_matrix().is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn evaluation_cache_hits_on_repeated_matrices() {
+        let p = problem(0.8);
+        let m = warner(5, 0.6).unwrap();
+        let first = p.evaluate_matrix(&m);
+        let (hits0, misses0) = p.cache_stats();
+        assert_eq!((hits0, misses0), (0, 1));
+        let second = p.evaluate_matrix(&m);
+        let (hits1, misses1) = p.cache_stats();
+        assert_eq!((hits1, misses1), (1, 1));
+        assert_eq!(first, second);
+        // A different matrix misses.
+        let other = warner(5, 0.61).unwrap();
+        let _ = p.evaluate_matrix(&other);
+        assert_eq!(p.cache_stats(), (1, 2));
+        // A clone starts cold.
+        let fresh = p.clone();
+        assert_eq!(fresh.cache_stats(), (0, 0));
+        assert_eq!(fresh.evaluate_matrix(&m), first);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_pointwise_serial_and_parallel() {
+        let matrices: Vec<RrMatrix> = (0..40)
+            .map(|k| warner(5, 0.45 + 0.01 * k as f64).unwrap())
+            .collect();
+        for parallel in [false, true] {
+            let cfg = OptrrConfig {
+                parallel_evaluation: parallel,
+                ..OptrrConfig::fast(0.8, 1)
+            };
+            let p = OptrrProblem::new(prior(), &cfg).unwrap();
+            assert_eq!(p.parallel_evaluation(), parallel);
+            let batch = p.evaluate_matrices(&matrices);
+            let reference = problem(0.8);
+            for (m, eval) in matrices.iter().zip(&batch) {
+                let expected = reference.evaluate_matrix(m);
+                assert_eq!(eval.privacy.to_bits(), expected.privacy.to_bits());
+                assert_eq!(eval.mse.to_bits(), expected.mse.to_bits());
+                assert_eq!(eval.feasible, expected.feasible);
+            }
+            // The trait-level batch hook agrees with pointwise evaluate.
+            let objectives = Problem::evaluate_batch(&p, &matrices);
+            for (m, o) in matrices.iter().zip(&objectives) {
+                assert_eq!(o, &Problem::evaluate(&p, m));
+            }
+        }
+    }
+
+    #[test]
+    fn objective_feasibility_screen_matches_evaluation() {
+        let loose = problem(0.8);
+        let feasible = warner(5, 0.6).unwrap();
+        assert!(OptrrProblem::objectives_are_feasible(&Problem::evaluate(
+            &loose, &feasible
+        )));
+        let strict = problem(0.5);
+        let infeasible = warner(5, 0.98).unwrap();
+        assert!(!OptrrProblem::objectives_are_feasible(&Problem::evaluate(
+            &strict,
+            &infeasible
+        )));
     }
 
     #[test]

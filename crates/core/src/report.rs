@@ -45,7 +45,11 @@ impl ExperimentReport {
             }
         }
         if let Some(cmp) = &self.comparison {
-            let _ = writeln!(out, "\n## comparison: {} vs {}", cmp.challenger, cmp.baseline);
+            let _ = writeln!(
+                out,
+                "\n## comparison: {} vs {}",
+                cmp.challenger, cmp.baseline
+            );
             let _ = writeln!(
                 out,
                 "better at matched privacy levels : {:>6.1}%",
@@ -95,6 +99,11 @@ impl ExperimentReport {
             let _ = writeln!(out, "evaluations         : {}", stats.evaluations);
             let _ = writeln!(out, "omega improvements  : {}", stats.omega_improvements);
             let _ = writeln!(out, "omega filled slots  : {}", stats.omega_filled);
+            let _ = writeln!(
+                out,
+                "eval cache hit/miss : {}/{}",
+                stats.cache_hits, stats.cache_misses
+            );
             let _ = writeln!(out, "wall clock (s)      : {:.2}", stats.wall_clock_seconds);
         }
         out
@@ -127,8 +136,14 @@ mod tests {
         ParetoFront::from_points(
             label,
             &[
-                FrontPoint { privacy: 0.3, mse: 2e-4 },
-                FrontPoint { privacy: 0.5, mse: 4e-4 },
+                FrontPoint {
+                    privacy: 0.3,
+                    mse: 2e-4,
+                },
+                FrontPoint {
+                    privacy: 0.5,
+                    mse: 4e-4,
+                },
             ],
         )
     }
@@ -138,8 +153,14 @@ mod tests {
         let warner = ParetoFront::from_points(
             "Warner",
             &[
-                FrontPoint { privacy: 0.3, mse: 3e-4 },
-                FrontPoint { privacy: 0.5, mse: 6e-4 },
+                FrontPoint {
+                    privacy: 0.3,
+                    mse: 3e-4,
+                },
+                FrontPoint {
+                    privacy: 0.5,
+                    mse: 6e-4,
+                },
             ],
         );
         let comparison = Some(FrontComparison::compare(&optrr, &warner, 20));
@@ -154,6 +175,8 @@ mod tests {
                 evaluations: 5000,
                 omega_improvements: 321,
                 omega_filled: 55,
+                cache_hits: 9800,
+                cache_misses: 5000,
                 wall_clock_seconds: 1.25,
             }),
         }
@@ -199,7 +222,11 @@ mod tests {
         }
         assert!(parsed.comparison.is_some());
         assert_eq!(
-            parsed.optimizer_statistics.as_ref().unwrap().generations_run,
+            parsed
+                .optimizer_statistics
+                .as_ref()
+                .unwrap()
+                .generations_run,
             r.optimizer_statistics.as_ref().unwrap().generations_run
         );
     }

@@ -56,7 +56,10 @@ pub fn search_space_size(num_categories: usize, resolution: usize) -> SearchSpac
 /// in tests and by the `exp_fact1` experiment for its small-n rows).
 /// Returns `None` on overflow.
 pub fn exact_search_space_size(num_categories: usize, resolution: usize) -> Option<u128> {
-    let per_column = exact_binomial((resolution + num_categories - 1) as u128, resolution as u128)?;
+    let per_column = exact_binomial(
+        (resolution + num_categories - 1) as u128,
+        resolution as u128,
+    )?;
     let mut total: u128 = 1;
     for _ in 0..num_categories {
         total = total.checked_mul(per_column)?;

@@ -28,8 +28,13 @@ pub const ADULT_AGE_MIN: f64 = 17.0;
 pub const ADULT_AGE_MAX: f64 = 90.0;
 
 /// Names of the surrogate attributes, mirroring the first few Adult columns.
-pub const ADULT_ATTRIBUTES: [&str; 5] =
-    ["age", "workclass", "education", "marital-status", "occupation"];
+pub const ADULT_ATTRIBUTES: [&str; 5] = [
+    "age",
+    "workclass",
+    "education",
+    "marital-status",
+    "occupation",
+];
 
 /// Configuration for generating the Adult surrogate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +52,11 @@ pub struct AdultConfig {
 
 impl Default for AdultConfig {
     fn default() -> Self {
-        Self { num_records: 10_000, age_bins: 10, seed: 2008 }
+        Self {
+            num_records: 10_000,
+            age_bins: 10,
+            seed: 2008,
+        }
     }
 }
 
@@ -102,8 +111,8 @@ fn workclass_marginal() -> Categorical {
 /// dominated by HS-grad / some-college / bachelors).
 fn education_marginal() -> Categorical {
     Categorical::from_weights(&[
-        0.322, 0.223, 0.164, 0.055, 0.042, 0.033, 0.031, 0.027, 0.020, 0.018, 0.017, 0.014,
-        0.013, 0.010, 0.006, 0.005,
+        0.322, 0.223, 0.164, 0.055, 0.042, 0.033, 0.031, 0.027, 0.020, 0.018, 0.017, 0.014, 0.013,
+        0.010, 0.006, 0.005,
     ])
     .expect("static weights are valid")
 }
@@ -117,8 +126,8 @@ fn marital_marginal() -> Categorical {
 /// Simplified marginal for occupation (14 levels).
 fn occupation_marginal() -> Categorical {
     Categorical::from_weights(&[
-        0.127, 0.126, 0.124, 0.113, 0.101, 0.062, 0.061, 0.051, 0.047, 0.043, 0.030, 0.049,
-        0.031, 0.035,
+        0.127, 0.126, 0.124, 0.113, 0.101, 0.062, 0.061, 0.051, 0.047, 0.043, 0.030, 0.049, 0.031,
+        0.035,
     ])
     .expect("static weights are valid")
 }
@@ -162,9 +171,10 @@ pub fn generate(config: &AdultConfig) -> StatsResult<AdultSurrogate> {
     let age_records = assign_bins(&raw_ages, &age_binning);
     let age = CategoricalDataset::new(config.age_bins, age_records)?;
 
-    let draw = |dist: &Categorical, rng: &mut StdRng, n: usize| -> StatsResult<CategoricalDataset> {
-        CategoricalDataset::new(dist.num_categories(), dist.sample_many(rng, n))
-    };
+    let draw =
+        |dist: &Categorical, rng: &mut StdRng, n: usize| -> StatsResult<CategoricalDataset> {
+            CategoricalDataset::new(dist.num_categories(), dist.sample_many(rng, n))
+        };
 
     let workclass = draw(&workclass_marginal(), &mut rng, config.num_records)?;
     let education = draw(&education_marginal(), &mut rng, config.num_records)?;
@@ -205,8 +215,16 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(generate(&AdultConfig { num_records: 0, ..Default::default() }).is_err());
-        assert!(generate(&AdultConfig { age_bins: 0, ..Default::default() }).is_err());
+        assert!(generate(&AdultConfig {
+            num_records: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&AdultConfig {
+            age_bins: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -242,7 +260,11 @@ mod tests {
         let b = generate(&AdultConfig::default()).unwrap();
         assert_eq!(a.age, b.age);
         assert_eq!(a.occupation, b.occupation);
-        let c = generate(&AdultConfig { seed: 1, ..Default::default() }).unwrap();
+        let c = generate(&AdultConfig {
+            seed: 1,
+            ..Default::default()
+        })
+        .unwrap();
         assert_ne!(a.age, c.age);
     }
 

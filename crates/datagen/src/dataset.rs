@@ -33,7 +33,10 @@ impl CategoricalDataset {
                 constraint: "must be < num_categories",
             });
         }
-        Ok(Self { num_categories, records })
+        Ok(Self {
+            num_categories,
+            records,
+        })
     }
 
     /// Number of categories in the attribute domain.
@@ -78,8 +81,14 @@ impl CategoricalDataset {
         let k = k.min(self.records.len());
         let (a, b) = self.records.split_at(k);
         (
-            CategoricalDataset { num_categories: self.num_categories, records: a.to_vec() },
-            CategoricalDataset { num_categories: self.num_categories, records: b.to_vec() },
+            CategoricalDataset {
+                num_categories: self.num_categories,
+                records: a.to_vec(),
+            },
+            CategoricalDataset {
+                num_categories: self.num_categories,
+                records: b.to_vec(),
+            },
         )
     }
 

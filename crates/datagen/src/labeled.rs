@@ -27,7 +27,10 @@ pub struct LabeledDataset {
 impl LabeledDataset {
     /// Creates a labeled data set, validating that all columns have the same
     /// number of records.
-    pub fn new(attributes: Vec<CategoricalDataset>, labels: CategoricalDataset) -> StatsResult<Self> {
+    pub fn new(
+        attributes: Vec<CategoricalDataset>,
+        labels: CategoricalDataset,
+    ) -> StatsResult<Self> {
         if attributes.is_empty() {
             return Err(StatsError::EmptyData);
         }
@@ -92,11 +95,17 @@ impl LabeledDataset {
             });
         }
         if column.len() != self.len() {
-            return Err(StatsError::SupportMismatch { left: column.len(), right: self.len() });
+            return Err(StatsError::SupportMismatch {
+                left: column.len(),
+                right: self.len(),
+            });
         }
         let mut attributes = self.attributes.clone();
         attributes[i] = column;
-        Ok(Self { attributes, labels: self.labels.clone() })
+        Ok(Self {
+            attributes,
+            labels: self.labels.clone(),
+        })
     }
 }
 
@@ -148,7 +157,7 @@ pub fn generate(config: &LabeledConfig) -> StatsResult<LabeledDataset> {
             constraint: "need at least two attributes",
         });
     }
-    if config.attribute_domains.iter().any(|&d| d == 0) {
+    if config.attribute_domains.contains(&0) {
         return Err(StatsError::InvalidParameter {
             name: "attribute domain",
             value: 0.0,
@@ -171,7 +180,8 @@ pub fn generate(config: &LabeledConfig) -> StatsResult<LabeledDataset> {
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut columns: Vec<Vec<usize>> = vec![Vec::with_capacity(config.num_records); config.attribute_domains.len()];
+    let mut columns: Vec<Vec<usize>> =
+        vec![Vec::with_capacity(config.num_records); config.attribute_domains.len()];
     let mut labels = Vec::with_capacity(config.num_records);
 
     for _ in 0..config.num_records {
@@ -234,11 +244,20 @@ mod tests {
 
     #[test]
     fn with_attribute_replaces_one_column() {
-        let d = generate(&LabeledConfig { num_records: 10, ..Default::default() }).unwrap();
+        let d = generate(&LabeledConfig {
+            num_records: 10,
+            ..Default::default()
+        })
+        .unwrap();
         let replacement =
             CategoricalDataset::new(d.attribute(0).unwrap().num_categories(), vec![0; 10]).unwrap();
         let swapped = d.with_attribute(0, replacement).unwrap();
-        assert!(swapped.attribute(0).unwrap().records().iter().all(|&r| r == 0));
+        assert!(swapped
+            .attribute(0)
+            .unwrap()
+            .records()
+            .iter()
+            .all(|&r| r == 0));
         // Other columns and labels untouched.
         assert_eq!(swapped.attribute(1), d.attribute(1));
         assert_eq!(swapped.labels(), d.labels());
@@ -253,11 +272,31 @@ mod tests {
 
     #[test]
     fn generator_validates_config() {
-        assert!(generate(&LabeledConfig { num_records: 0, ..Default::default() }).is_err());
-        assert!(generate(&LabeledConfig { attribute_domains: vec![3], ..Default::default() }).is_err());
-        assert!(generate(&LabeledConfig { attribute_domains: vec![3, 0], ..Default::default() }).is_err());
-        assert!(generate(&LabeledConfig { num_classes: 0, ..Default::default() }).is_err());
-        assert!(generate(&LabeledConfig { rule_strength: 1.5, ..Default::default() }).is_err());
+        assert!(generate(&LabeledConfig {
+            num_records: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&LabeledConfig {
+            attribute_domains: vec![3],
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&LabeledConfig {
+            attribute_domains: vec![3, 0],
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&LabeledConfig {
+            num_classes: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&LabeledConfig {
+            rule_strength: 1.5,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -283,7 +322,11 @@ mod tests {
         let a = generate(&LabeledConfig::default()).unwrap();
         let b = generate(&LabeledConfig::default()).unwrap();
         assert_eq!(a, b);
-        let c = generate(&LabeledConfig { seed: 5, ..Default::default() }).unwrap();
+        let c = generate(&LabeledConfig {
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
         assert_ne!(a, c);
     }
 }

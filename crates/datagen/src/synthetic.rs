@@ -56,12 +56,18 @@ pub enum SourceDistribution {
 impl SourceDistribution {
     /// The standard normal workload used by Figure 4.
     pub fn standard_normal() -> Self {
-        SourceDistribution::Normal { mu: 0.0, sigma: 1.0 }
+        SourceDistribution::Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// The gamma workload used by Figure 5(a): `alpha = 1.0`, `beta = 2.0`.
     pub fn paper_gamma() -> Self {
-        SourceDistribution::Gamma { alpha: 1.0, beta: 2.0 }
+        SourceDistribution::Gamma {
+            alpha: 1.0,
+            beta: 2.0,
+        }
     }
 
     /// Materializes the category distribution over `n` categories.
@@ -80,7 +86,10 @@ impl SourceDistribution {
             }
             SourceDistribution::Custom { probs } => {
                 if probs.len() != n {
-                    return Err(StatsError::SupportMismatch { left: probs.len(), right: n });
+                    return Err(StatsError::SupportMismatch {
+                        left: probs.len(),
+                        right: n,
+                    });
                 }
                 Categorical::new(probs.clone())
             }
@@ -119,7 +128,12 @@ impl SyntheticConfig {
     /// The paper's default workload shape (10 categories, 10,000 records)
     /// with the given source distribution and seed.
     pub fn paper_default(source: SourceDistribution, seed: u64) -> Self {
-        Self { num_categories: 10, num_records: 10_000, source, seed }
+        Self {
+            num_categories: 10,
+            num_records: 10_000,
+            source,
+            seed,
+        }
     }
 }
 
@@ -148,7 +162,11 @@ pub fn generate(config: &SyntheticConfig) -> StatsResult<SyntheticWorkload> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let records = true_distribution.sample_many(&mut rng, config.num_records);
     let dataset = CategoricalDataset::new(config.num_categories, records)?;
-    Ok(SyntheticWorkload { config: config.clone(), true_distribution, dataset })
+    Ok(SyntheticWorkload {
+        config: config.clone(),
+        true_distribution,
+        dataset,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +231,9 @@ mod tests {
 
     #[test]
     fn gamma_source_is_skewed() {
-        let d = SourceDistribution::paper_gamma().category_distribution(10).unwrap();
+        let d = SourceDistribution::paper_gamma()
+            .category_distribution(10)
+            .unwrap();
         assert!(d.prob(0) > d.prob(5));
         assert!(d.max_prob() > 0.25);
     }
@@ -230,27 +250,45 @@ mod tests {
 
     #[test]
     fn custom_source_validates_length_and_contents() {
-        let ok = SourceDistribution::Custom { probs: vec![0.5, 0.5] };
+        let ok = SourceDistribution::Custom {
+            probs: vec![0.5, 0.5],
+        };
         assert!(ok.category_distribution(2).is_ok());
         assert!(ok.category_distribution(3).is_err());
-        let bad = SourceDistribution::Custom { probs: vec![0.7, 0.7] };
+        let bad = SourceDistribution::Custom {
+            probs: vec![0.7, 0.7],
+        };
         assert!(bad.category_distribution(2).is_err());
     }
 
     #[test]
     fn labels_are_informative() {
-        assert!(SourceDistribution::standard_normal().label().contains("normal"));
+        assert!(SourceDistribution::standard_normal()
+            .label()
+            .contains("normal"));
         assert!(SourceDistribution::paper_gamma().label().contains("gamma"));
-        assert!(SourceDistribution::DiscreteUniform.label().contains("uniform"));
-        assert!(SourceDistribution::Zipf { exponent: 1.5 }.label().contains("zipf"));
-        assert!(SourceDistribution::Custom { probs: vec![1.0] }.label().contains("custom"));
+        assert!(SourceDistribution::DiscreteUniform
+            .label()
+            .contains("uniform"));
+        assert!(SourceDistribution::Zipf { exponent: 1.5 }
+            .label()
+            .contains("zipf"));
+        assert!(SourceDistribution::Custom { probs: vec![1.0] }
+            .label()
+            .contains("custom"));
     }
 
     #[test]
     fn invalid_source_parameters_propagate() {
-        let bad = SourceDistribution::Normal { mu: 0.0, sigma: -1.0 };
+        let bad = SourceDistribution::Normal {
+            mu: 0.0,
+            sigma: -1.0,
+        };
         assert!(bad.category_distribution(10).is_err());
-        let bad_gamma = SourceDistribution::Gamma { alpha: -1.0, beta: 1.0 };
+        let bad_gamma = SourceDistribution::Gamma {
+            alpha: -1.0,
+            beta: 1.0,
+        };
         assert!(bad_gamma.category_distribution(10).is_err());
     }
 }

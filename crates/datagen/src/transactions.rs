@@ -40,7 +40,10 @@ impl TransactionDataset {
                 });
             }
         }
-        Ok(Self { num_items, transactions })
+        Ok(Self {
+            num_items,
+            transactions,
+        })
     }
 
     /// Number of distinct items in the universe.
@@ -219,9 +222,21 @@ mod tests {
 
     #[test]
     fn generator_validates_config() {
-        assert!(generate(&TransactionConfig { num_items: 0, ..Default::default() }).is_err());
-        assert!(generate(&TransactionConfig { num_transactions: 0, ..Default::default() }).is_err());
-        assert!(generate(&TransactionConfig { background_prob: 1.5, ..Default::default() }).is_err());
+        assert!(generate(&TransactionConfig {
+            num_items: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&TransactionConfig {
+            num_transactions: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(&TransactionConfig {
+            background_prob: 1.5,
+            ..Default::default()
+        })
+        .is_err());
         assert!(generate(&TransactionConfig {
             planted_itemsets: vec![(vec![99], 0.5)],
             ..Default::default()

@@ -106,19 +106,40 @@ mod tests {
 
     #[test]
     fn basic_relations() {
-        assert_eq!(compare(&o(1.0, 1.0), &o(2.0, 2.0)), DominanceRelation::Dominates);
-        assert_eq!(compare(&o(2.0, 2.0), &o(1.0, 1.0)), DominanceRelation::DominatedBy);
-        assert_eq!(compare(&o(1.0, 2.0), &o(2.0, 1.0)), DominanceRelation::NonDominated);
-        assert_eq!(compare(&o(1.0, 1.0), &o(1.0, 1.0)), DominanceRelation::NonDominated);
+        assert_eq!(
+            compare(&o(1.0, 1.0), &o(2.0, 2.0)),
+            DominanceRelation::Dominates
+        );
+        assert_eq!(
+            compare(&o(2.0, 2.0), &o(1.0, 1.0)),
+            DominanceRelation::DominatedBy
+        );
+        assert_eq!(
+            compare(&o(1.0, 2.0), &o(2.0, 1.0)),
+            DominanceRelation::NonDominated
+        );
+        assert_eq!(
+            compare(&o(1.0, 1.0), &o(1.0, 1.0)),
+            DominanceRelation::NonDominated
+        );
         // Weak domination on one coordinate, strict on the other.
-        assert_eq!(compare(&o(1.0, 1.0), &o(1.0, 2.0)), DominanceRelation::Dominates);
+        assert_eq!(
+            compare(&o(1.0, 1.0), &o(1.0, 2.0)),
+            DominanceRelation::Dominates
+        );
         assert!(dominates(&o(0.5, 0.5), &o(0.5, 0.6)));
         assert!(!dominates(&o(0.5, 0.5), &o(0.5, 0.5)));
     }
 
     #[test]
     fn dominance_is_a_strict_partial_order() {
-        let pts = [o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(2.5, 2.5), o(1.5, 2.8)];
+        let pts = [
+            o(1.0, 3.0),
+            o(2.0, 2.0),
+            o(3.0, 1.0),
+            o(2.5, 2.5),
+            o(1.5, 2.8),
+        ];
         // Irreflexive.
         for p in &pts {
             assert!(!dominates(p, p));
@@ -199,9 +220,7 @@ mod tests {
 
     #[test]
     fn non_dominated_points_have_zero_raw_fitness() {
-        let pts: Vec<Objectives> = (0..10)
-            .map(|i| o(i as f64, 10.0 - i as f64))
-            .collect();
+        let pts: Vec<Objectives> = (0..10).map(|i| o(i as f64, 10.0 - i as f64)).collect();
         // All points lie on an anti-diagonal: mutually non-dominated.
         let r = raw_fitness(&pts);
         assert!(r.iter().all(|&x| x == 0.0));

@@ -24,7 +24,9 @@ pub fn hypervolume_2d(front: &[Objectives], reference: &Objectives) -> f64 {
     // Keep only points that strictly dominate the reference box corner.
     let mut pts: Vec<(f64, f64)> = front
         .iter()
-        .filter(|o| o.len() == 2 && o.value(0) < reference.value(0) && o.value(1) < reference.value(1))
+        .filter(|o| {
+            o.len() == 2 && o.value(0) < reference.value(0) && o.value(1) < reference.value(1)
+        })
         .map(|o| (o.value(0), o.value(1)))
         .collect();
     if pts.is_empty() {
@@ -108,6 +110,8 @@ pub fn fraction_better_at_matched_levels(
     let (b_lo, b_hi) = objective_extent(b, 0).expect("non-empty");
     let lo = a_lo.max(b_lo);
     let hi = a_hi.min(b_hi);
+    // Deliberate negated comparison: also bails out when either bound is NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(lo <= hi) {
         return 0.0;
     }
@@ -119,7 +123,10 @@ pub fn fraction_better_at_matched_levels(
         } else {
             lo + (hi - lo) * k as f64 / (samples - 1) as f64
         };
-        match (best_second_objective_at(a, x), best_second_objective_at(b, x)) {
+        match (
+            best_second_objective_at(a, x),
+            best_second_objective_at(b, x),
+        ) {
             (Some(ya), Some(yb)) => {
                 counted += 1;
                 if ya < yb {

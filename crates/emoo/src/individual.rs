@@ -19,7 +19,11 @@ pub struct Individual<G> {
 impl<G> Individual<G> {
     /// Creates an individual with its objectives, fitness unassigned.
     pub fn new(genome: G, objectives: Objectives) -> Self {
-        Self { genome, objectives, fitness: None }
+        Self {
+            genome,
+            objectives,
+            fitness: None,
+        }
     }
 
     /// The assigned fitness, or `f64::INFINITY` when not yet assigned (so
@@ -35,7 +39,11 @@ impl<G> Individual<G> {
 
     /// Maps the genome type while keeping objectives and fitness.
     pub fn map_genome<H>(self, f: impl FnOnce(G) -> H) -> Individual<H> {
-        Individual { genome: f(self.genome), objectives: self.objectives, fitness: self.fitness }
+        Individual {
+            genome: f(self.genome),
+            objectives: self.objectives,
+            fitness: self.fitness,
+        }
     }
 }
 

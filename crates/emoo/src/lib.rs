@@ -13,10 +13,16 @@
 //!   breaks raw-fitness ties;
 //! * [`selection`] — binary-tournament mating selection and the
 //!   environmental selection with nearest-neighbour truncation;
-//! * [`Spea2`] — the full engine, generic over a [`Problem`] that supplies
-//!   genome creation, evaluation, crossover, mutation, and constraint
-//!   repair;
-//! * [`nsga2`] — an independent NSGA-II engine used to cross-check results;
+//! * [`engine`] — the shared [`Engine`] abstraction: one [`EngineConfig`],
+//!   per-generation [`GenerationSnapshot`]s that carry the already-computed
+//!   objective evaluations, an [`EngineOutcome`], and the [`EngineKind`]
+//!   selector with the [`run_engine`] dispatcher. The [`Problem`] trait's
+//!   [`Problem::evaluate_batch`] hook lets problems batch, cache, or
+//!   parallelize evaluation ([`parallel_evaluate`] provides the
+//!   data-parallel body);
+//! * [`Spea2`] — the paper's engine, implementing [`Engine`];
+//! * [`nsga2`] — an independent NSGA-II [`Engine`] used to cross-check
+//!   results;
 //! * [`indicators`] — hypervolume, coverage, and matched-level front
 //!   comparison used by the experiment harness.
 //!
@@ -28,6 +34,7 @@
 
 pub mod density;
 pub mod dominance;
+pub mod engine;
 pub mod indicators;
 pub mod individual;
 pub mod nsga2;
@@ -36,9 +43,14 @@ pub mod selection;
 pub mod spea2;
 
 pub use dominance::{compare, dominates, non_dominated_indices, pareto_front, DominanceRelation};
+pub use engine::{
+    parallel_evaluate, run_engine, Engine, EngineConfig, EngineKind, EngineOutcome,
+    GenerationSnapshot, Problem,
+};
 pub use individual::Individual;
+pub use nsga2::Nsga2;
 pub use objectives::Objectives;
-pub use spea2::{assign_fitness, GenerationSnapshot, Problem, Spea2, Spea2Config, Spea2Outcome};
+pub use spea2::{assign_fitness, Spea2, Spea2Config, Spea2Outcome};
 
 #[cfg(test)]
 mod proptests {
@@ -46,8 +58,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Objectives>> {
-        proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..max_len)
-            .prop_map(|raw| raw.into_iter().map(|(a, b)| Objectives::pair(a, b)).collect())
+        proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..max_len).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(a, b)| Objectives::pair(a, b))
+                .collect()
+        })
     }
 
     proptest! {
@@ -110,7 +125,7 @@ mod proptests {
                 .collect();
             assign_fitness(&mut combined, 1);
             let selected = selection::environmental_selection(&combined, size);
-            prop_assert!(selected.len() <= size.max(selected.len().min(size)));
+            prop_assert!(selected.len() <= size.max(1));
             prop_assert!(selected.len() <= combined.len());
             if combined.len() >= size {
                 prop_assert_eq!(selected.len(), size);

@@ -1,16 +1,21 @@
-//! A compact NSGA-II implementation used as a cross-check for the SPEA2
-//! engine.
+//! The NSGA-II backend of the [`Engine`] abstraction, used as an
+//! independent cross-check for SPEA2.
 //!
 //! The paper chooses SPEA2 (citing its comparative performance); providing
-//! a second, independent multi-objective optimizer lets the ablation
+//! a second engine behind the same [`Engine`] interface lets the ablation
 //! experiments confirm that the OptRR results are not an artifact of the
-//! particular engine. NSGA-II ranks individuals by non-dominated sorting
-//! and breaks ties with crowding distance.
+//! particular engine — callers switch backends purely through
+//! [`EngineKind`](crate::EngineKind). NSGA-II ranks individuals by
+//! non-dominated sorting and breaks ties with crowding distance; it has no
+//! separate archive, so the shared `archive_size` bounds only the reported
+//! final front and `density_k` is unused.
 
 use crate::dominance::dominates;
+use crate::engine::{evaluate_into_individuals, push_offspring_pair, seeded_initial_population};
+use crate::engine::{Engine, EngineConfig, EngineKind, EngineOutcome, GenerationSnapshot, Problem};
 use crate::individual::Individual;
 use crate::objectives::Objectives;
-use crate::spea2::{Problem, Spea2Config};
+use crate::spea2::assign_fitness;
 use rand::Rng;
 
 /// Performs fast non-dominated sorting; returns the front index (0 = best)
@@ -91,117 +96,142 @@ pub fn crowding_distances(points: &[Objectives], ranks: &[usize]) -> Vec<f64> {
     distance
 }
 
-/// The result of an NSGA-II run.
-#[derive(Debug, Clone)]
-pub struct Nsga2Outcome<G> {
-    /// The final first front (rank-0 individuals).
-    pub front: Vec<Individual<G>>,
-    /// Number of generations executed.
-    pub generations_run: usize,
+/// The NSGA-II engine, generic over the problem definition.
+pub struct Nsga2<'a, P: Problem> {
+    problem: &'a P,
+    config: EngineConfig,
 }
 
-/// Runs NSGA-II on the given problem with (reusing) the SPEA2 configuration
-/// shape: `population_size`, `generations`, and `mutation_rate` are used;
-/// `archive_size` and `density_k` are ignored.
-pub fn run_nsga2<P: Problem, R: Rng + ?Sized>(
-    problem: &P,
-    config: &Spea2Config,
-    rng: &mut R,
-) -> Result<Nsga2Outcome<P::Genome>, String> {
-    config.validate()?;
-    let pop_size = config.population_size;
+impl<'a, P: Problem> Nsga2<'a, P> {
+    /// Creates an engine after validating the configuration.
+    pub fn new(problem: &'a P, config: EngineConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { problem, config })
+    }
+}
 
-    let mut population: Vec<Individual<P::Genome>> = (0..pop_size)
-        .map(|_| {
-            let mut g = problem.random_genome(rng);
-            problem.repair(&mut g, rng);
-            let o = problem.evaluate(&g);
-            Individual::new(g, o)
-        })
-        .collect();
+impl<'a, P: Problem> Engine<P> for Nsga2<'a, P> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Nsga2
+    }
 
-    let mut generations_run = 0usize;
-    for _generation in 0..config.generations {
-        generations_run += 1;
-        // Rank the current population.
-        let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
-        let ranks = non_dominated_sort(&points);
-        let crowd = crowding_distances(&points, &ranks);
+    fn config(&self) -> &EngineConfig {
+        &self.config
+    }
 
-        // Binary-tournament selection on (rank, -crowding).
-        let better = |a: usize, b: usize| -> usize {
-            if ranks[a] < ranks[b] {
-                a
-            } else if ranks[b] < ranks[a] {
-                b
-            } else if crowd[a] >= crowd[b] {
-                a
-            } else {
-                b
-            }
-        };
+    fn run_seeded<R, F>(
+        &self,
+        rng: &mut R,
+        seeds: Vec<P::Genome>,
+        mut observer: F,
+    ) -> EngineOutcome<P::Genome>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&GenerationSnapshot<'_, P::Genome>) -> bool,
+    {
+        let pop_size = self.config.population_size;
+        let mut evaluations = 0usize;
 
-        // Produce offspring.
-        let mut offspring: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
-        while offspring.len() < pop_size {
-            let p1 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
-            let p2 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
-            let (mut c1, mut c2) =
-                problem.crossover(&population[p1].genome, &population[p2].genome, rng);
-            for c in [&mut c1, &mut c2] {
-                if rng.gen::<f64>() < config.mutation_rate {
-                    problem.mutate(c, rng);
+        // Initial population: seeds first, then random genomes, all
+        // repaired and evaluated as one batch (shared with SPEA2).
+        let mut population =
+            seeded_initial_population(self.problem, pop_size, seeds, rng, &mut evaluations);
+
+        let mut generations_run = 0usize;
+        let mut front_len = 0usize;
+        for generation in 0..self.config.generations {
+            generations_run = generation + 1;
+
+            // Rank the current population for mating selection.
+            let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
+            let ranks = non_dominated_sort(&points);
+            let crowd = crowding_distances(&points, &ranks);
+
+            // Binary-tournament selection on (rank, -crowding).
+            let better = |a: usize, b: usize| -> usize {
+                if ranks[a] < ranks[b] {
+                    a
+                } else if ranks[b] < ranks[a] {
+                    b
+                } else if crowd[a] >= crowd[b] {
+                    a
+                } else {
+                    b
                 }
-                problem.repair(c, rng);
-            }
-            for c in [c1, c2] {
-                if offspring.len() >= pop_size {
-                    break;
-                }
-                let o = problem.evaluate(&c);
-                offspring.push(Individual::new(c, o));
-            }
-        }
+            };
 
-        // Environmental selection over the union, by (rank, crowding).
-        let mut union = population;
-        union.append(&mut offspring);
-        let union_points: Vec<Objectives> = union.iter().map(|i| i.objectives.clone()).collect();
-        let union_ranks = non_dominated_sort(&union_points);
-        let union_crowd = crowding_distances(&union_points, &union_ranks);
-        let mut order: Vec<usize> = (0..union.len()).collect();
-        order.sort_by(|&a, &b| {
-            union_ranks[a]
-                .cmp(&union_ranks[b])
-                .then_with(|| {
+            // Produce offspring genomes; evaluation is deferred so the
+            // whole brood goes through `evaluate_batch` at once.
+            let mut child_genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
+            while child_genomes.len() < pop_size {
+                let p1 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
+                let p2 = better(rng.gen_range(0..pop_size), rng.gen_range(0..pop_size));
+                push_offspring_pair(
+                    self.problem,
+                    self.config.mutation_rate,
+                    &population[p1].genome,
+                    &population[p2].genome,
+                    rng,
+                    &mut child_genomes,
+                    pop_size,
+                );
+            }
+            let mut offspring =
+                evaluate_into_individuals(self.problem, child_genomes, &mut evaluations);
+
+            // Environmental selection over the union, by (rank, crowding).
+            let mut union = population;
+            union.append(&mut offspring);
+            let union_points: Vec<Objectives> =
+                union.iter().map(|i| i.objectives.clone()).collect();
+            let union_ranks = non_dominated_sort(&union_points);
+            let union_crowd = crowding_distances(&union_points, &union_ranks);
+            let mut order: Vec<usize> = (0..union.len()).collect();
+            order.sort_by(|&a, &b| {
+                union_ranks[a].cmp(&union_ranks[b]).then_with(|| {
                     union_crowd[b]
                         .partial_cmp(&union_crowd[a])
                         .expect("finite or infinite crowding")
                 })
-        });
-        let survivors: Vec<usize> = order.into_iter().take(pop_size).collect();
-        let mut keep = vec![false; union.len()];
-        for &i in &survivors {
-            keep[i] = true;
-        }
-        let mut next = Vec::with_capacity(pop_size);
-        for (i, ind) in union.into_iter().enumerate() {
-            if keep[i] {
-                next.push(ind);
+            });
+            order.truncate(pop_size);
+            front_len = order.iter().filter(|&&i| union_ranks[i] == 0).count();
+
+            // Rebuild the population in (rank, crowding) order so the
+            // rank-0 individuals form a prefix — the snapshot's "archive".
+            let mut slots: Vec<Option<Individual<P::Genome>>> =
+                union.into_iter().map(Some).collect();
+            population = order
+                .iter()
+                .map(|&i| slots[i].take().expect("selection indices are unique"))
+                .collect();
+
+            // The snapshot slices are disjoint (elite prefix vs the
+            // rest), so observers chaining them visit each individual
+            // exactly once — same contract as SPEA2's archive/population.
+            let snapshot = GenerationSnapshot {
+                generation,
+                archive: &population[..front_len],
+                population: &population[front_len..],
+                evaluations,
+            };
+            if !observer(&snapshot) {
+                break;
             }
         }
-        population = next;
-    }
 
-    // Extract the final first front.
-    let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
-    let ranks = non_dominated_sort(&points);
-    let front: Vec<Individual<P::Genome>> = population
-        .into_iter()
-        .zip(ranks)
-        .filter_map(|(ind, r)| if r == 0 { Some(ind) } else { None })
-        .collect();
-    Ok(Nsga2Outcome { front, generations_run })
+        // The final first front (already a prefix of the sorted
+        // population), bounded by the shared archive size and
+        // fitness-assigned like the SPEA2 archive so downstream reporting
+        // is uniform.
+        population.truncate(front_len.min(self.config.archive_size).max(1));
+        assign_fitness(&mut population, self.config.density_k);
+        EngineOutcome {
+            archive: population,
+            generations_run,
+            evaluations,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -275,26 +305,82 @@ mod tests {
 
     #[test]
     fn nsga2_finds_the_schaffer_front() {
-        let config = Spea2Config {
+        let config = EngineConfig {
             population_size: 60,
             archive_size: 30,
             generations: 60,
             mutation_rate: 0.4,
             density_k: 1,
         };
+        let engine = Nsga2::new(&Schaffer, config).unwrap();
+        assert_eq!(engine.kind(), EngineKind::Nsga2);
         let mut rng = StdRng::seed_from_u64(5);
-        let outcome = run_nsga2(&Schaffer, &config, &mut rng).unwrap();
+        let outcome = engine.run(&mut rng);
         assert_eq!(outcome.generations_run, 60);
-        assert!(!outcome.front.is_empty());
-        for ind in &outcome.front {
+        assert!(!outcome.archive.is_empty());
+        assert!(outcome.archive.len() <= 30);
+        for ind in &outcome.archive {
             assert!((-0.3..=2.3).contains(&ind.genome), "genome {}", ind.genome);
         }
     }
 
     #[test]
+    fn nsga2_observer_sees_rank0_prefix_and_can_stop_early() {
+        let config = EngineConfig {
+            population_size: 24,
+            archive_size: 12,
+            generations: 40,
+            mutation_rate: 0.4,
+            density_k: 1,
+        };
+        let engine = Nsga2::new(&Schaffer, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = 0usize;
+        let outcome = engine.run_with_observer(&mut rng, |snap| {
+            seen += 1;
+            assert!(!snap.archive.is_empty());
+            // Elite and remainder are disjoint and partition the
+            // generation's individuals.
+            assert_eq!(snap.archive.len() + snap.population.len(), 24);
+            // The archive holds rank 0: nothing in the remainder
+            // dominates an archive member.
+            for elite in snap.archive {
+                assert!(!snap
+                    .population
+                    .iter()
+                    .any(|p| crate::dominance::dominates(&p.objectives, &elite.objectives)));
+            }
+            snap.generation < 2
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(outcome.generations_run, 3);
+    }
+
+    #[test]
+    fn nsga2_supports_seeded_runs_and_determinism() {
+        let config = EngineConfig {
+            population_size: 20,
+            archive_size: 10,
+            generations: 15,
+            mutation_rate: 0.4,
+            density_k: 1,
+        };
+        let engine = Nsga2::new(&Schaffer, config).unwrap();
+        let genomes =
+            |o: &EngineOutcome<f64>| o.archive.iter().map(|i| i.genome).collect::<Vec<_>>();
+        let a = engine.run_seeded(&mut StdRng::seed_from_u64(3), vec![1.0, 1.5], |_| true);
+        let b = engine.run_seeded(&mut StdRng::seed_from_u64(3), vec![1.0, 1.5], |_| true);
+        assert_eq!(genomes(&a), genomes(&b));
+        let c = engine.run_seeded(&mut StdRng::seed_from_u64(4), vec![1.0, 1.5], |_| true);
+        assert_ne!(genomes(&a), genomes(&c));
+    }
+
+    #[test]
     fn nsga2_rejects_invalid_config() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let bad = Spea2Config { population_size: 0, ..Default::default() };
-        assert!(run_nsga2(&Schaffer, &bad, &mut rng).is_err());
+        let bad = EngineConfig {
+            population_size: 0,
+            ..Default::default()
+        };
+        assert!(Nsga2::new(&Schaffer, bad).is_err());
     }
 }

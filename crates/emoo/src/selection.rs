@@ -27,7 +27,9 @@ pub fn fill_mating_pool<G, R: Rng + ?Sized>(
     pool_size: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    (0..pool_size).map(|_| binary_tournament(candidates, rng)).collect()
+    (0..pool_size)
+        .map(|_| binary_tournament(candidates, rng))
+        .collect()
 }
 
 /// SPEA2 environmental selection over an already fitness-assigned combined
@@ -39,10 +41,7 @@ pub fn fill_mating_pool<G, R: Rng + ?Sized>(
 /// 3. if more than `archive_size`, iteratively truncated by removing the
 ///    member with the smallest distance to its nearest neighbour
 ///    (ties broken by the next-nearest distances).
-pub fn environmental_selection<G>(
-    combined: &[Individual<G>],
-    archive_size: usize,
-) -> Vec<usize> {
+pub fn environmental_selection<G>(combined: &[Individual<G>], archive_size: usize) -> Vec<usize> {
     assert!(archive_size > 0, "archive size must be positive");
     let mut selected: Vec<usize> = combined
         .iter()

@@ -1,125 +1,36 @@
-//! A generic SPEA2 (Strength Pareto Evolutionary Algorithm 2) engine.
+//! The SPEA2 (Strength Pareto Evolutionary Algorithm 2) backend of the
+//! [`Engine`] abstraction.
 //!
 //! This module implements the algorithm skeleton the paper customizes
 //! (Section V): fitness assignment (strength → raw fitness → density),
 //! environmental selection into a bounded archive, binary-tournament mating
 //! selection, and user-supplied variation (crossover + mutation) and repair
-//! operators. The OptRR-specific genome, operators, and the optimal-set Ω
-//! extension live in `optrr-core`; this crate stays problem-agnostic so it
-//! can be reused (and is also exercised on standard test problems in the
-//! tests below).
+//! operators. Each generation produces all child genomes first and then
+//! evaluates them through [`Problem::evaluate_batch`], so problems can
+//! batch, cache, or parallelize evaluation — the hottest path of the whole
+//! system. The OptRR-specific genome, operators, and the optimal-set Ω
+//! extension live in `optrr-core`; this crate stays problem-agnostic.
 
-use crate::density::{densities, DEFAULT_K};
+use crate::density::densities;
 use crate::dominance::raw_fitness;
+use crate::engine::{
+    evaluate_into_individuals, push_offspring_pair, seeded_initial_population, Engine, EngineKind,
+    EngineOutcome,
+};
 use crate::individual::Individual;
 use crate::objectives::Objectives;
 use crate::selection::{environmental_selection, fill_mating_pool};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
-/// A multi-objective problem definition: how to create, evaluate, vary, and
-/// repair genomes.
-pub trait Problem {
-    /// The genome type being evolved.
-    type Genome: Clone;
+pub use crate::engine::{EngineConfig, GenerationSnapshot, Problem};
 
-    /// Number of objectives (all minimized).
-    fn num_objectives(&self) -> usize;
+/// SPEA2 run parameters — an alias of the shared [`EngineConfig`] kept for
+/// source compatibility with pre-`Engine` call sites.
+pub type Spea2Config = EngineConfig;
 
-    /// Creates one random genome.
-    fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Genome;
-
-    /// Evaluates a genome into an objective vector. Infeasible genomes must
-    /// be mapped to large finite penalty values rather than NaN.
-    fn evaluate(&self, genome: &Self::Genome) -> Objectives;
-
-    /// Produces two children from two parents (crossover).
-    fn crossover<R: Rng + ?Sized>(
-        &self,
-        a: &Self::Genome,
-        b: &Self::Genome,
-        rng: &mut R,
-    ) -> (Self::Genome, Self::Genome);
-
-    /// Mutates a genome in place.
-    fn mutate<R: Rng + ?Sized>(&self, genome: &mut Self::Genome, rng: &mut R);
-
-    /// Repairs a genome so it satisfies the problem's constraints
-    /// (the OptRR "meeting the bound" step). The default is a no-op.
-    fn repair<R: Rng + ?Sized>(&self, _genome: &mut Self::Genome, _rng: &mut R) {}
-}
-
-/// SPEA2 run parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Spea2Config {
-    /// Population size `N_Q`.
-    pub population_size: usize,
-    /// Archive size `N_V`.
-    pub archive_size: usize,
-    /// Number of generations to run.
-    pub generations: usize,
-    /// Per-child mutation probability.
-    pub mutation_rate: f64,
-    /// Neighbour index `k` for the density estimator.
-    pub density_k: usize,
-}
-
-impl Default for Spea2Config {
-    fn default() -> Self {
-        Self {
-            population_size: 80,
-            archive_size: 40,
-            generations: 100,
-            mutation_rate: 0.3,
-            density_k: DEFAULT_K,
-        }
-    }
-}
-
-impl Spea2Config {
-    /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.population_size == 0 {
-            return Err("population_size must be positive".into());
-        }
-        if self.archive_size == 0 {
-            return Err("archive_size must be positive".into());
-        }
-        if self.generations == 0 {
-            return Err("generations must be positive".into());
-        }
-        if !(0.0..=1.0).contains(&self.mutation_rate) {
-            return Err("mutation_rate must be in [0, 1]".into());
-        }
-        if self.density_k == 0 {
-            return Err("density_k must be positive".into());
-        }
-        Ok(())
-    }
-}
-
-/// A snapshot of the state at the end of a generation, passed to the
-/// observer callback (used by `optrr-core` to maintain the optimal set Ω).
-pub struct GenerationSnapshot<'a, G> {
-    /// Generation index (0-based).
-    pub generation: usize,
-    /// The archive after environmental selection.
-    pub archive: &'a [Individual<G>],
-    /// The newly produced population (after crossover / mutation / repair
-    /// and evaluation).
-    pub population: &'a [Individual<G>],
-}
-
-/// The result of a SPEA2 run.
-#[derive(Debug, Clone)]
-pub struct Spea2Outcome<G> {
-    /// The final archive (fitness-assigned, bounded by `archive_size`).
-    pub archive: Vec<Individual<G>>,
-    /// Number of generations actually executed.
-    pub generations_run: usize,
-    /// Total number of objective evaluations performed.
-    pub evaluations: usize,
-}
+/// The result of a SPEA2 run — an alias of the shared [`EngineOutcome`]
+/// kept for source compatibility with pre-`Engine` call sites.
+pub type Spea2Outcome<G> = EngineOutcome<G>;
 
 /// Assigns SPEA2 fitness (raw fitness + density) to every member of the
 /// combined population, in place.
@@ -135,72 +46,47 @@ pub fn assign_fitness<G>(combined: &mut [Individual<G>], density_k: usize) {
 /// The SPEA2 engine, generic over the problem definition.
 pub struct Spea2<'a, P: Problem> {
     problem: &'a P,
-    config: Spea2Config,
+    config: EngineConfig,
 }
 
 impl<'a, P: Problem> Spea2<'a, P> {
     /// Creates an engine after validating the configuration.
-    pub fn new(problem: &'a P, config: Spea2Config) -> Result<Self, String> {
+    pub fn new(problem: &'a P, config: EngineConfig) -> Result<Self, String> {
         config.validate()?;
         Ok(Self { problem, config })
     }
+}
 
-    /// Borrow the configuration.
-    pub fn config(&self) -> &Spea2Config {
+impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Spea2
+    }
+
+    fn config(&self) -> &EngineConfig {
         &self.config
     }
 
-    /// Runs the algorithm, invoking `observer` at the end of each
-    /// generation (the hook `optrr-core` uses for the optimal set Ω and for
-    /// early-termination bookkeeping). The observer returns `true` to keep
-    /// going and `false` to stop early.
-    pub fn run_with_observer<R, F>(
-        &self,
-        rng: &mut R,
-        observer: F,
-    ) -> Spea2Outcome<P::Genome>
-    where
-        R: Rng + ?Sized,
-        F: FnMut(&GenerationSnapshot<'_, P::Genome>) -> bool,
-    {
-        self.run_seeded(rng, Vec::new(), observer)
-    }
-
-    /// Runs the algorithm with an explicitly seeded initial population.
-    ///
-    /// The supplied genomes (repaired before evaluation) fill the first
-    /// slots of generation 0; the remainder of the population is filled
-    /// with random genomes as usual. Seeds beyond `population_size` are
-    /// ignored. Seeding with known-good solutions (e.g. the classical
-    /// baseline matrices in OptRR) accelerates convergence without changing
-    /// the algorithm's steady-state behaviour.
-    pub fn run_seeded<R, F>(
+    fn run_seeded<R, F>(
         &self,
         rng: &mut R,
         seeds: Vec<P::Genome>,
         mut observer: F,
-    ) -> Spea2Outcome<P::Genome>
+    ) -> EngineOutcome<P::Genome>
     where
         R: Rng + ?Sized,
         F: FnMut(&GenerationSnapshot<'_, P::Genome>) -> bool,
     {
         let mut evaluations = 0usize;
 
-        // Initial population Q_0: seeds first, then random genomes.
-        let mut initial_genomes: Vec<P::Genome> = seeds;
-        initial_genomes.truncate(self.config.population_size);
-        while initial_genomes.len() < self.config.population_size {
-            initial_genomes.push(self.problem.random_genome(rng));
-        }
-        let mut population: Vec<Individual<P::Genome>> = initial_genomes
-            .into_iter()
-            .map(|mut genome| {
-                self.problem.repair(&mut genome, rng);
-                let objectives = self.problem.evaluate(&genome);
-                evaluations += 1;
-                Individual::new(genome, objectives)
-            })
-            .collect();
+        // Initial population Q_0: seeds first, then random genomes, all
+        // repaired and evaluated as one batch.
+        let mut population = seeded_initial_population(
+            self.problem,
+            self.config.population_size,
+            seeds,
+            rng,
+            &mut evaluations,
+        );
         let mut archive: Vec<Individual<P::Genome>> = Vec::new();
         let mut generations_run = 0usize;
 
@@ -208,9 +94,8 @@ impl<'a, P: Problem> Spea2<'a, P> {
             generations_run = generation + 1;
 
             // 1. Fitness assignment over the union of population and archive.
-            let mut combined: Vec<Individual<P::Genome>> = Vec::with_capacity(
-                population.len() + archive.len(),
-            );
+            let mut combined: Vec<Individual<P::Genome>> =
+                Vec::with_capacity(population.len() + archive.len());
             combined.append(&mut population);
             combined.append(&mut archive);
             assign_fitness(&mut combined, self.config.density_k);
@@ -233,11 +118,13 @@ impl<'a, P: Problem> Spea2<'a, P> {
             // 3. Mating selection from the archive.
             let mating_pool = fill_mating_pool(&archive, self.config.population_size, rng);
 
-            // 4. Crossover, mutation, and repair to build the next population.
-            let mut next_population: Vec<Individual<P::Genome>> =
-                Vec::with_capacity(self.config.population_size);
+            // 4. Crossover, mutation, and repair to build the next
+            // generation's genomes. Evaluation is deferred so the whole
+            // brood goes through `evaluate_batch` at once.
+            let mut child_genomes: Vec<P::Genome> =
+                Vec::with_capacity(self.config.population_size + 1);
             let mut pair_iter = mating_pool.chunks(2);
-            while next_population.len() < self.config.population_size {
+            while child_genomes.len() < self.config.population_size {
                 let pair = pair_iter.next().unwrap_or(&[]);
                 let (pa, pb) = match pair {
                     [a, b] => (*a, *b),
@@ -248,31 +135,27 @@ impl<'a, P: Problem> Spea2<'a, P> {
                         continue;
                     }
                 };
-                let (mut child_a, mut child_b) = self.problem.crossover(
+                // Steps 4–5 continued: crossover, mutation, and the
+                // "meeting the bound" repair, shared with NSGA-II.
+                push_offspring_pair(
+                    self.problem,
+                    self.config.mutation_rate,
                     &archive[pa].genome,
                     &archive[pb].genome,
                     rng,
+                    &mut child_genomes,
+                    self.config.population_size,
                 );
-                for child in [&mut child_a, &mut child_b] {
-                    if rng.gen::<f64>() < self.config.mutation_rate {
-                        self.problem.mutate(child, rng);
-                    }
-                    // 5. Meeting the bound (constraint repair).
-                    self.problem.repair(child, rng);
-                }
-                for child in [child_a, child_b] {
-                    if next_population.len() >= self.config.population_size {
-                        break;
-                    }
-                    let objectives = self.problem.evaluate(&child);
-                    evaluations += 1;
-                    next_population.push(Individual::new(child, objectives));
-                }
             }
-            population = next_population;
+            population = evaluate_into_individuals(self.problem, child_genomes, &mut evaluations);
 
             // 6. Observer hook (Ω update, logging, convergence checks).
-            let snapshot = GenerationSnapshot { generation, archive: &archive, population: &population };
+            let snapshot = GenerationSnapshot {
+                generation,
+                archive: &archive,
+                population: &population,
+                evaluations,
+            };
             if !observer(&snapshot) {
                 break;
             }
@@ -280,12 +163,11 @@ impl<'a, P: Problem> Spea2<'a, P> {
 
         // Final fitness assignment so the returned archive is ranked.
         assign_fitness(&mut archive, self.config.density_k);
-        Spea2Outcome { archive, generations_run, evaluations }
-    }
-
-    /// Runs the algorithm without an observer.
-    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Spea2Outcome<P::Genome> {
-        self.run_with_observer(rng, |_| true)
+        EngineOutcome {
+            archive,
+            generations_run,
+            evaluations,
+        }
     }
 }
 
@@ -333,12 +215,44 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(Spea2Config::default().validate().is_ok());
-        assert!(Spea2Config { population_size: 0, ..Default::default() }.validate().is_err());
-        assert!(Spea2Config { archive_size: 0, ..Default::default() }.validate().is_err());
-        assert!(Spea2Config { generations: 0, ..Default::default() }.validate().is_err());
-        assert!(Spea2Config { mutation_rate: 1.5, ..Default::default() }.validate().is_err());
-        assert!(Spea2Config { density_k: 0, ..Default::default() }.validate().is_err());
-        assert!(Spea2::new(&Schaffer, Spea2Config { generations: 0, ..Default::default() }).is_err());
+        assert!(Spea2Config {
+            population_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Spea2Config {
+            archive_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Spea2Config {
+            generations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Spea2Config {
+            mutation_rate: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Spea2Config {
+            density_k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Spea2::new(
+            &Schaffer,
+            Spea2Config {
+                generations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -366,6 +280,7 @@ mod tests {
             density_k: 1,
         };
         let engine = Spea2::new(&problem, config).unwrap();
+        assert_eq!(engine.kind(), EngineKind::Spea2);
         let mut rng = StdRng::seed_from_u64(7);
         let outcome = engine.run(&mut rng);
 
@@ -383,7 +298,11 @@ mod tests {
             );
         }
         // The archive points are mutually non-dominated.
-        let objs: Vec<Objectives> = outcome.archive.iter().map(|i| i.objectives.clone()).collect();
+        let objs: Vec<Objectives> = outcome
+            .archive
+            .iter()
+            .map(|i| i.objectives.clone())
+            .collect();
         for a in &objs {
             assert!(!objs.iter().any(|b| dominates(b, a)));
         }
@@ -396,9 +315,15 @@ mod tests {
         }
         // The front spreads across a reasonable range rather than collapsing.
         let front = pareto_front(&objs);
-        let min_f1 = front.iter().map(|o| o.value(0)).fold(f64::INFINITY, f64::min);
+        let min_f1 = front
+            .iter()
+            .map(|o| o.value(0))
+            .fold(f64::INFINITY, f64::min);
         let max_f1 = front.iter().map(|o| o.value(0)).fold(0.0_f64, f64::max);
-        assert!(max_f1 - min_f1 > 1.0, "front range [{min_f1}, {max_f1}] too narrow");
+        assert!(
+            max_f1 - min_f1 > 1.0,
+            "front range [{min_f1}, {max_f1}] too narrow"
+        );
     }
 
     #[test]
@@ -406,29 +331,40 @@ mod tests {
         let problem = Schaffer;
         let engine = Spea2::new(
             &problem,
-            Spea2Config { generations: 50, ..Default::default() },
+            Spea2Config {
+                generations: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let mut seen = Vec::new();
+        let mut last_evaluations = 0usize;
         let outcome = engine.run_with_observer(&mut rng, |snap| {
             seen.push(snap.generation);
             assert!(!snap.archive.is_empty());
             assert_eq!(snap.population.len(), engine.config().population_size);
+            assert!(snap.evaluations > last_evaluations);
+            last_evaluations = snap.evaluations;
             snap.generation < 4 // stop after generation index 4
         });
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
         assert_eq!(outcome.generations_run, 5);
+        assert_eq!(outcome.evaluations, last_evaluations);
     }
 
     #[test]
     fn runs_are_deterministic_for_a_seed() {
         let problem = Schaffer;
-        let config = Spea2Config { generations: 10, ..Default::default() };
+        let config = Spea2Config {
+            generations: 10,
+            ..Default::default()
+        };
         let engine = Spea2::new(&problem, config).unwrap();
         let a = engine.run(&mut StdRng::seed_from_u64(33));
         let b = engine.run(&mut StdRng::seed_from_u64(33));
-        let genomes = |o: &Spea2Outcome<f64>| o.archive.iter().map(|i| i.genome).collect::<Vec<_>>();
+        let genomes =
+            |o: &Spea2Outcome<f64>| o.archive.iter().map(|i| i.genome).collect::<Vec<_>>();
         assert_eq!(genomes(&a), genomes(&b));
         let c = engine.run(&mut StdRng::seed_from_u64(34));
         assert_ne!(genomes(&a), genomes(&c));

@@ -58,7 +58,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "square matrix required, got {rows}x{cols}")
             }
             LinalgError::Singular { pivot } => {
-                write!(f, "matrix is singular (pivot {pivot} is zero or negligible)")
+                write!(
+                    f,
+                    "matrix is singular (pivot {pivot} is zero or negligible)"
+                )
             }
             LinalgError::Empty => write!(f, "empty matrix or vector"),
             LinalgError::IndexOutOfBounds { index, extent } => {
@@ -107,7 +110,10 @@ mod tests {
     #[test]
     fn display_empty_and_bounds_and_nonfinite() {
         assert!(LinalgError::Empty.to_string().contains("empty"));
-        let e = LinalgError::IndexOutOfBounds { index: 7, extent: 5 };
+        let e = LinalgError::IndexOutOfBounds {
+            index: 7,
+            extent: 5,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('5'));
         assert!(LinalgError::NonFinite.to_string().contains("non-finite"));

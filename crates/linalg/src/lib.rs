@@ -49,7 +49,9 @@ pub mod matrix;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
-pub use lu::{condition_number_1, determinant, invert, solve, LuDecomposition, SINGULARITY_TOLERANCE};
+pub use lu::{
+    condition_number_1, determinant, invert, solve, LuDecomposition, SINGULARITY_TOLERANCE,
+};
 pub use matrix::Matrix;
 pub use vector::Vector;
 

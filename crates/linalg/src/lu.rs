@@ -38,7 +38,10 @@ impl LuDecomposition {
     /// [`LinalgError::NonFinite`] for malformed input.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         if n == 0 {
@@ -84,7 +87,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(Self { lu, perm, perm_sign })
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -218,8 +225,7 @@ mod tests {
     fn known_2x2_inverse() {
         let m = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
         let inv = invert(&m).unwrap();
-        let expected =
-            Matrix::from_rows(&[vec![0.6, -0.7], vec![-0.2, 0.4]]).unwrap();
+        let expected = Matrix::from_rows(&[vec![0.6, -0.7], vec![-0.2, 0.4]]).unwrap();
         assert!(inv.approx_eq(&expected, 1e-12));
         assert!((determinant(&m).unwrap() - 10.0).abs() < 1e-12);
     }

@@ -24,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix with every entry equal to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -73,7 +81,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix from a list of column vectors.
@@ -140,10 +152,16 @@ impl Matrix {
     /// Checked element access.
     pub fn get(&self, i: usize, j: usize) -> Result<f64> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: i, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: self.rows,
+            });
         }
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: j, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                extent: self.cols,
+            });
         }
         Ok(self.data[i * self.cols + j])
     }
@@ -151,10 +169,16 @@ impl Matrix {
     /// Checked element mutation.
     pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: i, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: self.rows,
+            });
         }
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: j, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                extent: self.cols,
+            });
         }
         self.data[i * self.cols + j] = value;
         Ok(())
@@ -163,7 +187,10 @@ impl Matrix {
     /// Returns row `i` as a `Vector`.
     pub fn row(&self, i: usize) -> Result<Vector> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: i, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: self.rows,
+            });
         }
         Ok(Vector::from_vec(
             self.data[i * self.cols..(i + 1) * self.cols].to_vec(),
@@ -173,17 +200,25 @@ impl Matrix {
     /// Returns column `j` as a `Vector`.
     pub fn column(&self, j: usize) -> Result<Vector> {
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: j, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                extent: self.cols,
+            });
         }
         Ok(Vector::from_vec(
-            (0..self.rows).map(|i| self.data[i * self.cols + j]).collect(),
+            (0..self.rows)
+                .map(|i| self.data[i * self.cols + j])
+                .collect(),
         ))
     }
 
     /// Overwrites column `j` with the supplied vector.
     pub fn set_column(&mut self, j: usize, col: &Vector) -> Result<()> {
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: j, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                extent: self.cols,
+            });
         }
         if col.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -201,7 +236,10 @@ impl Matrix {
     /// Overwrites row `i` with the supplied vector.
     pub fn set_row(&mut self, i: usize, row: &Vector) -> Result<()> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: i, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: self.rows,
+            });
         }
         if row.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -217,10 +255,16 @@ impl Matrix {
     /// Swaps two columns in place.
     pub fn swap_columns(&mut self, a: usize, b: usize) -> Result<()> {
         if a >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: a, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: a,
+                extent: self.cols,
+            });
         }
         if b >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: b, extent: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: b,
+                extent: self.cols,
+            });
         }
         if a == b {
             return Ok(());
@@ -234,10 +278,16 @@ impl Matrix {
     /// Swaps two rows in place.
     pub fn swap_rows(&mut self, a: usize, b: usize) -> Result<()> {
         if a >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: a, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: a,
+                extent: self.rows,
+            });
         }
         if b >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: b, extent: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: b,
+                extent: self.rows,
+            });
         }
         if a == b {
             return Ok(());
@@ -322,7 +372,11 @@ impl Matrix {
             .zip(b.data.iter())
             .map(|(x, y)| x + y)
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Element-wise subtraction.
@@ -340,7 +394,11 @@ impl Matrix {
             .zip(b.data.iter())
             .map(|(x, y)| x - y)
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns a copy scaled by `s`.
@@ -360,7 +418,11 @@ impl Matrix {
     /// Induced 1-norm (maximum absolute column sum).
     pub fn norm1(&self) -> f64 {
         (0..self.cols)
-            .map(|j| (0..self.rows).map(|i| self.data[i * self.cols + j].abs()).sum::<f64>())
+            .map(|j| {
+                (0..self.rows)
+                    .map(|i| self.data[i * self.cols + j].abs())
+                    .sum::<f64>()
+            })
             .fold(0.0_f64, f64::max)
     }
 
@@ -449,7 +511,10 @@ impl Matrix {
     /// Trace of a square matrix.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
     }
@@ -457,10 +522,15 @@ impl Matrix {
     /// Returns the diagonal as a `Vector`.
     pub fn diagonal(&self) -> Result<Vector> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         Ok(Vector::from_vec(
-            (0..self.rows).map(|i| self.data[i * self.cols + i]).collect(),
+            (0..self.rows)
+                .map(|i| self.data[i * self.cols + i])
+                .collect(),
         ))
     }
 }
@@ -481,28 +551,32 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_matrix(rhs).expect("matrix addition dimension mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition dimension mismatch")
     }
 }
 
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_matrix(rhs).expect("matrix subtraction dimension mismatch")
+        self.sub_matrix(rhs)
+            .expect("matrix subtraction dimension mismatch")
     }
 }
 
 impl Mul for &Matrix {
     type Output = Matrix;
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.mul_matrix(rhs).expect("matrix multiplication dimension mismatch")
+        self.mul_matrix(rhs)
+            .expect("matrix multiplication dimension mismatch")
     }
 }
 
 impl Mul<&Vector> for &Matrix {
     type Output = Vector;
     fn mul(self, rhs: &Vector) -> Vector {
-        self.mul_vector(rhs).expect("matrix-vector dimension mismatch")
+        self.mul_vector(rhs)
+            .expect("matrix-vector dimension mismatch")
     }
 }
 

@@ -24,23 +24,32 @@ impl Vector {
 
     /// Creates a vector of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Self { data: vec![0.0; len] }
+        Self {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector of `len` ones.
     pub fn ones(len: usize) -> Self {
-        Self { data: vec![1.0; len] }
+        Self {
+            data: vec![1.0; len],
+        }
     }
 
     /// Creates a vector of `len` entries all equal to `value`.
     pub fn filled(len: usize, value: f64) -> Self {
-        Self { data: vec![value; len] }
+        Self {
+            data: vec![value; len],
+        }
     }
 
     /// Creates the `i`-th standard basis vector of dimension `len`.
     pub fn basis(len: usize, i: usize) -> Result<Self> {
         if i >= len {
-            return Err(LinalgError::IndexOutOfBounds { index: i, extent: len });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: len,
+            });
         }
         let mut v = Self::zeros(len);
         v.data[i] = 1.0;
@@ -77,7 +86,10 @@ impl Vector {
         self.data
             .get(i)
             .copied()
-            .ok_or(LinalgError::IndexOutOfBounds { index: i, extent: self.data.len() })
+            .ok_or(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: self.data.len(),
+            })
     }
 
     /// Sets element `i` or returns an error if out of bounds.
@@ -88,7 +100,10 @@ impl Vector {
                 *slot = value;
                 Ok(())
             }
-            None => Err(LinalgError::IndexOutOfBounds { index: i, extent: len }),
+            None => Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                extent: len,
+            }),
         }
     }
 
@@ -337,7 +352,11 @@ impl Add for &Vector {
 impl Sub for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
-        assert_eq!(self.len(), rhs.len(), "vector subtraction dimension mismatch");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector subtraction dimension mismatch"
+        );
         Vector::from_vec(
             self.data
                 .iter()

@@ -89,7 +89,11 @@ pub struct AprioriConfig {
 
 impl Default for AprioriConfig {
     fn default() -> Self {
-        Self { min_support: 0.1, min_confidence: 0.6, max_itemset_size: 4 }
+        Self {
+            min_support: 0.1,
+            min_confidence: 0.6,
+            max_itemset_size: 4,
+        }
     }
 }
 
@@ -136,7 +140,10 @@ pub fn frequent_itemsets(
         let support = oracle.support(&[item])?;
         if support >= config.min_support {
             current_level.push(vec![item]);
-            all.push(FrequentItemset { items: vec![item], support });
+            all.push(FrequentItemset {
+                items: vec![item],
+                support,
+            });
         }
     }
 
@@ -173,7 +180,10 @@ pub fn frequent_itemsets(
                 }
                 let support = oracle.support(&candidate)?;
                 if support >= config.min_support {
-                    all.push(FrequentItemset { items: candidate.clone(), support });
+                    all.push(FrequentItemset {
+                        items: candidate.clone(),
+                        support,
+                    });
                     next_level.push(candidate);
                 }
             }
@@ -258,19 +268,44 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(AprioriConfig::default().validate().is_ok());
-        assert!(AprioriConfig { min_support: 1.5, ..Default::default() }.validate().is_err());
-        assert!(AprioriConfig { min_confidence: -0.1, ..Default::default() }.validate().is_err());
-        assert!(AprioriConfig { max_itemset_size: 0, ..Default::default() }.validate().is_err());
+        assert!(AprioriConfig {
+            min_support: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AprioriConfig {
+            min_confidence: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AprioriConfig {
+            max_itemset_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         let oracle = SupportOracle::Exact(&planted_data(100));
-        assert!(frequent_itemsets(&oracle, &AprioriConfig { min_support: 2.0, ..Default::default() })
-            .is_err());
+        assert!(frequent_itemsets(
+            &oracle,
+            &AprioriConfig {
+                min_support: 2.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn exact_mining_finds_planted_itemsets() {
         let data = planted_data(8_000);
         let oracle = SupportOracle::Exact(&data);
-        let config = AprioriConfig { min_support: 0.15, min_confidence: 0.6, max_itemset_size: 3 };
+        let config = AprioriConfig {
+            min_support: 0.15,
+            min_confidence: 0.6,
+            max_itemset_size: 3,
+        };
         let (itemsets, rules) = mine(&oracle, &config).unwrap();
 
         let has = |items: &[usize]| itemsets.iter().any(|s| s.items == items);
@@ -290,7 +325,11 @@ mod tests {
     fn supports_are_monotone_along_subsets() {
         let data = planted_data(5_000);
         let oracle = SupportOracle::Exact(&data);
-        let config = AprioriConfig { min_support: 0.05, min_confidence: 0.5, max_itemset_size: 3 };
+        let config = AprioriConfig {
+            min_support: 0.05,
+            min_confidence: 0.5,
+            max_itemset_size: 3,
+        };
         let itemsets = frequent_itemsets(&oracle, &config).unwrap();
         for set in itemsets.iter().filter(|s| s.items.len() == 2) {
             for &item in &set.items {
@@ -310,10 +349,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let disguised = disguise_transactions(&m, &data, &mut rng).unwrap();
 
-        let config = AprioriConfig { min_support: 0.18, min_confidence: 0.6, max_itemset_size: 3 };
+        let config = AprioriConfig {
+            min_support: 0.18,
+            min_confidence: 0.6,
+            max_itemset_size: 3,
+        };
         let exact = frequent_itemsets(&SupportOracle::Exact(&data), &config).unwrap();
         let reconstructed = frequent_itemsets(
-            &SupportOracle::Reconstructed { matrix: &m, disguised: &disguised },
+            &SupportOracle::Reconstructed {
+                matrix: &m,
+                disguised: &disguised,
+            },
             &config,
         )
         .unwrap();
@@ -340,7 +386,11 @@ mod tests {
     fn rules_respect_confidence_threshold() {
         let data = planted_data(5_000);
         let oracle = SupportOracle::Exact(&data);
-        let config = AprioriConfig { min_support: 0.1, min_confidence: 0.9, max_itemset_size: 2 };
+        let config = AprioriConfig {
+            min_support: 0.1,
+            min_confidence: 0.9,
+            max_itemset_size: 2,
+        };
         let (_, strict_rules) = mine(&oracle, &config).unwrap();
         for r in &strict_rules {
             assert!(r.confidence >= 0.9);
@@ -348,7 +398,10 @@ mod tests {
             assert!(!r.antecedent.is_empty());
             assert!(!r.consequent.is_empty());
         }
-        let relaxed = AprioriConfig { min_confidence: 0.3, ..config };
+        let relaxed = AprioriConfig {
+            min_confidence: 0.3,
+            ..config
+        };
         let (_, relaxed_rules) = mine(&oracle, &relaxed).unwrap();
         assert!(relaxed_rules.len() >= strict_rules.len());
     }
@@ -357,7 +410,11 @@ mod tests {
     fn empty_results_when_support_threshold_is_too_high() {
         let data = planted_data(1_000);
         let oracle = SupportOracle::Exact(&data);
-        let config = AprioriConfig { min_support: 0.99, min_confidence: 0.5, max_itemset_size: 3 };
+        let config = AprioriConfig {
+            min_support: 0.99,
+            min_confidence: 0.5,
+            max_itemset_size: 3,
+        };
         let (itemsets, rules) = mine(&oracle, &config).unwrap();
         assert!(itemsets.is_empty());
         assert!(rules.is_empty());

@@ -42,12 +42,14 @@ impl TreeNode {
     pub fn predict(&self, values: &[usize]) -> usize {
         match self {
             TreeNode::Leaf { class } => *class,
-            TreeNode::Split { attribute, children, majority } => {
-                match values.get(*attribute).and_then(|&v| children.get(v)) {
-                    Some(child) => child.predict(values),
-                    None => *majority,
-                }
-            }
+            TreeNode::Split {
+                attribute,
+                children,
+                majority,
+            } => match values.get(*attribute).and_then(|&v| children.get(v)) {
+                Some(child) => child.predict(values),
+                None => *majority,
+            },
         }
     }
 
@@ -83,7 +85,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 6, min_split: 20 }
+        Self {
+            max_depth: 6,
+            min_split: 20,
+        }
     }
 }
 
@@ -181,12 +186,19 @@ fn attribute_class_counts(
     attribute: usize,
     view: &AttributeView<'_>,
 ) -> Result<Vec<Vec<f64>>> {
-    let domain = data.attribute(attribute).expect("attribute validated").num_categories();
+    let domain = data
+        .attribute(attribute)
+        .expect("attribute validated")
+        .num_categories();
     let num_classes = data.labels().num_categories();
     // counts[class][value]
     let mut counts = vec![vec![0.0_f64; domain]; num_classes];
     for &r in rows {
-        let v = data.attribute(attribute).expect("attribute validated").record(r).expect("row");
+        let v = data
+            .attribute(attribute)
+            .expect("attribute validated")
+            .record(r)
+            .expect("row");
         let c = data.labels().record(r).expect("row");
         counts[c][v] += 1.0;
     }
@@ -218,7 +230,10 @@ fn information_gain(
     let base_entropy = entropy(&base_counts);
     let counts = attribute_class_counts(data, rows, attribute, view)?;
     let domain = counts.first().map(|c| c.len()).unwrap_or(0);
-    let total: f64 = counts.iter().map(|per_class| per_class.iter().sum::<f64>()).sum();
+    let total: f64 = counts
+        .iter()
+        .map(|per_class| per_class.iter().sum::<f64>())
+        .sum();
     if total <= 0.0 {
         return Ok(0.0);
     }
@@ -270,10 +285,17 @@ fn build_node(
     // disguised attribute this partitions on reported values — the standard
     // Du–Zhan construction: the split statistics are corrected, while the
     // routing necessarily uses what was observed.
-    let domain = data.attribute(attribute).expect("attribute in range").num_categories();
+    let domain = data
+        .attribute(attribute)
+        .expect("attribute in range")
+        .num_categories();
     let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); domain];
     for &r in rows {
-        let v = data.attribute(attribute).expect("attribute in range").record(r).expect("row");
+        let v = data
+            .attribute(attribute)
+            .expect("attribute in range")
+            .record(r)
+            .expect("row");
         partitions[v].push(r);
     }
     let children: Vec<TreeNode> = partitions
@@ -286,7 +308,11 @@ fn build_node(
             }
         })
         .collect();
-    TreeNode::Split { attribute, children, majority }
+    TreeNode::Split {
+        attribute,
+        children,
+        majority,
+    }
 }
 
 /// Classification accuracy of a tree on a labeled data set.
@@ -315,7 +341,12 @@ mod tests {
     use rr::schemes::warner;
 
     fn training_data(n: usize, seed: u64) -> LabeledDataset {
-        generate(&LabeledConfig { num_records: n, seed, ..Default::default() }).unwrap()
+        generate(&LabeledConfig {
+            num_records: n,
+            seed,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -332,7 +363,15 @@ mod tests {
         let data = training_data(200, 1);
         let views = vec![AttributeView::Plain; data.num_attributes()];
         assert!(build_tree(&data, &views[..2], &TreeConfig::default()).is_err());
-        assert!(build_tree(&data, &views, &TreeConfig { max_depth: 0, min_split: 5 }).is_err());
+        assert!(build_tree(
+            &data,
+            &views,
+            &TreeConfig {
+                max_depth: 0,
+                min_split: 5
+            }
+        )
+        .is_err());
         // Mismatched disguise matrix.
         let wrong = warner(7, 0.8).unwrap();
         let mut bad_views = views.clone();
@@ -368,10 +407,26 @@ mod tests {
     fn tree_respects_depth_and_split_limits() {
         let train = training_data(2_000, 4);
         let views = vec![AttributeView::Plain; train.num_attributes()];
-        let stump = build_tree(&train, &views, &TreeConfig { max_depth: 1, min_split: 10 }).unwrap();
+        let stump = build_tree(
+            &train,
+            &views,
+            &TreeConfig {
+                max_depth: 1,
+                min_split: 10,
+            },
+        )
+        .unwrap();
         assert_eq!(stump.depth(), 1);
         assert_eq!(stump.size(), 1);
-        let shallow = build_tree(&train, &views, &TreeConfig { max_depth: 2, min_split: 10 }).unwrap();
+        let shallow = build_tree(
+            &train,
+            &views,
+            &TreeConfig {
+                max_depth: 2,
+                min_split: 10,
+            },
+        )
+        .unwrap();
         assert!(shallow.depth() <= 2);
     }
 
@@ -427,8 +482,15 @@ mod tests {
         let attrs = vec![CategoricalDataset::new(3, vec![0, 1, 2, 0, 1, 2]).unwrap()];
         let labels = CategoricalDataset::new(2, vec![1; 6]).unwrap();
         let data = LabeledDataset::new(attrs, labels).unwrap();
-        let tree = build_tree(&data, &[AttributeView::Plain], &TreeConfig { max_depth: 4, min_split: 2 })
-            .unwrap();
+        let tree = build_tree(
+            &data,
+            &[AttributeView::Plain],
+            &TreeConfig {
+                max_depth: 4,
+                min_split: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(tree, TreeNode::Leaf { class: 1 });
         assert_eq!(accuracy(&tree, &data).unwrap(), 1.0);
     }

@@ -25,7 +25,11 @@ pub enum MiningError {
 impl fmt::Display for MiningError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MiningError::InvalidParameter { name, value, constraint } => {
+            MiningError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid parameter {name}={value}: {constraint}")
             }
             MiningError::EmptyData => write!(f, "empty data set"),
@@ -67,7 +71,11 @@ mod tests {
     #[test]
     fn display_and_conversion() {
         use std::error::Error;
-        let p = MiningError::InvalidParameter { name: "support", value: 2.0, constraint: "in [0,1]" };
+        let p = MiningError::InvalidParameter {
+            name: "support",
+            value: 2.0,
+            constraint: "in [0,1]",
+        };
         assert!(p.to_string().contains("support"));
         assert!(p.source().is_none());
         assert!(MiningError::EmptyData.to_string().contains("empty"));

@@ -17,10 +17,11 @@ use stats::Categorical;
 
 /// Which estimator to use when reconstructing original-data probabilities
 /// from disguised data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Reconstructor {
     /// The matrix-inversion estimator of Theorem 1 (fast, closed form, but
     /// requires an invertible matrix).
+    #[default]
     Inversion,
     /// The iterative EM-style estimator of Equation (3) (always on the
     /// simplex, works for singular matrices, slower).
@@ -32,17 +33,14 @@ pub enum Reconstructor {
     },
 }
 
-impl Default for Reconstructor {
-    fn default() -> Self {
-        Reconstructor::Inversion
-    }
-}
-
 impl Reconstructor {
     /// The iterative estimator with its default settings.
     pub fn iterative_default() -> Self {
         let cfg = IterativeConfig::default();
-        Reconstructor::Iterative { max_iterations: cfg.max_iterations, tolerance: cfg.tolerance }
+        Reconstructor::Iterative {
+            max_iterations: cfg.max_iterations,
+            tolerance: cfg.tolerance,
+        }
     }
 
     /// Reconstructs the original-data distribution of a disguised data set.
@@ -52,11 +50,15 @@ impl Reconstructor {
         disguised: &CategoricalDataset,
     ) -> Result<Categorical> {
         match self {
-            Reconstructor::Inversion => {
-                Ok(estimate_distribution(matrix, disguised)?.distribution)
-            }
-            Reconstructor::Iterative { max_iterations, tolerance } => {
-                let cfg = IterativeConfig { max_iterations: *max_iterations, tolerance: *tolerance };
+            Reconstructor::Inversion => Ok(estimate_distribution(matrix, disguised)?.distribution),
+            Reconstructor::Iterative {
+                max_iterations,
+                tolerance,
+            } => {
+                let cfg = IterativeConfig {
+                    max_iterations: *max_iterations,
+                    tolerance: *tolerance,
+                };
                 Ok(iterative_estimate(matrix, disguised, &cfg)?.distribution)
             }
         }
@@ -117,7 +119,9 @@ mod tests {
         let m = RrMatrix::uniform(4).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let disguised = disguise_dataset(&m, &data, &mut rng).unwrap().disguised;
-        assert!(Reconstructor::Inversion.reconstruct(&m, &disguised).is_err());
+        assert!(Reconstructor::Inversion
+            .reconstruct(&m, &disguised)
+            .is_err());
         assert!(Reconstructor::iterative_default()
             .reconstruct(&m, &disguised)
             .is_ok());

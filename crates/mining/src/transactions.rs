@@ -38,7 +38,11 @@ pub fn disguise_transactions<R: Rng + ?Sized>(
         let bits = data.bitmap(idx).expect("index within bounds");
         let mut out = Vec::new();
         for (item, bit) in bits.iter().enumerate() {
-            let reported = if *bit { present.sample(rng) } else { absent.sample(rng) };
+            let reported = if *bit {
+                present.sample(rng)
+            } else {
+                absent.sample(rng)
+            };
             if reported == 1 {
                 out.push(item);
             }
@@ -182,7 +186,8 @@ mod tests {
     fn identity_disguise_preserves_transactions() {
         let data = generate(&TransactionConfig::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let disguised = disguise_transactions(&RrMatrix::identity(2).unwrap(), &data, &mut rng).unwrap();
+        let disguised =
+            disguise_transactions(&RrMatrix::identity(2).unwrap(), &data, &mut rng).unwrap();
         assert_eq!(disguised, data);
     }
 
@@ -200,12 +205,18 @@ mod tests {
         // Single-item support.
         let true_s0 = data.support(&[0]);
         let est_s0 = estimate_support(&m, &disguised, &[0]).unwrap();
-        assert!((est_s0 - true_s0).abs() < 0.03, "item 0: {est_s0} vs {true_s0}");
+        assert!(
+            (est_s0 - true_s0).abs() < 0.03,
+            "item 0: {est_s0} vs {true_s0}"
+        );
 
         // Planted pair {0,1}.
         let true_pair = data.support(&[0, 1]);
         let est_pair = estimate_support(&m, &disguised, &[0, 1]).unwrap();
-        assert!((est_pair - true_pair).abs() < 0.04, "pair: {est_pair} vs {true_pair}");
+        assert!(
+            (est_pair - true_pair).abs() < 0.04,
+            "pair: {est_pair} vs {true_pair}"
+        );
 
         // Planted triple {2,3,4}.
         let true_triple = data.support(&[2, 3, 4]);

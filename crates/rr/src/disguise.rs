@@ -62,7 +62,10 @@ pub fn disguise_dataset<R: Rng + ?Sized>(
         disguised.push(y);
     }
     let disguised = CategoricalDataset::new(original.num_categories(), disguised)?;
-    Ok(DisguiseOutcome { disguised, retained })
+    Ok(DisguiseOutcome {
+        disguised,
+        retained,
+    })
 }
 
 /// Disguises a data set and returns the original/disguised record pairs —

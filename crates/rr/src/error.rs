@@ -50,7 +50,11 @@ impl fmt::Display for RrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RrError::InvalidMatrix { reason } => write!(f, "invalid RR matrix: {reason}"),
-            RrError::InvalidParameter { name, value, constraint } => {
+            RrError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid parameter {name}={value}: {constraint}")
             }
             RrError::DimensionMismatch { matrix, data } => write!(
@@ -58,10 +62,16 @@ impl fmt::Display for RrError {
                 "dimension mismatch: RR matrix has {matrix} categories but data has {data}"
             ),
             RrError::SingularMatrix => {
-                write!(f, "RR matrix is singular; inversion estimation is impossible")
+                write!(
+                    f,
+                    "RR matrix is singular; inversion estimation is impossible"
+                )
             }
             RrError::NoConvergence { iterations } => {
-                write!(f, "iterative estimator did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iterative estimator did not converge after {iterations} iterations"
+                )
             }
             RrError::EmptyData => write!(f, "empty data set"),
             RrError::Linalg(e) => write!(f, "linear algebra error: {e}"),
@@ -104,17 +114,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(RrError::InvalidMatrix { reason: "not square" }
-            .to_string()
-            .contains("not square"));
-        assert!(RrError::InvalidParameter { name: "p", value: 2.0, constraint: "in [0,1]" }
-            .to_string()
-            .contains("p=2"));
+        assert!(RrError::InvalidMatrix {
+            reason: "not square"
+        }
+        .to_string()
+        .contains("not square"));
+        assert!(RrError::InvalidParameter {
+            name: "p",
+            value: 2.0,
+            constraint: "in [0,1]"
+        }
+        .to_string()
+        .contains("p=2"));
         assert!(RrError::DimensionMismatch { matrix: 3, data: 5 }
             .to_string()
             .contains('5'));
         assert!(RrError::SingularMatrix.to_string().contains("singular"));
-        assert!(RrError::NoConvergence { iterations: 10 }.to_string().contains("10"));
+        assert!(RrError::NoConvergence { iterations: 10 }
+            .to_string()
+            .contains("10"));
         assert!(RrError::EmptyData.to_string().contains("empty"));
     }
 

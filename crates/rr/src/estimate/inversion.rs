@@ -75,7 +75,10 @@ pub fn estimate_from_disguised_frequencies(
         .mul_vector(&Vector::from_vec(p_star.probs().to_vec()))
         .map_err(RrError::from)?;
     let distribution = Categorical::new(raw.project_to_simplex().into_vec())?;
-    Ok(InversionEstimate { raw: raw.into_vec(), distribution })
+    Ok(InversionEstimate {
+        raw: raw.into_vec(),
+        distribution,
+    })
 }
 
 #[cfg(test)]
@@ -156,7 +159,10 @@ mod tests {
             Err(RrError::DimensionMismatch { .. })
         ));
         let empty = CategoricalDataset::new(3, vec![]).unwrap();
-        assert!(matches!(estimate_distribution(&m, &empty), Err(RrError::EmptyData)));
+        assert!(matches!(
+            estimate_distribution(&m, &empty),
+            Err(RrError::EmptyData)
+        ));
         assert!(matches!(
             estimate_from_counts(&m, &[1, 2]),
             Err(RrError::DimensionMismatch { .. })

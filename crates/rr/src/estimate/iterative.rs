@@ -33,7 +33,10 @@ pub struct IterativeConfig {
 
 impl Default for IterativeConfig {
     fn default() -> Self {
-        Self { max_iterations: 10_000, tolerance: 1e-10 }
+        Self {
+            max_iterations: 10_000,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -142,7 +145,10 @@ pub fn iterative_estimate_from_frequencies(
     // The update is a contraction for reasonable matrices; failing to reach
     // the tolerance is still useful information, so report it as an error
     // the caller can downgrade if it wants the last iterate.
-    Err(RrError::NoConvergence { iterations: config.max_iterations }).map_err(|e| {
+    Err(RrError::NoConvergence {
+        iterations: config.max_iterations,
+    })
+    .map_err(|e| {
         // Preserve residual information in debug logs if ever needed.
         let _ = residual;
         e
@@ -171,7 +177,11 @@ mod tests {
         let p_star = m.disguised_distribution(&p).unwrap();
         let out =
             iterative_estimate_from_frequencies(&m, &p_star, &IterativeConfig::default()).unwrap();
-        assert!(out.distribution.approx_eq(&p, 1e-6), "estimate {:?}", out.distribution);
+        assert!(
+            out.distribution.approx_eq(&p, 1e-6),
+            "estimate {:?}",
+            out.distribution
+        );
         assert!(out.iterations > 0);
         assert!(out.residual <= 1e-10);
     }
@@ -235,13 +245,19 @@ mod tests {
         assert!(iterative_estimate(
             &m,
             &data,
-            &IterativeConfig { max_iterations: 0, tolerance: 1e-9 }
+            &IterativeConfig {
+                max_iterations: 0,
+                tolerance: 1e-9
+            }
         )
         .is_err());
         assert!(iterative_estimate(
             &m,
             &data,
-            &IterativeConfig { max_iterations: 10, tolerance: 0.0 }
+            &IterativeConfig {
+                max_iterations: 10,
+                tolerance: 0.0
+            }
         )
         .is_err());
     }
@@ -254,8 +270,14 @@ mod tests {
         let result = iterative_estimate_from_frequencies(
             &m,
             &p_star,
-            &IterativeConfig { max_iterations: 1, tolerance: 1e-14 },
+            &IterativeConfig {
+                max_iterations: 1,
+                tolerance: 1e-14,
+            },
         );
-        assert!(matches!(result, Err(RrError::NoConvergence { iterations: 1 })));
+        assert!(matches!(
+            result,
+            Err(RrError::NoConvergence { iterations: 1 })
+        ));
     }
 }

@@ -17,5 +17,7 @@
 pub mod inversion;
 pub mod iterative;
 
-pub use inversion::{estimate_distribution, estimate_from_counts, estimate_from_disguised_frequencies};
+pub use inversion::{
+    estimate_distribution, estimate_from_counts, estimate_from_disguised_frequencies,
+};
 pub use iterative::{iterative_estimate, IterativeConfig, IterativeOutcome};

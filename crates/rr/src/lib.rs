@@ -36,6 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Negated comparisons like `!(x > 0.0)` are deliberate NaN-rejecting
+// guards, and a few index loops walk several parallel arrays at once.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
 pub mod disguise;
 pub mod error;
@@ -75,7 +78,9 @@ mod proptests {
                 // Bias the diagonal so the matrix is (almost surely) invertible.
                 col[j] += 1.5;
                 let s: f64 = col.iter().sum();
-                columns.push(linalg::Vector::from_vec(col.into_iter().map(|x| x / s).collect()));
+                columns.push(linalg::Vector::from_vec(
+                    col.into_iter().map(|x| x / s).collect(),
+                ));
             }
             RrMatrix::from_columns(&columns).unwrap()
         })

@@ -30,13 +30,19 @@ impl RrMatrix {
     /// Wraps a raw matrix after validating the RR-matrix invariants.
     pub fn new(matrix: Matrix) -> Result<Self> {
         if !matrix.is_square() {
-            return Err(RrError::InvalidMatrix { reason: "matrix must be square" });
+            return Err(RrError::InvalidMatrix {
+                reason: "matrix must be square",
+            });
         }
         if matrix.rows() < 2 {
-            return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+            return Err(RrError::InvalidMatrix {
+                reason: "need at least two categories",
+            });
         }
         if !matrix.is_finite() {
-            return Err(RrError::InvalidMatrix { reason: "entries must be finite" });
+            return Err(RrError::InvalidMatrix {
+                reason: "entries must be finite",
+            });
         }
         if !matrix.is_column_stochastic(STOCHASTIC_TOLERANCE) {
             return Err(RrError::InvalidMatrix {
@@ -51,7 +57,9 @@ impl RrMatrix {
             let clipped: Vec<f64> = col.iter().map(|&x| x.max(0.0)).collect();
             let s: f64 = clipped.iter().sum();
             let normalized = Vector::from_vec(clipped.into_iter().map(|x| x / s).collect());
-            inner.set_column(j, &normalized).expect("validated dimensions");
+            inner
+                .set_column(j, &normalized)
+                .expect("validated dimensions");
         }
         Ok(Self { inner })
     }
@@ -80,7 +88,9 @@ impl RrMatrix {
     /// singular, so distribution reconstruction is impossible.
     pub fn uniform(n: usize) -> Result<Self> {
         if n < 2 {
-            return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+            return Err(RrError::InvalidMatrix {
+                reason: "need at least two categories",
+            });
         }
         Self::new(Matrix::filled(n, n, 1.0 / n as f64))
     }
@@ -171,10 +181,7 @@ impl RrMatrix {
                 data: other.num_categories(),
             });
         }
-        let diff = self
-            .inner
-            .sub_matrix(&other.inner)
-            .map_err(RrError::from)?;
+        let diff = self.inner.sub_matrix(&other.inner).map_err(RrError::from)?;
         Ok(diff.max_abs())
     }
 
@@ -188,7 +195,9 @@ impl RrMatrix {
     /// seed the evolutionary search's initial population.
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self> {
         if n < 2 {
-            return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+            return Err(RrError::InvalidMatrix {
+                reason: "need at least two categories",
+            });
         }
         let mut columns = Vec::with_capacity(n);
         for _ in 0..n {
@@ -220,12 +229,7 @@ mod tests {
 
     fn warner3(p: f64) -> RrMatrix {
         let off = (1.0 - p) / 2.0;
-        RrMatrix::from_rows(&[
-            vec![p, off, off],
-            vec![off, p, off],
-            vec![off, off, p],
-        ])
-        .unwrap()
+        RrMatrix::from_rows(&[vec![p, off, off], vec![off, p, off], vec![off, off, p]]).unwrap()
     }
 
     #[test]
@@ -248,11 +252,7 @@ mod tests {
 
     #[test]
     fn construction_renormalizes_small_slack() {
-        let m = RrMatrix::from_rows(&[
-            vec![0.7 + 1e-9, 0.3],
-            vec![0.3, 0.7 - 1e-9],
-        ])
-        .unwrap();
+        let m = RrMatrix::from_rows(&[vec![0.7 + 1e-9, 0.3], vec![0.3, 0.7 - 1e-9]]).unwrap();
         for j in 0..2 {
             let col: f64 = (0..2).map(|i| m.theta(i, j)).sum();
             assert!((col - 1.0).abs() < 1e-12);

@@ -26,7 +26,10 @@ use stats::Categorical;
 pub fn posterior_matrix(m: &RrMatrix, prior: &Categorical) -> Result<Matrix> {
     let n = m.num_categories();
     if prior.num_categories() != n {
-        return Err(RrError::DimensionMismatch { matrix: n, data: prior.num_categories() });
+        return Err(RrError::DimensionMismatch {
+            matrix: n,
+            data: prior.num_categories(),
+        });
     }
     let mut q = Matrix::zeros(n, n);
     for i in 0..n {

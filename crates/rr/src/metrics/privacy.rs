@@ -64,7 +64,10 @@ pub fn privacy(m: &RrMatrix, prior: &Categorical) -> Result<f64> {
 pub fn analyze(m: &RrMatrix, prior: &Categorical) -> Result<PrivacyAnalysis> {
     let n = m.num_categories();
     if prior.num_categories() != n {
-        return Err(RrError::DimensionMismatch { matrix: n, data: prior.num_categories() });
+        return Err(RrError::DimensionMismatch {
+            matrix: n,
+            data: prior.num_categories(),
+        });
     }
     let q = posterior_matrix(m, prior)?;
 
@@ -108,7 +111,10 @@ pub fn empirical_adversary_accuracy(
     let mut correct = 0usize;
     for &(original, disguised) in pairs {
         if original >= n || disguised >= n {
-            return Err(RrError::DimensionMismatch { matrix: n, data: original.max(disguised) + 1 });
+            return Err(RrError::DimensionMismatch {
+                matrix: n,
+                data: original.max(disguised) + 1,
+            });
         }
         if estimates[disguised] == original {
             correct += 1;

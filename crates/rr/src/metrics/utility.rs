@@ -38,7 +38,10 @@ pub fn theoretical_mse_per_category(
 ) -> Result<Vec<f64>> {
     let n = m.num_categories();
     if original.num_categories() != n {
-        return Err(RrError::DimensionMismatch { matrix: n, data: original.num_categories() });
+        return Err(RrError::DimensionMismatch {
+            matrix: n,
+            data: original.num_categories(),
+        });
     }
     if n_records == 0 {
         return Err(RrError::EmptyData);
@@ -117,7 +120,10 @@ where
     }
     let n = m.num_categories();
     if original.num_categories() != n {
-        return Err(RrError::DimensionMismatch { matrix: n, data: original.num_categories() });
+        return Err(RrError::DimensionMismatch {
+            matrix: n,
+            data: original.num_categories(),
+        });
     }
     // Pre-build the per-category randomization distributions once.
     let columns: Vec<Categorical> = (0..n)
@@ -135,7 +141,10 @@ where
         }
         let estimate = estimator(m, &disguised_counts)?;
         if estimate.len() != n {
-            return Err(RrError::DimensionMismatch { matrix: n, data: estimate.len() });
+            return Err(RrError::DimensionMismatch {
+                matrix: n,
+                data: estimate.len(),
+            });
         }
         for k in 0..n {
             let err = estimate[k] - original.prob(k);

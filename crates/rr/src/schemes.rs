@@ -37,7 +37,9 @@ pub enum SchemeKind {
 /// with `p = 1/n` it is the uniform (singular) matrix.
 pub fn warner(n: usize, p: f64) -> Result<RrMatrix> {
     if n < 2 {
-        return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+        return Err(RrError::InvalidMatrix {
+            reason: "need at least two categories",
+        });
     }
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
         return Err(RrError::InvalidParameter {
@@ -62,7 +64,9 @@ pub fn warner(n: usize, p: f64) -> Result<RrMatrix> {
 /// original value), so the diagonal is `q + (1-q)/n`.
 pub fn uniform_perturbation(n: usize, q: f64) -> Result<RrMatrix> {
     if n < 2 {
-        return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+        return Err(RrError::InvalidMatrix {
+            reason: "need at least two categories",
+        });
     }
     if !(0.0..=1.0).contains(&q) || !q.is_finite() {
         return Err(RrError::InvalidParameter {
@@ -86,7 +90,9 @@ pub fn uniform_perturbation(n: usize, q: f64) -> Result<RrMatrix> {
 /// approaches the identity.
 pub fn frapp(n: usize, lambda: f64) -> Result<RrMatrix> {
     if n < 2 {
-        return Err(RrError::InvalidMatrix { reason: "need at least two categories" });
+        return Err(RrError::InvalidMatrix {
+            reason: "need at least two categories",
+        });
     }
     if !(lambda >= 0.0) || !lambda.is_finite() {
         return Err(RrError::InvalidParameter {
@@ -284,17 +290,26 @@ mod tests {
 
     #[test]
     fn scheme_instance_builds_correct_family() {
-        let w = SchemeInstance { kind: SchemeKind::Warner, parameter: 0.8 }
-            .build(4)
-            .unwrap();
+        let w = SchemeInstance {
+            kind: SchemeKind::Warner,
+            parameter: 0.8,
+        }
+        .build(4)
+        .unwrap();
         assert!((w.theta(0, 0) - 0.8).abs() < 1e-12);
-        let u = SchemeInstance { kind: SchemeKind::UniformPerturbation, parameter: 0.8 }
-            .build(4)
-            .unwrap();
+        let u = SchemeInstance {
+            kind: SchemeKind::UniformPerturbation,
+            parameter: 0.8,
+        }
+        .build(4)
+        .unwrap();
         assert!((u.theta(0, 0) - 0.85).abs() < 1e-12);
-        let f = SchemeInstance { kind: SchemeKind::Frapp, parameter: 3.0 }
-            .build(4)
-            .unwrap();
+        let f = SchemeInstance {
+            kind: SchemeKind::Frapp,
+            parameter: 3.0,
+        }
+        .build(4)
+        .unwrap();
         assert!((f.theta(0, 0) - 0.5).abs() < 1e-12);
     }
 
@@ -305,7 +320,9 @@ mod tests {
         assert_eq!(sweep[0].0, 0.0);
         assert_eq!(sweep[10].0, 1.0);
         assert!((sweep[5].0 - 0.5).abs() < 1e-12);
-        assert!(sweep[10].1.approx_eq(&RrMatrix::identity(5).unwrap(), 1e-12));
+        assert!(sweep[10]
+            .1
+            .approx_eq(&RrMatrix::identity(5).unwrap(), 1e-12));
         assert!(warner_sweep(5, 1).is_err());
     }
 }

@@ -27,17 +27,25 @@ impl Categorical {
     /// within [`PROBABILITY_TOLERANCE`].
     pub fn new(probs: Vec<f64>) -> Result<Self> {
         if probs.is_empty() {
-            return Err(StatsError::InvalidDistribution { reason: "no categories" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "no categories",
+            });
         }
         if probs.iter().any(|p| !p.is_finite()) {
-            return Err(StatsError::InvalidDistribution { reason: "non-finite probability" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "non-finite probability",
+            });
         }
         if probs.iter().any(|&p| p < -PROBABILITY_TOLERANCE) {
-            return Err(StatsError::InvalidDistribution { reason: "negative probability" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "negative probability",
+            });
         }
         let sum: f64 = probs.iter().sum();
         if (sum - 1.0).abs() > 1e-6 {
-            return Err(StatsError::InvalidDistribution { reason: "probabilities do not sum to 1" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "probabilities do not sum to 1",
+            });
         }
         // Clamp tiny negatives and renormalize exactly so the cached CDF ends at 1.
         let clipped: Vec<f64> = probs.iter().map(|&p| p.max(0.0)).collect();
@@ -59,7 +67,9 @@ impl Categorical {
     /// Builds a distribution from unnormalized non-negative weights.
     pub fn from_weights(weights: &[f64]) -> Result<Self> {
         if weights.is_empty() {
-            return Err(StatsError::InvalidDistribution { reason: "no categories" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "no categories",
+            });
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(StatsError::InvalidDistribution {
@@ -68,7 +78,9 @@ impl Categorical {
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return Err(StatsError::InvalidDistribution { reason: "weights sum to zero" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "weights sum to zero",
+            });
         }
         Self::new(weights.iter().map(|w| w / total).collect())
     }
@@ -82,7 +94,9 @@ impl Categorical {
     /// The uniform distribution over `n` categories.
     pub fn uniform(n: usize) -> Result<Self> {
         if n == 0 {
-            return Err(StatsError::InvalidDistribution { reason: "no categories" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "no categories",
+            });
         }
         Self::new(vec![1.0 / n as f64; n])
     }
@@ -90,7 +104,9 @@ impl Categorical {
     /// A point mass on category `i` of a domain with `n` categories.
     pub fn point_mass(n: usize, i: usize) -> Result<Self> {
         if n == 0 {
-            return Err(StatsError::InvalidDistribution { reason: "no categories" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "no categories",
+            });
         }
         if i >= n {
             return Err(StatsError::InvalidParameter {

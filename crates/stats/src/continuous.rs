@@ -49,7 +49,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mu: 0.0, sigma: 1.0 }
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -126,14 +129,14 @@ impl Gamma {
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -418,8 +421,8 @@ mod tests {
     fn gamma_cdf_reference_values() {
         // For Gamma(shape=2, scale=1): CDF(x) = 1 - e^{-x}(1+x).
         let g = Gamma::new(2.0, 1.0).unwrap();
-        for &x in &[0.5, 1.0, 2.0, 4.0] {
-            let expected = 1.0 - (-x as f64).exp() * (1.0 + x);
+        for &x in &[0.5f64, 1.0, 2.0, 4.0] {
+            let expected = 1.0 - (-x).exp() * (1.0 + x);
             assert_close(g.cdf(x), expected, 1e-8);
         }
         assert_eq!(g.cdf(-1.0), 0.0);
@@ -485,7 +488,11 @@ mod tests {
         assert_eq!(regularized_lower_gamma(2.0, 0.0), 0.0);
         assert_eq!(regularized_lower_gamma(2.0, -1.0), 0.0);
         // P(1, x) = 1 - e^-x.
-        assert_close(regularized_lower_gamma(1.0, 1.0), 1.0 - (-1.0f64).exp(), 1e-10);
+        assert_close(
+            regularized_lower_gamma(1.0, 1.0),
+            1.0 - (-1.0f64).exp(),
+            1e-10,
+        );
         // Large x saturates to 1.
         assert_close(regularized_lower_gamma(2.0, 100.0), 1.0, 1e-9);
     }

@@ -133,7 +133,9 @@ pub fn discretize_distribution_over<D: ContinuousDistribution>(
     // Numerical slack: renormalize exactly.
     let total: f64 = probs.iter().sum();
     if total <= 0.0 {
-        return Err(StatsError::InvalidDistribution { reason: "distribution has no mass in window" });
+        return Err(StatsError::InvalidDistribution {
+            reason: "distribution has no mass in window",
+        });
     }
     Categorical::new(probs.into_iter().map(|p| p / total).collect())
 }
@@ -146,12 +148,18 @@ pub fn discretize_samples(samples: &[f64], n: usize) -> Result<(Categorical, Equ
         return Err(StatsError::EmptyData);
     }
     if samples.iter().any(|x| !x.is_finite()) {
-        return Err(StatsError::InvalidDistribution { reason: "non-finite sample" });
+        return Err(StatsError::InvalidDistribution {
+            reason: "non-finite sample",
+        });
     }
     let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     // Degenerate case: all samples identical — widen the interval slightly.
-    let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+    let (lo, hi) = if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    };
     let bins = EqualWidthBins::new(lo, hi, n)?;
     let mut counts = vec![0u64; n];
     for &x in samples {
@@ -214,7 +222,8 @@ mod tests {
         for i in 0..5 {
             assert!(
                 (d.prob(i) - d.prob(9 - i)).abs() < 1e-6,
-                "bin {i} vs {}", 9 - i
+                "bin {i} vs {}",
+                9 - i
             );
         }
         // Unimodal: central bins carry the most mass.

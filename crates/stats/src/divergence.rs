@@ -24,8 +24,7 @@ fn check_support(p: &Categorical, q: &Categorical) -> Result<()> {
 pub fn mean_squared_error(p: &Categorical, q: &Categorical) -> Result<f64> {
     check_support(p, q)?;
     let n = p.num_categories() as f64;
-    Ok(p
-        .probs()
+    Ok(p.probs()
         .iter()
         .zip(q.probs().iter())
         .map(|(a, b)| (a - b) * (a - b))
@@ -149,9 +148,7 @@ mod tests {
         let q = dist(&[0.5, 0.5]);
         let expected = 0.75 * (0.75f64 / 0.5).ln() + 0.25 * (0.25f64 / 0.5).ln();
         assert!((kl_divergence(&p, &q).unwrap() - expected).abs() < 1e-12);
-        assert!(
-            (kl_divergence(&p, &q).unwrap() - kl_divergence(&q, &p).unwrap()).abs() > 1e-3
-        );
+        assert!((kl_divergence(&p, &q).unwrap() - kl_divergence(&q, &p).unwrap()).abs() > 1e-3);
     }
 
     #[test]
@@ -192,7 +189,9 @@ mod tests {
         let base = dist(&[0.25, 0.25, 0.25, 0.25]);
         let near = dist(&[0.3, 0.25, 0.25, 0.2]);
         let far = dist(&[0.7, 0.1, 0.1, 0.1]);
-        assert!(mean_squared_error(&base, &far).unwrap() > mean_squared_error(&base, &near).unwrap());
+        assert!(
+            mean_squared_error(&base, &far).unwrap() > mean_squared_error(&base, &near).unwrap()
+        );
         assert!(total_variation(&base, &far).unwrap() > total_variation(&base, &near).unwrap());
         assert!(kl_divergence(&base, &far).unwrap() > kl_divergence(&base, &near).unwrap());
         assert!(chi_square(&base, &far).unwrap() > chi_square(&base, &near).unwrap());

@@ -34,14 +34,21 @@ pub enum StatsError {
 impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StatsError::InvalidParameter { name, value, constraint } => {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid parameter {name}={value}: {constraint}")
             }
             StatsError::InvalidDistribution { reason } => {
                 write!(f, "invalid probability distribution: {reason}")
             }
             StatsError::SupportMismatch { left, right } => {
-                write!(f, "distribution support mismatch: {left} vs {right} categories")
+                write!(
+                    f,
+                    "distribution support mismatch: {left} vs {right} categories"
+                )
             }
             StatsError::EmptyData => write!(f, "empty data"),
         }
@@ -67,9 +74,11 @@ mod tests {
         assert!(e.to_string().contains("alpha"));
         assert!(e.to_string().contains("positive"));
 
-        assert!(StatsError::InvalidDistribution { reason: "sums to 2" }
-            .to_string()
-            .contains("sums to 2"));
+        assert!(StatsError::InvalidDistribution {
+            reason: "sums to 2"
+        }
+        .to_string()
+        .contains("sums to 2"));
         assert!(StatsError::SupportMismatch { left: 3, right: 4 }
             .to_string()
             .contains('3'));

@@ -25,7 +25,10 @@ impl Histogram {
                 constraint: "must be positive",
             });
         }
-        Ok(Self { counts: vec![0; n], total: 0 })
+        Ok(Self {
+            counts: vec![0; n],
+            total: 0,
+        })
     }
 
     /// Builds a histogram over `n` categories from observed category indices.

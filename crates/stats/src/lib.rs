@@ -26,6 +26,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Negated comparisons like `!(x > 0.0)` are deliberate NaN-rejecting
+// guards, and a few index loops walk several parallel arrays at once.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 
 pub mod categorical;
 pub mod continuous;

@@ -55,11 +55,7 @@ pub fn frequency_covariance_matrix(dist: &Categorical, n_records: u64) -> Result
 
 /// Draws one multinomial count vector: `n_records` records distributed over
 /// the categories of `dist`.
-pub fn sample_counts<R: Rng + ?Sized>(
-    dist: &Categorical,
-    n_records: u64,
-    rng: &mut R,
-) -> Vec<u64> {
+pub fn sample_counts<R: Rng + ?Sized>(dist: &Categorical, n_records: u64, rng: &mut R) -> Vec<u64> {
     let mut counts = vec![0u64; dist.num_categories()];
     for _ in 0..n_records {
         counts[dist.sample(rng)] += 1;
@@ -140,8 +136,7 @@ mod tests {
             freqs0.push(counts[0] as f64 / n_records as f64);
         }
         let mean: f64 = freqs0.iter().sum::<f64>() / trials as f64;
-        let var: f64 =
-            freqs0.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        let var: f64 = freqs0.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
         let expected = frequency_variance(&d, 0, n_records).unwrap();
         assert!(
             (var - expected).abs() < expected * 0.15,

@@ -67,7 +67,10 @@ impl Sampler for Gamma {
         let alpha = self.alpha;
         if alpha < 1.0 {
             // Boost: draw from Gamma(alpha + 1) and scale by U^{1/alpha}.
-            let boosted = Gamma { alpha: alpha + 1.0, beta: self.beta };
+            let boosted = Gamma {
+                alpha: alpha + 1.0,
+                beta: self.beta,
+            };
             let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
             return boosted.sample(rng) * u.powf(1.0 / alpha);
         }
@@ -83,9 +86,7 @@ impl Sampler for Gamma {
             let v = v * v * v;
             let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
             // Squeeze check followed by the full acceptance check.
-            if u < 1.0 - 0.0331 * x * x * x * x
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x * x * x * x || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.beta;
             }
         }
@@ -283,7 +284,7 @@ mod tests {
         let z = Zipf::new(6, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let n = 200_000;
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for s in z.sample_many(&mut rng, n) {
             counts[s] += 1;
         }

@@ -29,14 +29,22 @@ impl Summary {
             return Err(StatsError::EmptyData);
         }
         if samples.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::InvalidDistribution { reason: "non-finite sample" });
+            return Err(StatsError::InvalidDistribution {
+                reason: "non-finite sample",
+            });
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
         let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Ok(Self { count, mean, variance, min, max })
+        Ok(Self {
+            count,
+            mean,
+            variance,
+            min,
+            max,
+        })
     }
 
     /// Population standard deviation.
@@ -87,12 +95,17 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> Result<f64> {
         return Err(StatsError::EmptyData);
     }
     if xs.len() != ys.len() {
-        return Err(StatsError::SupportMismatch { left: xs.len(), right: ys.len() });
+        return Err(StatsError::SupportMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     let sx = Summary::of(xs)?;
     let sy = Summary::of(ys)?;
     if sx.variance == 0.0 || sy.variance == 0.0 {
-        return Err(StatsError::InvalidDistribution { reason: "zero variance" });
+        return Err(StatsError::InvalidDistribution {
+            reason: "zero variance",
+        });
     }
     let cov = xs
         .iter()

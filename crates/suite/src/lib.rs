@@ -23,7 +23,7 @@ pub use stats;
 /// quick.
 pub fn integration_config(delta: f64, seed: u64) -> optrr::OptrrConfig {
     optrr::OptrrConfig {
-        engine: emoo::Spea2Config {
+        engine: emoo::EngineConfig {
             population_size: 40,
             archive_size: 20,
             generations: 120,
@@ -35,6 +35,15 @@ pub fn integration_config(delta: f64, seed: u64) -> optrr::OptrrConfig {
     }
 }
 
+/// The reduced-budget configuration pinned to a specific EMOO backend —
+/// used by the engine-equivalence integration tests.
+pub fn integration_config_for(kind: emoo::EngineKind, delta: f64, seed: u64) -> optrr::OptrrConfig {
+    optrr::OptrrConfig {
+        engine_kind: kind,
+        ..integration_config(delta, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +52,12 @@ mod tests {
     fn integration_config_is_valid() {
         assert!(integration_config(0.75, 1).validate().is_ok());
         assert!(integration_config(0.6, 2).validate().is_ok());
+        assert_eq!(
+            integration_config(0.75, 1).engine_kind,
+            emoo::EngineKind::Spea2
+        );
+        let nsga = integration_config_for(emoo::EngineKind::Nsga2, 0.75, 1);
+        assert!(nsga.validate().is_ok());
+        assert_eq!(nsga.engine_kind, emoo::EngineKind::Nsga2);
     }
 }

@@ -27,7 +27,10 @@ fn main() {
         .empirical_distribution()
         .expect("non-empty data set");
 
-    println!("gamma(1.0, 2.0) workload, {} records, 10 categories", workload.dataset.len());
+    println!(
+        "gamma(1.0, 2.0) workload, {} records, 10 categories",
+        workload.dataset.len()
+    );
     println!();
     println!(
         "{:>8}  {:>16}  {:>16}  {:>12}  {:>12}",
@@ -46,14 +49,14 @@ fn main() {
         let inv_elapsed = inv_started.elapsed();
 
         let itr_started = Instant::now();
-        let iterative = iterative_estimate(&m, &disguised, &IterativeConfig::default())
-            .expect("converges");
+        let iterative =
+            iterative_estimate(&m, &disguised, &IterativeConfig::default()).expect("converges");
         let itr_elapsed = itr_started.elapsed();
 
         let inv_err = total_variation(&inversion.distribution, &prior).expect("same support");
         let itr_err = total_variation(&iterative.distribution, &prior).expect("same support");
-        let agree =
-            total_variation(&inversion.distribution, &iterative.distribution).expect("same support");
+        let agree = total_variation(&inversion.distribution, &iterative.distribution)
+            .expect("same support");
         println!(
             "{:>8.2}  {:>16.4}  {:>16.4}  {:>12.4}  {:>12}",
             p, inv_err, itr_err, agree, iterative.iterations

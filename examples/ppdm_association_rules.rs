@@ -23,19 +23,30 @@ fn main() {
         seed: 7,
     })
     .expect("valid configuration");
-    println!("{} transactions over {} items", data.len(), data.num_items());
+    println!(
+        "{} transactions over {} items",
+        data.len(),
+        data.num_items()
+    );
 
     // Each item's presence bit is disguised with a 2x2 Warner matrix.
     let m = warner(2, 0.85).expect("valid parameter");
     let mut rng = StdRng::seed_from_u64(3);
     let disguised = mining::disguise_transactions(&m, &data, &mut rng).expect("valid inputs");
 
-    let config = AprioriConfig { min_support: 0.15, min_confidence: 0.6, max_itemset_size: 3 };
+    let config = AprioriConfig {
+        min_support: 0.15,
+        min_confidence: 0.6,
+        max_itemset_size: 3,
+    };
 
     let (exact_itemsets, exact_rules) =
         mine(&SupportOracle::Exact(&data), &config).expect("mining succeeds");
     let (est_itemsets, est_rules) = mine(
-        &SupportOracle::Reconstructed { matrix: &m, disguised: &disguised },
+        &SupportOracle::Reconstructed {
+            matrix: &m,
+            disguised: &disguised,
+        },
         &config,
     )
     .expect("mining succeeds");

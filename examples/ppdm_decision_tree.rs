@@ -15,10 +15,18 @@ use rr::schemes::warner;
 fn main() {
     // Labeled data whose class follows a noisy rule over the first two
     // attributes.
-    let train = generate(&LabeledConfig { num_records: 8_000, seed: 11, ..Default::default() })
-        .expect("valid configuration");
-    let test = generate(&LabeledConfig { num_records: 2_000, seed: 12, ..Default::default() })
-        .expect("valid configuration");
+    let train = generate(&LabeledConfig {
+        num_records: 8_000,
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("valid configuration");
+    let test = generate(&LabeledConfig {
+        num_records: 2_000,
+        seed: 12,
+        ..Default::default()
+    })
+    .expect("valid configuration");
     println!(
         "{} training records, {} attributes, {} classes",
         train.len(),
@@ -28,7 +36,8 @@ fn main() {
 
     // Baseline: tree on the original data.
     let plain_views = vec![AttributeView::Plain; train.num_attributes()];
-    let plain_tree = build_tree(&train, &plain_views, &TreeConfig::default()).expect("valid inputs");
+    let plain_tree =
+        build_tree(&train, &plain_views, &TreeConfig::default()).expect("valid inputs");
     let plain_acc = accuracy(&plain_tree, &test).expect("non-empty test set");
     println!(
         "tree on original data   : test accuracy {:.3}, {} nodes, depth {}",
@@ -39,13 +48,19 @@ fn main() {
 
     // Privacy-preserving: disguise the (most informative) first attribute
     // and correct its counts through the RR matrix inverse while learning.
-    let domain = train.attribute(0).expect("attribute exists").num_categories();
+    let domain = train
+        .attribute(0)
+        .expect("attribute exists")
+        .num_categories();
     let m = warner(domain, 0.8).expect("valid parameter");
     let mut rng = StdRng::seed_from_u64(21);
-    let disguised_column = disguise_dataset(&m, train.attribute(0).expect("attribute exists"), &mut rng)
-        .expect("matching domain")
-        .disguised;
-    let disguised_train = train.with_attribute(0, disguised_column).expect("same length");
+    let disguised_column =
+        disguise_dataset(&m, train.attribute(0).expect("attribute exists"), &mut rng)
+            .expect("matching domain")
+            .disguised;
+    let disguised_train = train
+        .with_attribute(0, disguised_column)
+        .expect("same length");
 
     let mut views = vec![AttributeView::Plain; train.num_attributes()];
     views[0] = AttributeView::Disguised(&m);

@@ -35,7 +35,10 @@ fn main() {
 
     println!("gamma(1.0, 2.0) workload, delta = {delta}");
     println!();
-    println!("{:>10}  {:>12}  {:>14}", "front", "privacy", "utility (MSE)");
+    println!(
+        "{:>10}  {:>12}  {:>14}",
+        "front", "privacy", "utility (MSE)"
+    );
     for p in &warner.front.points {
         println!("{:>10}  {:>12.4}  {:>14.4e}", "Warner", p.privacy, p.mse);
     }
@@ -53,5 +56,8 @@ fn main() {
         "privacy range: OptRR {:?} vs Warner {:?}",
         cmp.challenger_privacy_range, cmp.baseline_privacy_range
     );
-    println!("OptRR dominates the baseline: {}", cmp.challenger_dominates());
+    println!(
+        "OptRR dominates the baseline: {}",
+        cmp.challenger_dominates()
+    );
 }

@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple adaptive wall-clock timer. Under `cargo bench` each
+//! benchmark is warmed up and sampled until a time budget is met and a
+//! mean/min/max line is printed; when the binary runs without the `--bench`
+//! flag (e.g. built by `cargo test`), every benchmark executes exactly once
+//! as a smoke check.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured sample series.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Number of timed iterations.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+    sample_size: usize,
+    results: Vec<(String, Measurement)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            sample_size: 100,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (detects `--bench` / test mode).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, &mut routine);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: String, sample_size: usize, routine: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size,
+            measurement: None,
+        };
+        routine(&mut bencher);
+        if let Some(measurement) = bencher.measurement {
+            println!(
+                "bench: {label:<40} mean {:>12?} min {:>12?} max {:>12?} ({} iters)",
+                measurement.mean, measurement.min, measurement.max, measurement.iterations
+            );
+            self.results.push((label, measurement));
+        }
+    }
+
+    /// All measurements recorded so far (label, measurement).
+    pub fn results(&self) -> &[(String, Measurement)] {
+        &self.results
+    }
+
+    /// Prints a closing line. Called by `criterion_main!`.
+    pub fn final_summary(&mut self) {
+        if self.bench_mode {
+            println!("bench: {} benchmarks measured", self.results.len());
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(label, sample_size, &mut routine);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(label, sample_size, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming a function/input pair.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// An id derived from the input parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Handed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times a payload closure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if !self.bench_mode {
+            // Smoke-check mode (cargo test): run once, record nothing.
+            black_box(payload());
+            return;
+        }
+        // Warmup: at least one call, up to ~50 ms.
+        let warmup_start = Instant::now();
+        black_box(payload());
+        let first = warmup_start.elapsed();
+        let mut warmed = 1u32;
+        while warmup_start.elapsed() < Duration::from_millis(50) && warmed < 20 {
+            black_box(payload());
+            warmed += 1;
+        }
+        // Sampling: stop at sample_size iterations or a ~2 s budget,
+        // whichever comes first (slow payloads get at least 3 samples).
+        let budget = Duration::from_secs(2);
+        let min_samples = 3.min(self.sample_size.max(1));
+        let mut total = Duration::ZERO;
+        let mut min = first;
+        let mut max = first;
+        let mut iterations = 0u64;
+        let run_start = Instant::now();
+        while (iterations as usize) < self.sample_size
+            && (run_start.elapsed() < budget || (iterations as usize) < min_samples)
+        {
+            let t0 = Instant::now();
+            black_box(payload());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iterations += 1;
+        }
+        self.measurement = Some(Measurement {
+            mean: total / iterations.max(1) as u32,
+            min,
+            max,
+            iterations,
+        });
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $( $function(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_payload_once() {
+        let mut criterion = Criterion {
+            bench_mode: false,
+            sample_size: 100,
+            results: Vec::new(),
+        };
+        let mut calls = 0;
+        criterion.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert!(criterion.results().is_empty());
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut criterion = Criterion {
+            bench_mode: true,
+            sample_size: 5,
+            results: Vec::new(),
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(criterion.results().len(), 1);
+        let (label, m) = &criterion.results()[0];
+        assert_eq!(label, "g/3");
+        assert!(m.iterations >= 3);
+        assert!(m.min <= m.mean && m.mean <= m.max.max(m.mean));
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses — `slice.par_iter()
+//! .map(f).collect::<Vec<_>>()` — with real data parallelism built on
+//! `std::thread::scope`. The input slice is split into one contiguous chunk
+//! per available core, each chunk is mapped on its own OS thread, and the
+//! results are reassembled in input order, so the output is exactly what
+//! the serial `iter().map().collect()` would produce (bit-identical for
+//! pure `f`). Short inputs are mapped inline to avoid spawn overhead.
+
+#![forbid(unsafe_code)]
+
+/// The glob import rayon users write.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Types that can produce a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// A minimal parallel-iterator interface: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Maps each item through `op` in parallel.
+    fn map<O, F>(self, op: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Sync,
+        O: Send,
+    {
+        ParMap { inner: self, op }
+    }
+
+    /// Drives the iterator and collects results in input order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        C::from_parallel(self.run(&|item| item))
+    }
+
+    /// Internal: applies `op` to every element, in parallel, preserving
+    /// order.
+    fn run<O: Send, F: Fn(Self::Item) -> O + Sync>(self, op: &F) -> Vec<O>;
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn run<O: Send, F: Fn(&'data T) -> O + Sync>(self, op: &F) -> Vec<O> {
+        parallel_map_slice(self.slice, op)
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<I, F> {
+    inner: I,
+    op: F,
+}
+
+impl<I, O, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> O + Sync,
+    O: Send,
+{
+    type Item = O;
+
+    fn run<O2: Send, F2: Fn(O) -> O2 + Sync>(self, op: &F2) -> Vec<O2> {
+        let first = &self.op;
+        self.inner.run(&move |item| op(first(item)))
+    }
+}
+
+/// Collection types a parallel iterator can finish into.
+pub trait FromParallel<T> {
+    /// Builds the collection from in-order results.
+    fn from_parallel(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_parallel(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+fn parallel_map_slice<'data, T: Sync, O: Send, F: Fn(&'data T) -> O + Sync>(
+    slice: &'data [T],
+    op: &F,
+) -> Vec<O> {
+    let workers = current_num_threads();
+    if workers <= 1 || slice.len() < 2 {
+        return slice.iter().map(op).collect();
+    }
+    let chunk_len = slice.len().div_ceil(workers);
+    let mut chunk_outputs: Vec<Vec<O>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(op).collect::<Vec<O>>()))
+            .collect();
+        for handle in handles {
+            chunk_outputs.push(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(slice.len());
+    for chunk in chunk_outputs {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        let serial: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn short_and_empty_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_to_serial() {
+        let input: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.1).collect();
+        let f = |x: &f64| (x.sin() * x.cos()).exp() / (1.0 + x.abs());
+        let parallel: Vec<f64> = input.par_iter().map(f).collect();
+        let serial: Vec<f64> = input.iter().map(f).collect();
+        let to_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(to_bits(&parallel), to_bits(&serial));
+    }
+}

@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes this workspace uses — structs with named fields and enums
+//! with unit or struct variants, with optional plain type parameters — by
+//! parsing the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable offline) and emitting impls of the value-tree traits defined
+//! in the sibling `serde` stub. External tagging matches real serde: unit
+//! variants serialize as strings, struct variants as single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[derive(Debug)]
+struct Item {
+    kind: ItemKind,
+    name: String,
+    generics: Vec<String>,
+    /// Struct field names, or enum variants.
+    fields: Vec<String>,
+    variants: Vec<Variant>,
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    code.parse().unwrap()
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break ItemKind::Struct;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break ItemKind::Enum;
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        _ => return Err("expected item name".into()),
+    };
+
+    // Optional generics: collect plain type-parameter names.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                        i += 1;
+                        continue;
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    Some(_) => {}
+                    None => return Err("unterminated generics".into()),
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // The body is the last top-level brace group (skips any where-clause).
+    let body = tokens[i..]
+        .iter()
+        .rev()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            _ => None,
+        })
+        .ok_or("expected a braced body (tuple and unit items are unsupported)")?;
+
+    let mut item = Item {
+        kind,
+        name,
+        generics,
+        fields: Vec::new(),
+        variants: Vec::new(),
+    };
+    match item.kind {
+        ItemKind::Struct => item.fields = parse_named_fields(body.stream())?,
+        ItemKind::Enum => item.variants = parse_variants(body.stream())?,
+    }
+    Ok(item)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err(format!("expected `:` after field `{id}`")),
+                }
+                // Skip the type: everything until a comma outside angle
+                // brackets (parens/brackets/braces arrive as single groups).
+                let mut depth = 0usize;
+                while let Some(t) = tokens.get(i) {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => return Err("unsupported token in struct body (named fields only)".into()),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Some(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "tuple variant `{name}` is unsupported by the serde stub derive"
+                        ));
+                    }
+                    _ => None,
+                };
+                variants.push(Variant { name, fields });
+            }
+            _ => return Err("unsupported token in enum body".into()),
+        }
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Serialize");
+    let body = match item.kind {
+        ItemKind::Struct => {
+            let fields: Vec<String> = item
+                .fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", fields.join(", "))
+        }
+        ItemKind::Enum => {
+            let arms: Vec<String> = item
+                .variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "Self::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match item.kind {
+        ItemKind::Struct => {
+            let fields: Vec<String> = item
+                .fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(fields, {f:?})?"))
+                .collect();
+            format!(
+                "let fields = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                fields.join(", ")
+            )
+        }
+        ItemKind::Enum => {
+            let unit_arms: Vec<String> = item
+                .variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "{:?} => return ::std::result::Result::Ok(Self::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let struct_arms: Vec<String> = item
+                .variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let vname = &v.name;
+                    let field_exprs: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(inner_fields, {f:?})?"))
+                        .collect();
+                    format!(
+                        "{vname:?} => {{\n\
+                         let inner_fields = inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for variant {vname}\"))?;\n\
+                         return ::std::result::Result::Ok(Self::{vname} {{ {} }});\n\
+                         }}",
+                        field_exprs.join(", ")
+                    )
+                })
+                .collect();
+            let mut code = String::new();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+                     match tag {{ {} _ => {{}} }}\n}}\n",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !struct_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(fields) = value.as_object() {{\n\
+                     if fields.len() == 1 {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{ {} _ => {{}} }}\n}}\n}}\n",
+                    struct_arms.join(" ")
+                ));
+            }
+            code.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\"))"
+            ));
+            code
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}

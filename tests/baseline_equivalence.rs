@@ -48,8 +48,14 @@ fn warner_up_frapp_sweeps_produce_coinciding_fronts() {
         let w = warner.best_mse_at_privacy_at_least(privacy_level).unwrap();
         let u = up.best_mse_at_privacy_at_least(privacy_level).unwrap();
         let f = frapp.best_mse_at_privacy_at_least(privacy_level).unwrap();
-        assert!((w - u).abs() / w < 0.1, "privacy {privacy_level}: warner {w} vs up {u}");
-        assert!((w - f).abs() / w < 0.1, "privacy {privacy_level}: warner {w} vs frapp {f}");
+        assert!(
+            (w - u).abs() / w < 0.1,
+            "privacy {privacy_level}: warner {w} vs up {u}"
+        );
+        assert!(
+            (w - f).abs() / w < 0.1,
+            "privacy {privacy_level}: warner {w} vs frapp {f}"
+        );
     }
 }
 
@@ -64,8 +70,15 @@ fn baseline_fronts_respect_the_delta_bound() {
         // The identity-like end (p close to 1) must be excluded whenever the
         // prior mode is below delta < 1.
         assert!(prior.max_prob() < delta);
-        let infeasible_count = sweep.points.iter().filter(|p| !p.evaluation.feasible).count();
-        assert!(infeasible_count > 0, "delta {delta} should exclude the near-identity matrices");
+        let infeasible_count = sweep
+            .points
+            .iter()
+            .filter(|p| !p.evaluation.feasible)
+            .count();
+        assert!(
+            infeasible_count > 0,
+            "delta {delta} should exclude the near-identity matrices"
+        );
     }
 }
 

@@ -31,17 +31,27 @@ fn association_rule_mining_survives_disguise() {
     let mut rng = StdRng::seed_from_u64(92);
     let disguised = mining::disguise_transactions(&m, &data, &mut rng).unwrap();
 
-    let config = AprioriConfig { min_support: 0.2, min_confidence: 0.6, max_itemset_size: 2 };
+    let config = AprioriConfig {
+        min_support: 0.2,
+        min_confidence: 0.6,
+        max_itemset_size: 2,
+    };
     let exact = frequent_itemsets(&SupportOracle::Exact(&data), &config).unwrap();
     let reconstructed = frequent_itemsets(
-        &SupportOracle::Reconstructed { matrix: &m, disguised: &disguised },
+        &SupportOracle::Reconstructed {
+            matrix: &m,
+            disguised: &disguised,
+        },
         &config,
     )
     .unwrap();
 
     // Both runs discover the two planted patterns.
     for items in [vec![0, 1], vec![2, 3]] {
-        assert!(exact.iter().any(|s| s.items == items), "exact missing {items:?}");
+        assert!(
+            exact.iter().any(|s| s.items == items),
+            "exact missing {items:?}"
+        );
         assert!(
             reconstructed.iter().any(|s| s.items == items),
             "reconstructed missing {items:?}"
@@ -57,8 +67,18 @@ fn association_rule_mining_survives_disguise() {
 
 #[test]
 fn decision_tree_on_disguised_attribute_stays_useful() {
-    let train = generate_labeled(&LabeledConfig { num_records: 8_000, seed: 93, ..Default::default() }).unwrap();
-    let test = generate_labeled(&LabeledConfig { num_records: 2_000, seed: 94, ..Default::default() }).unwrap();
+    let train = generate_labeled(&LabeledConfig {
+        num_records: 8_000,
+        seed: 93,
+        ..Default::default()
+    })
+    .unwrap();
+    let test = generate_labeled(&LabeledConfig {
+        num_records: 2_000,
+        seed: 94,
+        ..Default::default()
+    })
+    .unwrap();
 
     let plain_views = vec![AttributeView::Plain; train.num_attributes()];
     let plain_tree = build_tree(&train, &plain_views, &TreeConfig::default()).unwrap();
@@ -92,7 +112,9 @@ fn reconstruction_error_shrinks_with_more_records() {
         let original =
             datagen::CategoricalDataset::new(5, prior.sample_many(&mut rng, records)).unwrap();
         let disguised = disguise_dataset(&m, &original, &mut rng).unwrap().disguised;
-        let est = Reconstructor::Inversion.reconstruct(&m, &disguised).unwrap();
+        let est = Reconstructor::Inversion
+            .reconstruct(&m, &disguised)
+            .unwrap();
         errors.push(total_variation(&est, &prior).unwrap());
     }
     assert!(errors[2] < errors[0], "errors should shrink: {errors:?}");
@@ -122,7 +144,10 @@ fn optrr_matrix_preserves_mining_utility_at_matched_privacy() {
     // happens at a matched, reachable privacy level.
     let problem = optrr::OptrrProblem::new(prior.clone(), &config).unwrap();
     let sweep = optrr::baseline_sweep(&problem, optrr::SchemeKind::Warner, 401);
-    let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+    let outcome = Optimizer::new(config)
+        .unwrap()
+        .optimize_distribution(&prior)
+        .unwrap();
     let (front_lo, front_hi) = outcome.front.privacy_range().unwrap();
     let target_privacy = 0.5 * (front_lo + front_hi);
     let reference = sweep
@@ -159,12 +184,16 @@ fn optrr_matrix_preserves_mining_utility_at_matched_privacy() {
         .unwrap()
         .disguised;
     let err_warner = total_variation(
-        &Reconstructor::Inversion.reconstruct(&warner_matrix, &disguised_warner).unwrap(),
+        &Reconstructor::Inversion
+            .reconstruct(&warner_matrix, &disguised_warner)
+            .unwrap(),
         &prior,
     )
     .unwrap();
     let err_optrr = total_variation(
-        &Reconstructor::Inversion.reconstruct(&entry.matrix, &disguised_optrr).unwrap(),
+        &Reconstructor::Inversion
+            .reconstruct(&entry.matrix, &disguised_optrr)
+            .unwrap(),
         &prior,
     )
     .unwrap();

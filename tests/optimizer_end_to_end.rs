@@ -10,8 +10,7 @@ use rr::metrics::bounds::satisfies_delta_bound;
 use stats::Categorical;
 
 fn workload_prior(source: SourceDistribution, seed: u64) -> (Categorical, u64) {
-    let workload =
-        synthetic::generate(&SyntheticConfig::paper_default(source, seed)).unwrap();
+    let workload = synthetic::generate(&SyntheticConfig::paper_default(source, seed)).unwrap();
     let prior = workload.dataset.empirical_distribution().unwrap();
     (prior, workload.dataset.len() as u64)
 }
@@ -23,7 +22,10 @@ fn run_comparison(source: SourceDistribution, delta: f64, seed: u64) -> FrontCom
 
     let problem = OptrrProblem::new(prior.clone(), &config).unwrap();
     let warner = baseline_sweep(&problem, SchemeKind::Warner, 501);
-    let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+    let outcome = Optimizer::new(config)
+        .unwrap()
+        .optimize_distribution(&prior)
+        .unwrap();
 
     // Every matrix in the optimal set respects the delta bound.
     for entry in outcome.omega.entries() {
@@ -54,7 +56,10 @@ fn optrr_matches_or_beats_warner_on_the_normal_workload() {
     // OptRR covers at least Warner's privacy range on its low end.
     let (c_lo, _) = cmp.challenger_privacy_range.unwrap();
     let (b_lo, _) = cmp.baseline_privacy_range.unwrap();
-    assert!(c_lo <= b_lo + 0.03, "OptRR min privacy {c_lo} vs Warner {b_lo}");
+    assert!(
+        c_lo <= b_lo + 0.03,
+        "OptRR min privacy {c_lo} vs Warner {b_lo}"
+    );
 }
 
 #[test]
@@ -92,7 +97,10 @@ fn stricter_delta_narrows_warner_but_optrr_still_covers_it() {
         let (w_lo, _) = warner.front.privacy_range().unwrap();
         warner_min_privacy.push(w_lo);
 
-        let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+        let outcome = Optimizer::new(config)
+            .unwrap()
+            .optimize_distribution(&prior)
+            .unwrap();
         let (o_lo, _) = outcome.front.privacy_range().unwrap();
         assert!(
             o_lo <= w_lo + 0.03,
@@ -110,7 +118,10 @@ fn recommended_matrices_satisfy_the_requested_privacy() {
     let (prior, num_records) = workload_prior(SourceDistribution::paper_gamma(), 75);
     let mut config = integration_config(0.8, 75);
     config.num_records = num_records;
-    let outcome = Optimizer::new(config).unwrap().optimize_distribution(&prior).unwrap();
+    let outcome = Optimizer::new(config)
+        .unwrap()
+        .optimize_distribution(&prior)
+        .unwrap();
 
     let (lo, hi) = outcome.front.privacy_range().unwrap();
     let target = (lo + hi) / 2.0;

@@ -31,7 +31,9 @@ fn disguise_then_reconstruct_recovers_every_paper_workload() {
         let prior = workload.dataset.empirical_distribution().unwrap();
         let m = warner(10, 0.7).unwrap();
         let mut rng = StdRng::seed_from_u64(32);
-        let disguised = disguise_dataset(&m, &workload.dataset, &mut rng).unwrap().disguised;
+        let disguised = disguise_dataset(&m, &workload.dataset, &mut rng)
+            .unwrap()
+            .disguised;
 
         let inversion = estimate_distribution(&m, &disguised).unwrap().distribution;
         let iterative = iterative_estimate(&m, &disguised, &IterativeConfig::default())
@@ -43,7 +45,10 @@ fn disguise_then_reconstruct_recovers_every_paper_workload() {
         assert!(inv_err < 0.05, "{label}: inversion error {inv_err}");
         assert!(itr_err < 0.05, "{label}: iterative error {itr_err}");
         // The two estimators agree with each other.
-        assert!(total_variation(&inversion, &iterative).unwrap() < 0.03, "{label}");
+        assert!(
+            total_variation(&inversion, &iterative).unwrap() < 0.03,
+            "{label}"
+        );
     }
 }
 
@@ -82,7 +87,10 @@ fn closed_form_utility_matches_monte_carlo_on_paper_workload() {
     .unwrap();
 
     let rel = (simulated - closed).abs() / closed;
-    assert!(rel < 0.2, "closed {closed} vs simulated {simulated} (rel {rel})");
+    assert!(
+        rel < 0.2,
+        "closed {closed} vs simulated {simulated} (rel {rel})"
+    );
 }
 
 #[test]
@@ -99,7 +107,10 @@ fn stronger_disguise_trades_utility_for_privacy() {
         let m = warner(10, p).unwrap();
         let priv_val = privacy::privacy(&m, &prior).unwrap();
         let mse = utility(&m, &prior, n_records).unwrap();
-        assert!(priv_val >= last_privacy - 1e-9, "privacy must not decrease as p drops");
+        assert!(
+            priv_val >= last_privacy - 1e-9,
+            "privacy must not decrease as p drops"
+        );
         assert!(mse >= last_mse - 1e-12, "MSE must not decrease as p drops");
         last_privacy = priv_val;
         last_mse = mse;

@@ -31,7 +31,7 @@ fn theorem1_inversion_estimate_is_unbiased() {
     let n_records = 2_000u64;
     let trials = 600;
     let mut rng = StdRng::seed_from_u64(82);
-    let mut mean_estimate = vec![0.0; 4];
+    let mut mean_estimate = [0.0; 4];
     for _ in 0..trials {
         let counts = stats::multinomial::sample_counts(
             &m.disguised_distribution(&prior).unwrap(),
@@ -91,14 +91,16 @@ fn theorems_3_and_4_map_estimate_is_the_best_attack() {
     let analysis = privacy::analyze(&m, &prior).unwrap();
 
     let mut rng = StdRng::seed_from_u64(84);
-    let original = datagen::CategoricalDataset::new(4, prior.sample_many(&mut rng, 60_000)).unwrap();
+    let original =
+        datagen::CategoricalDataset::new(4, prior.sample_many(&mut rng, 60_000)).unwrap();
     let pairs = rr::disguise::disguise_paired(&m, &original, &mut rng).unwrap();
 
     // Attack 1: answer the observed value itself.
     let echo_accuracy = pairs.iter().filter(|(x, y)| x == y).count() as f64 / pairs.len() as f64;
     // Attack 2: always answer the prior mode.
     let mode = prior.mode();
-    let mode_accuracy = pairs.iter().filter(|(x, _)| *x == mode).count() as f64 / pairs.len() as f64;
+    let mode_accuracy =
+        pairs.iter().filter(|(x, _)| *x == mode).count() as f64 / pairs.len() as f64;
     // Attack 3: answer a uniformly random category.
     let mut rng2 = StdRng::seed_from_u64(85);
     let uniform_accuracy = pairs
@@ -127,7 +129,10 @@ fn theorem5_max_posterior_never_drops_below_the_prior_mode() {
     for _ in 0..50 {
         let m = RrMatrix::random(prior.num_categories(), &mut rng).unwrap();
         let mp = max_posterior(&m, &prior).unwrap();
-        assert!(mp >= prior.max_prob() - 1e-9, "max posterior {mp} below prior mode");
+        assert!(
+            mp >= prior.max_prob() - 1e-9,
+            "max posterior {mp} below prior mode"
+        );
     }
     // And for the uniform matrix it equals the prior mode exactly.
     let uniform = RrMatrix::uniform(prior.num_categories()).unwrap();
@@ -155,10 +160,11 @@ fn theorem6_closed_form_matches_simulation_for_asymmetric_matrices() {
 
     let n_records = 3_000u64;
     let closed = utility::utility(&m, &prior, n_records).unwrap();
-    let simulated = utility::empirical_mse(&m, &prior, n_records, 600, &mut rng, |matrix, counts| {
-        Ok(rr::estimate::inversion::estimate_from_counts(matrix, counts)?.raw)
-    })
-    .unwrap();
+    let simulated =
+        utility::empirical_mse(&m, &prior, n_records, 600, &mut rng, |matrix, counts| {
+            Ok(rr::estimate::inversion::estimate_from_counts(matrix, counts)?.raw)
+        })
+        .unwrap();
     let rel = (simulated - closed).abs() / closed;
     assert!(rel < 0.2, "closed {closed} vs simulated {simulated}");
 }
