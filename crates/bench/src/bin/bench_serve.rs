@@ -1,0 +1,166 @@
+//! Load generator for the matrix-serving subsystem.
+//!
+//! Warms a service with a small batch of priors through the multi-prior
+//! front door, then drives N concurrent query streams (point queries across
+//! the privacy axis, utility-budget queries, and periodic full-front
+//! queries) against the warm sharded store and reports throughput and
+//! latency percentiles. The engine never runs during the measured phase —
+//! the run counters are asserted — so this measures the serving hot path:
+//! registry resolution plus sharded Ω reads. Results land in
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin bench_serve [-- --streams N --queries M]`
+
+use serde::Serialize;
+use serve::{Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == name)?;
+    args.get(at + 1)?.parse().ok()
+}
+
+#[derive(Serialize)]
+struct ServeBaseline {
+    streams: usize,
+    queries_per_stream: usize,
+    total_queries: u64,
+    wall_seconds: f64,
+    throughput_qps: f64,
+    latency_mean_ns: u64,
+    latency_p50_ns: u64,
+    latency_p95_ns: u64,
+    latency_p99_ns: u64,
+    latency_max_ns: u64,
+    registered_keys: usize,
+    engine_runs_warmup: u64,
+    engine_runs_after_load: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let streams = arg_value("--streams")
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1);
+    let queries_per_stream = arg_value("--queries").unwrap_or(5_000).max(1);
+
+    let service = Arc::new(Service::new(ServiceConfig::smoke(2008)));
+    let priors: Vec<Vec<f64>> = vec![
+        vec![0.35, 0.25, 0.2, 0.12, 0.08],
+        vec![0.5, 0.2, 0.12, 0.1, 0.08],
+        vec![0.25, 0.2, 0.2, 0.2, 0.15],
+    ];
+    let warm_started = Instant::now();
+    let (entries, warmed) = service
+        .register_batch(None, &priors, 0.8, None)
+        .expect("batch registration succeeds");
+    let warmup_seconds = warm_started.elapsed().as_secs_f64();
+    let (_, engine_runs_warmup, _, _) = service.service_stats();
+    println!("warmed {warmed} keys in {warmup_seconds:.2}s ({engine_runs_warmup} engine runs)");
+
+    let privacy_ranges: Vec<(f64, f64)> = entries
+        .iter()
+        .map(|e| e.store().privacy_range().expect("warm store is non-empty"))
+        .collect();
+
+    let load_started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(streams * queries_per_stream);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..streams)
+            .map(|stream| {
+                let service = Arc::clone(&service);
+                let entries = &entries;
+                let privacy_ranges = &privacy_ranges;
+                scope.spawn(move || {
+                    let mut stream_latencies = Vec::with_capacity(queries_per_stream);
+                    for step in 0..queries_per_stream {
+                        let which = (stream + step) % entries.len();
+                        let entry = &entries[which];
+                        let (lo, hi) = privacy_ranges[which];
+                        let t = ((step * 7919 + stream * 104_729) % 1000) as f64 / 999.0;
+                        let started = Instant::now();
+                        match step % 64 {
+                            63 => {
+                                // Periodic full-front query (merge + pareto).
+                                let front = service.front(entry);
+                                assert!(!front.is_empty());
+                            }
+                            s if s % 2 == 0 => {
+                                let p = lo + (hi - lo) * t;
+                                let found = service.best_for_privacy(entry, p);
+                                assert!(found.is_some());
+                            }
+                            _ => {
+                                // A generous utility budget always matches.
+                                let found = service.best_for_mse(entry, f64::INFINITY);
+                                assert!(found.is_some());
+                            }
+                        }
+                        stream_latencies.push(started.elapsed().as_nanos() as u64);
+                    }
+                    stream_latencies
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("query stream panicked"));
+        }
+    });
+    let wall_seconds = load_started.elapsed().as_secs_f64();
+
+    let (registered_keys, engine_runs_after_load, queries, warm_hits) = service.service_stats();
+    assert_eq!(
+        engine_runs_after_load, engine_runs_warmup,
+        "the load phase must never re-run the engine"
+    );
+    assert_eq!(queries, warm_hits, "every load query is a warm hit");
+
+    latencies.sort_unstable();
+    let total_queries = latencies.len() as u64;
+    let mean = latencies.iter().sum::<u64>() / total_queries.max(1);
+    let baseline = ServeBaseline {
+        streams,
+        queries_per_stream,
+        total_queries,
+        wall_seconds,
+        throughput_qps: total_queries as f64 / wall_seconds.max(1e-9),
+        latency_mean_ns: mean,
+        latency_p50_ns: percentile(&latencies, 0.50),
+        latency_p95_ns: percentile(&latencies, 0.95),
+        latency_p99_ns: percentile(&latencies, 0.99),
+        latency_max_ns: percentile(&latencies, 1.0),
+        registered_keys,
+        engine_runs_warmup,
+        engine_runs_after_load,
+    };
+
+    println!(
+        "{} streams x {} queries: {:.0} q/s, p50 {} ns, p95 {} ns, p99 {} ns",
+        baseline.streams,
+        baseline.queries_per_stream,
+        baseline.throughput_qps,
+        baseline.latency_p50_ns,
+        baseline.latency_p95_ns,
+        baseline.latency_p99_ns
+    );
+
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!("wrote baseline {path}"),
+        Err(error) => eprintln!("warning: could not write {path}: {error}"),
+    }
+}

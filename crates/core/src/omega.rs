@@ -13,6 +13,51 @@
 use crate::problem::Evaluation;
 use rr::RrMatrix;
 use serde::{Deserialize, Serialize};
+use stats::Categorical;
+
+/// The slot index a privacy value maps to in an Ω with `num_slots` slots.
+///
+/// This is the single definition of the privacy → slot mapping; it is shared
+/// by [`OmegaSet::slot_of`] and by the sharded Ω store in `optrr-serve`,
+/// which uses it as the shard key. Keeping one definition is what makes a
+/// sharded refresh bitwise-equal to a single-writer run.
+pub fn slot_index(privacy: f64, num_slots: usize) -> usize {
+    assert!(num_slots > 0, "omega needs at least one slot");
+    let clamped = privacy.clamp(0.0, 1.0);
+    let idx = (clamped * num_slots as f64).floor() as usize;
+    idx.min(num_slots - 1)
+}
+
+/// A canonical fingerprint of the `(prior, δ, num_slots)` triple that
+/// identifies one warm Ω in a matrix-serving registry.
+///
+/// Two registrations with the same attribute distribution, the same privacy
+/// bound, and the same Ω resolution must share a warm store, so the
+/// fingerprint is computed from a canonical byte encoding: each prior
+/// probability is quantized to a 10⁻¹² grid (absorbing float noise from
+/// empirical distributions), then hashed together with the exact bit
+/// pattern of δ and the slot count using FNV-1a. The result is stable
+/// across processes and platforms.
+pub fn omega_fingerprint(prior: &Categorical, delta: f64, num_slots: usize) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&(prior.num_categories() as u64).to_le_bytes());
+    for &p in prior.probs() {
+        // Quantized probability: exact for any prior that is a ratio of
+        // counts up to ~10^12 records, tolerant of last-ulp noise.
+        eat(&(((p * 1e12).round()) as u64).to_le_bytes());
+    }
+    eat(&delta.to_bits().to_le_bytes());
+    eat(&(num_slots as u64).to_le_bytes());
+    hash
+}
 
 /// One entry of the optimal set: a matrix together with its evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,9 +109,7 @@ impl OmegaSet {
 
     /// The slot index a privacy value maps to.
     pub fn slot_of(&self, privacy: f64) -> usize {
-        let clamped = privacy.clamp(0.0, 1.0);
-        let idx = (clamped * self.slots.len() as f64).floor() as usize;
-        idx.min(self.slots.len() - 1)
+        slot_index(privacy, self.slots.len())
     }
 
     /// Offers a matrix to Ω. It is stored when its privacy slot is empty or
@@ -90,6 +133,36 @@ impl OmegaSet {
             self.improvements += 1;
         }
         improved
+    }
+
+    /// Merges another Ω of the same resolution into this one, slot by slot.
+    ///
+    /// Each slot keeps the entry with the strictly lower MSE; on a tie the
+    /// current occupant survives, matching [`OmegaSet::offer`]'s
+    /// strict-improvement rule. The improvement counters are summed: every
+    /// improvement witnessed by either side has been witnessed by the merged
+    /// set. When the two sides were fed slot-disjoint offer streams — the
+    /// sharded-refresh case, where [`slot_index`] is the shard key — the
+    /// merged set is exactly (entries and counter alike) the Ω a single
+    /// writer would have produced from the combined stream; the property
+    /// tests in `optrr-serve` assert this.
+    pub fn merge(&mut self, other: &OmegaSet) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "cannot merge omega sets with different slot counts"
+        );
+        for (slot, entry) in other.slots.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let take = match &self.slots[slot] {
+                None => true,
+                Some(existing) => entry.evaluation.mse < existing.evaluation.mse,
+            };
+            if take {
+                self.slots[slot] = Some(entry.clone());
+            }
+        }
+        self.improvements += other.improvements;
     }
 
     /// Borrow the entry stored for a given privacy slot.
@@ -293,5 +366,148 @@ mod tests {
         let omega = OmegaSet::new(10);
         assert!(omega.entry(3).is_none());
         assert!(omega.entry(99).is_none());
+    }
+
+    #[test]
+    fn queries_on_empty_omega_return_none() {
+        let omega = OmegaSet::new(100);
+        assert!(omega.best_for_privacy_at_least(0.0).is_none());
+        assert!(omega.best_for_privacy_at_least(f64::NEG_INFINITY).is_none());
+        assert!(omega.best_for_mse_at_most(f64::INFINITY).is_none());
+        assert!(omega.pareto_entries().is_empty());
+    }
+
+    #[test]
+    fn queries_at_exact_boundaries_are_inclusive() {
+        let mut omega = OmegaSet::new(100);
+        let m = matrix();
+        omega.offer(&m, &eval(0.5, 8e-5));
+        // privacy >= the stored value exactly: the entry qualifies.
+        let pick = omega.best_for_privacy_at_least(0.5).unwrap();
+        assert_eq!(pick.evaluation.privacy.to_bits(), 0.5f64.to_bits());
+        // mse <= the stored value exactly: the entry qualifies.
+        let pick = omega.best_for_mse_at_most(8e-5).unwrap();
+        assert_eq!(pick.evaluation.mse.to_bits(), 8e-5f64.to_bits());
+        // Just past either boundary: no match.
+        assert!(omega.best_for_privacy_at_least(0.5 + 1e-12).is_none());
+        assert!(omega.best_for_mse_at_most(8e-5 - 1e-19).is_none());
+    }
+
+    #[test]
+    fn queries_cover_first_and_last_slot() {
+        let mut omega = OmegaSet::new(10);
+        let m = matrix();
+        // Slot 0 (privacy 0.0) and slot 9 (privacy 1.0 clamps into the
+        // last slot) are both queryable.
+        omega.offer(&m, &eval(0.0, 1e-4));
+        omega.offer(&m, &eval(1.0, 9e-4));
+        assert_eq!(omega.len(), 2);
+        assert_eq!(omega.slot_of(1.0), 9);
+        let top = omega.best_for_privacy_at_least(1.0).unwrap();
+        assert_eq!(top.evaluation.privacy, 1.0);
+        let bottom = omega.best_for_mse_at_most(1e-4).unwrap();
+        assert_eq!(bottom.evaluation.privacy, 0.0);
+    }
+
+    #[test]
+    fn slot_index_matches_method_and_rejects_zero_slots() {
+        let omega = OmegaSet::new(777);
+        for p in [-1.0, 0.0, 0.1523, 0.5, 0.999, 1.0, 3.0] {
+            assert_eq!(slot_index(p, 777), omega.slot_of(p));
+        }
+        assert!(std::panic::catch_unwind(|| slot_index(0.5, 0)).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_the_better_entry_per_slot_and_sums_improvements() {
+        let m = matrix();
+        let mut a = OmegaSet::new(100);
+        a.offer(&m, &eval(0.30, 1e-4));
+        a.offer(&m, &eval(0.50, 5e-5));
+        let mut b = OmegaSet::new(100);
+        b.offer(&m, &eval(0.305, 2e-4)); // same slot as a's 0.30, worse mse
+        b.offer(&m, &eval(0.505, 1e-5)); // same slot as a's 0.50, better mse
+        b.offer(&m, &eval(0.70, 3e-4)); // new slot
+        let (a_improvements, b_improvements) = (a.improvements(), b.improvements());
+
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.improvements(), a_improvements + b_improvements);
+        // Slot of 0.30 keeps a's entry; slot of 0.50 takes b's.
+        let kept = a.entry(a.slot_of(0.30)).unwrap();
+        assert_eq!(kept.evaluation.mse.to_bits(), 1e-4f64.to_bits());
+        let replaced = a.entry(a.slot_of(0.50)).unwrap();
+        assert_eq!(replaced.evaluation.mse.to_bits(), 1e-5f64.to_bits());
+        assert!(a.entry(a.slot_of(0.70)).is_some());
+    }
+
+    #[test]
+    fn merge_tie_keeps_current_occupant_and_empty_merge_is_identity() {
+        let m = matrix();
+        let mut a = OmegaSet::new(50);
+        a.offer(&m, &eval(0.4, 2e-4));
+        let mut b = OmegaSet::new(50);
+        b.offer(&m, &eval(0.41, 2e-4)); // same slot, equal mse
+        a.merge(&b);
+        // Tie: the incumbent (privacy 0.4) survives, mirroring offer().
+        assert_eq!(
+            a.entry(a.slot_of(0.4))
+                .unwrap()
+                .evaluation
+                .privacy
+                .to_bits(),
+            0.4f64.to_bits()
+        );
+        let snapshot = a.clone();
+        a.merge(&OmegaSet::new(50));
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "different slot counts")]
+    fn merge_rejects_mismatched_slot_counts() {
+        let mut a = OmegaSet::new(10);
+        a.merge(&OmegaSet::new(20));
+    }
+
+    #[test]
+    fn merge_into_empty_equals_single_writer_for_disjoint_streams() {
+        // The sharded-refresh contract at its smallest: two slot-disjoint
+        // offer streams merged into an empty set equal the single writer.
+        let m = matrix();
+        let offers_low = [(0.10, 3e-4), (0.12, 1e-4), (0.11, 2e-4)];
+        let offers_high = [(0.80, 9e-5), (0.82, 4e-5)];
+        let mut single = OmegaSet::new(10);
+        let mut low = OmegaSet::new(10);
+        let mut high = OmegaSet::new(10);
+        for &(p, u) in offers_low.iter().chain(offers_high.iter()) {
+            single.offer(&m, &eval(p, u));
+        }
+        for &(p, u) in &offers_low {
+            low.offer(&m, &eval(p, u));
+        }
+        for &(p, u) in &offers_high {
+            high.offer(&m, &eval(p, u));
+        }
+        let mut merged = OmegaSet::new(10);
+        merged.merge(&low);
+        merged.merge(&high);
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        let prior = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let same = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let fp = omega_fingerprint(&prior, 0.8, 1000);
+        assert_eq!(fp, omega_fingerprint(&same, 0.8, 1000));
+        // Last-ulp noise in the probabilities is absorbed.
+        let noisy = Categorical::new(vec![0.4 + 1e-15, 0.3 - 1e-15, 0.2, 0.1]).unwrap();
+        assert_eq!(fp, omega_fingerprint(&noisy, 0.8, 1000));
+        // Different delta, slot count, or prior: different key.
+        assert_ne!(fp, omega_fingerprint(&prior, 0.75, 1000));
+        assert_ne!(fp, omega_fingerprint(&prior, 0.8, 500));
+        let other = Categorical::new(vec![0.3, 0.4, 0.2, 0.1]).unwrap();
+        assert_ne!(fp, omega_fingerprint(&other, 0.8, 1000));
     }
 }

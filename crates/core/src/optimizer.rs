@@ -62,6 +62,14 @@ impl OptrrOutcome {
             .best_for_privacy_at_least(min_privacy)
             .map(|e| &e.matrix)
     }
+
+    /// The final archive matrices, cloned in archive order — the warm-start
+    /// seed set a serving layer passes to
+    /// [`Optimizer::optimize_distribution_seeded`] when it refreshes this
+    /// problem, so the next run resumes from the previous elite set.
+    pub fn warm_seeds(&self) -> Vec<RrMatrix> {
+        self.archive.iter().map(|(m, _)| m.clone()).collect()
+    }
 }
 
 /// The OptRR optimizer.
@@ -104,10 +112,25 @@ impl Optimizer {
 
     /// Runs the search against an explicit prior distribution.
     pub fn optimize_distribution(&self, prior: &Categorical) -> Result<OptrrOutcome> {
+        self.optimize_distribution_seeded(prior, Vec::new())
+    }
+
+    /// Runs the search against an explicit prior, warm-starting the initial
+    /// population with the given matrices (typically a previous run's
+    /// archive via [`OptrrOutcome::warm_seeds`]). Warm seeds fill the first
+    /// population slots, ahead of the Warner baseline seeds; the engine
+    /// repairs all of them to the δ bound before evaluation. An empty seed
+    /// set makes this identical to [`Optimizer::optimize_distribution`].
+    pub fn optimize_distribution_seeded(
+        &self,
+        prior: &Categorical,
+        warm_seeds: Vec<RrMatrix>,
+    ) -> Result<OptrrOutcome> {
         let problem = OptrrProblem::new(prior.clone(), &self.config)?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut omega = OmegaSet::new(self.config.omega_slots);
-        let seeds = self.baseline_seeds(&problem);
+        let mut seeds = warm_seeds;
+        seeds.extend(self.baseline_seeds(&problem));
 
         let started = std::time::Instant::now();
         let stagnation_limit = self.config.stagnation_generations;
@@ -152,11 +175,16 @@ impl Optimizer {
         .map_err(|reason| OptrrError::Engine { reason })?;
         let wall_clock_seconds = started.elapsed().as_secs_f64();
 
-        // Evaluate the final archive in reporting convention.
+        // Evaluate the final archive in reporting convention. The genomes
+        // come out through the engine's warm-start accessor, so they double
+        // as the seed set for a later refresh of the same problem.
         let archive: Vec<(RrMatrix, Evaluation)> = outcome
-            .archive
-            .iter()
-            .map(|ind| (ind.genome.clone(), problem.evaluate_matrix(&ind.genome)))
+            .seed_genomes()
+            .into_iter()
+            .map(|genome| {
+                let evaluation = problem.evaluate_matrix(&genome);
+                (genome, evaluation)
+            })
             .collect();
 
         // The reported front comes from Ω's non-dominated entries (Ω holds
@@ -192,6 +220,24 @@ impl Optimizer {
     pub fn optimize_dataset(&self, dataset: &CategoricalDataset) -> Result<OptrrOutcome> {
         let prior = dataset.empirical_distribution().map_err(OptrrError::from)?;
         self.optimize_distribution(&prior)
+    }
+
+    /// Runs the search against many priors at once, fanning the independent
+    /// runs across all cores — the multi-prior batch front door.
+    ///
+    /// Each prior gets its own self-contained [`OptrrProblem`] and RNG
+    /// seeded from the shared configuration, so the per-prior results are
+    /// bit-identical to running [`Optimizer::optimize_distribution`] one
+    /// prior at a time; only wall-clock time changes. Results come back in
+    /// input order. The first failing prior aborts the batch with its
+    /// error.
+    pub fn optimize_many(&self, priors: &[Categorical]) -> Result<Vec<OptrrOutcome>> {
+        use rayon::prelude::*;
+        let outcomes: Vec<Result<OptrrOutcome>> = priors
+            .par_iter()
+            .map(|prior| self.optimize_distribution(prior))
+            .collect();
+        outcomes.into_iter().collect()
     }
 }
 
@@ -328,6 +374,66 @@ mod tests {
         // Empty data set is rejected.
         let empty = CategoricalDataset::new(6, vec![]).unwrap();
         assert!(optimizer.optimize_dataset(&empty).is_err());
+    }
+
+    #[test]
+    fn optimize_many_matches_solo_runs_bitwise() {
+        // The multi-prior batch front door must be a pure fan-out: each
+        // prior's outcome is bit-identical to a solo run with the same
+        // configuration and seed, and results come back in input order.
+        let optimizer = Optimizer::new(fast_config(0.8)).unwrap();
+        let priors = vec![
+            normal_prior(),
+            SourceDistribution::paper_gamma()
+                .category_distribution(6)
+                .unwrap(),
+            Categorical::new(vec![0.5, 0.2, 0.15, 0.1, 0.05]).unwrap(),
+        ];
+        let batch = optimizer.optimize_many(&priors).unwrap();
+        assert_eq!(batch.len(), priors.len());
+        for (prior, from_batch) in priors.iter().zip(&batch) {
+            let solo = optimizer.optimize_distribution(prior).unwrap();
+            assert_eq!(
+                from_batch.front.points.len(),
+                solo.front.points.len(),
+                "front sizes differ for a batch member"
+            );
+            for (a, b) in from_batch.front.points.iter().zip(&solo.front.points) {
+                assert_eq!(a.privacy.to_bits(), b.privacy.to_bits());
+                assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+            }
+            assert_eq!(from_batch.omega, solo.omega);
+            assert_eq!(
+                from_batch.statistics.generations_run,
+                solo.statistics.generations_run
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_many_propagates_per_prior_errors() {
+        let optimizer = Optimizer::new(fast_config(0.8)).unwrap();
+        let bad = Categorical::new(vec![1.0]).unwrap();
+        assert!(optimizer.optimize_many(&[normal_prior(), bad]).is_err());
+        assert!(optimizer.optimize_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn warm_seeded_run_accepts_previous_archive() {
+        let optimizer = Optimizer::new(fast_config(0.8)).unwrap();
+        let prior = normal_prior();
+        let first = optimizer.optimize_distribution(&prior).unwrap();
+        let seeds = first.warm_seeds();
+        assert_eq!(seeds.len(), first.archive.len());
+        let second = optimizer
+            .optimize_distribution_seeded(&prior, seeds)
+            .unwrap();
+        assert!(!second.front.is_empty());
+        // Seeding with an empty set is exactly the plain run.
+        let plain = optimizer
+            .optimize_distribution_seeded(&prior, Vec::new())
+            .unwrap();
+        assert_eq!(plain.omega, first.omega);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The `serve` binary: the framed-JSON matrix-serving front door over
+//! stdin/stdout.
+//!
+//! One JSON request per input line, one JSON response per output line (see
+//! `serve::protocol` for the frame shapes). The engine budget defaults to
+//! the smoke profile so offline smoke sessions warm up in well under a
+//! second; `--standard` selects the full default budget.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p optrr-serve --bin serve [-- --standard]
+//! # environment overrides:
+//! #   OPTRR_SERVE_SEED     base RNG seed          (default 2008)
+//! #   OPTRR_SERVE_WORKERS  refresh worker threads (default 2/smoke, cores/standard)
+//! #   OPTRR_SERVE_SHARDS   shards per warm store  (default 4/smoke, 8/standard)
+//! ```
+
+use serve::{Service, ServiceConfig};
+use std::io::{self, BufReader};
+use std::sync::Arc;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn config_from_env_and_args() -> ServiceConfig {
+    let standard = std::env::args().any(|a| a == "--standard");
+    let seed = env_u64("OPTRR_SERVE_SEED").unwrap_or(2008);
+    let mut config = if standard {
+        ServiceConfig {
+            base: optrr::OptrrConfig::fast(0.75, seed),
+            ..ServiceConfig::default()
+        }
+    } else {
+        ServiceConfig::smoke(seed)
+    };
+    if let Some(workers) = env_usize("OPTRR_SERVE_WORKERS") {
+        config.workers = workers.max(1);
+    }
+    if let Some(shards) = env_usize("OPTRR_SERVE_SHARDS") {
+        config.num_shards = shards.max(1);
+    }
+    config
+}
+
+fn main() {
+    let service = Arc::new(Service::new(config_from_env_and_args()));
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    if let Err(error) = service.run_loop(BufReader::new(stdin.lock()), stdout.lock()) {
+        eprintln!("optrr-serve: session I/O error: {error}");
+        std::process::exit(1);
+    }
+}

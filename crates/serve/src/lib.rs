@@ -1,0 +1,61 @@
+//! # optrr-serve
+//!
+//! The matrix-serving subsystem: the paper's end product is the optimal
+//! set Ω of Pareto-optimal randomized-response matrices that a data
+//! collector consults ("give me the best matrix with privacy ≥ p") before
+//! disguising user data. This crate turns the batch optimizer into that
+//! long-lived service:
+//!
+//! * [`registry`] — warm Ω stores keyed by the canonical
+//!   `(prior, δ, num_slots)` fingerprint ([`optrr::omega_fingerprint`]),
+//!   with warm latches, staleness flags, and run/query counters.
+//! * [`shard`] — [`ShardedOmega`]: the privacy-slot range split into
+//!   disjoint contiguous shards ([`optrr::slot_index`] is the shard key),
+//!   each behind its own lock, so concurrent engine runs land their offers
+//!   without contention; shards collapse back into one queryable Ω via
+//!   `OmegaSet::merge`.
+//! * [`worker`] — the fixed worker pool that executes engine runs for cold
+//!   or stale keys in the background.
+//! * [`protocol`] — the framed JSON request/response protocol (one frame
+//!   per line) spoken by the `serve` binary over stdin/stdout.
+//! * [`service`] — [`Service`]: the front door tying the pieces together,
+//!   including the multi-prior batch registration that fans independent
+//!   problems across cores via `Optimizer::optimize_many`.
+//!
+//! Point queries never run the optimizer: after a key's warm-up they are
+//! answered from the warm store in O(slots) under per-shard locks, and the
+//! end-to-end tests assert the engine-run counters stay put. Warm-up and
+//! refresh runs are deterministic — run `i` of a key uses `base seed + i`
+//! and warm-starts from the previous run's archive — so a served front is
+//! bitwise-reproducible against a plain optimizer call.
+//!
+//! ## Example
+//!
+//! ```
+//! use serve::{Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(Service::new(ServiceConfig::smoke(7)));
+//! let entry = service
+//!     .register(Some("demo"), &[0.4, 0.3, 0.2, 0.1], 0.85, Some(100), true)
+//!     .unwrap();
+//! // Warm store: point queries are O(slots), no engine involved.
+//! let pick = service.best_for_privacy(&entry, 0.05);
+//! assert!(pick.is_some());
+//! assert_eq!(entry.engine_runs(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod registry;
+pub mod service;
+pub mod shard;
+pub mod worker;
+
+pub use protocol::{KeyStatsDto, MatrixDto, Request, Response};
+pub use registry::{KeyEntry, Registry};
+pub use service::{ServeError, Service, ServiceConfig, MAX_OMEGA_SLOTS, MAX_REFRESH_RUNS};
+pub use shard::ShardedOmega;
+pub use worker::{Latch, WorkerPool};

@@ -1,0 +1,424 @@
+//! The framed JSON request/response protocol of the serving front door.
+//!
+//! Transport is line-oriented: one JSON-encoded [`Request`] per input line,
+//! one JSON-encoded [`Response`] per output line, in order. The encoding is
+//! serde's external tagging (unit variants are bare strings, struct
+//! variants single-key objects), so a scripted session looks like:
+//!
+//! ```text
+//! {"Register":{"name":"demo","prior":[0.4,0.3,0.2,0.1],"delta":0.8}}
+//! {"BestForPrivacy":{"name":"demo","min_privacy":0.2}}
+//! {"Front":{"name":"demo"}}
+//! {"Stats":{}}
+//! "Shutdown"
+//! ```
+//!
+//! Every request that addresses a registered problem accepts either the
+//! canonical `key` fingerprint (returned by `Register`) or the `name`
+//! alias supplied at registration, so sessions can be scripted without
+//! knowing fingerprints in advance.
+
+use optrr::FrontPoint;
+use rr::RrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A request line of the serving protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Register a prior under a privacy bound and warm its Ω. Blocks until
+    /// warm unless `lazy` is set, in which case the warm-up is scheduled on
+    /// the worker pool and queries will wait for it.
+    Register {
+        /// Optional human-readable alias for later requests.
+        name: Option<String>,
+        /// Category weights of the prior (normalized by the service).
+        prior: Vec<f64>,
+        /// Worst-case privacy bound δ in (0, 1].
+        delta: f64,
+        /// Ω resolution; the service default when omitted.
+        slots: Option<usize>,
+        /// Schedule the warm-up instead of waiting for it.
+        lazy: Option<bool>,
+    },
+    /// Register many priors under one δ and warm them all in one parallel
+    /// batch (the multi-prior batch front door).
+    RegisterBatch {
+        /// Optional aliases, positionally matched to `priors`.
+        names: Option<Vec<String>>,
+        /// One weight vector per prior.
+        priors: Vec<Vec<f64>>,
+        /// Worst-case privacy bound δ shared by the batch.
+        delta: f64,
+        /// Ω resolution; the service default when omitted.
+        slots: Option<usize>,
+    },
+    /// The paper's Section III.C query: the best matrix with privacy ≥ p.
+    BestForPrivacy {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+        /// The privacy floor p.
+        min_privacy: f64,
+    },
+    /// The dual query: the best matrix with MSE ≤ m.
+    BestForMse {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+        /// The utility budget m.
+        max_mse: f64,
+    },
+    /// The full Pareto front held in the warm store.
+    Front {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+    },
+    /// Mark a key stale and schedule refresh runs on the worker pool.
+    Refresh {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+        /// Number of engine runs to schedule (default 1, capped).
+        runs: Option<usize>,
+    },
+    /// Wait until all scheduled refresh runs have finished.
+    Sync,
+    /// Per-key statistics (with `key`/`name`) or service-wide statistics.
+    Stats {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+    },
+    /// End the session.
+    Shutdown,
+}
+
+/// A disguise matrix in transport form: column-major, one randomization
+/// distribution per original category, matching the paper's
+/// column-stochastic convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixDto {
+    /// Number of categories `n`.
+    pub num_categories: usize,
+    /// `columns[i][j] = P[report c_j | true value c_i]`.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl MatrixDto {
+    /// Encodes a validated RR matrix.
+    pub fn from_matrix(matrix: &RrMatrix) -> Self {
+        let n = matrix.num_categories();
+        let columns = (0..n)
+            .map(|input| (0..n).map(|output| matrix.theta(output, input)).collect())
+            .collect();
+        Self {
+            num_categories: n,
+            columns,
+        }
+    }
+
+    /// Decodes back into a validated RR matrix.
+    pub fn to_matrix(&self) -> Result<RrMatrix, rr::RrError> {
+        let columns: Vec<linalg::Vector> = self
+            .columns
+            .iter()
+            .map(|c| linalg::Vector::from_vec(c.clone()))
+            .collect();
+        RrMatrix::from_columns(&columns)
+    }
+}
+
+/// Per-key statistics reported by `Stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyStatsDto {
+    /// Canonical fingerprint.
+    pub key: u64,
+    /// Whether the warm latch is open.
+    pub warm: bool,
+    /// Whether the key is marked stale.
+    pub stale: bool,
+    /// Filled Ω slots.
+    pub filled_slots: usize,
+    /// Ω resolution.
+    pub num_slots: usize,
+    /// Engine runs started for this key.
+    pub engine_runs: u64,
+    /// Queries served from this key's warm store.
+    pub queries: u64,
+    /// Lowest privacy currently covered, when any slot is filled.
+    pub privacy_lo: Option<f64>,
+    /// Highest privacy currently covered, when any slot is filled.
+    pub privacy_hi: Option<f64>,
+}
+
+/// A response line of the serving protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A single registration finished (or was already present).
+    Registered {
+        /// Canonical fingerprint to use in later requests.
+        key: u64,
+        /// Whether the warm store is ready.
+        warm: bool,
+        /// Filled Ω slots at response time.
+        filled_slots: usize,
+        /// Engine runs started for this key so far.
+        engine_runs: u64,
+    },
+    /// A batch registration finished.
+    RegisteredBatch {
+        /// Canonical fingerprints, in input order.
+        keys: Vec<u64>,
+        /// How many of them required a fresh engine run.
+        warmed: usize,
+    },
+    /// A point query matched a stored matrix.
+    Matrix {
+        /// The key that answered.
+        key: u64,
+        /// Privacy of the stored matrix.
+        privacy: f64,
+        /// MSE of the stored matrix.
+        mse: f64,
+        /// Worst-case posterior of the stored matrix.
+        max_posterior: f64,
+        /// The disguise matrix itself.
+        matrix: MatrixDto,
+    },
+    /// A point query matched nothing in the warm store.
+    NoMatch {
+        /// The key that was queried.
+        key: u64,
+        /// Why nothing qualified.
+        reason: String,
+    },
+    /// The warm store's current Pareto front.
+    Front {
+        /// The key that answered.
+        key: u64,
+        /// Non-dominated (privacy, MSE) points in increasing privacy order.
+        points: Vec<FrontPoint>,
+    },
+    /// Refresh runs were scheduled.
+    Scheduled {
+        /// The key being refreshed.
+        key: u64,
+        /// Number of runs scheduled.
+        runs: usize,
+    },
+    /// All scheduled work has finished.
+    Synced,
+    /// Per-key statistics.
+    KeyStats {
+        /// The statistics payload.
+        stats: KeyStatsDto,
+    },
+    /// Service-wide statistics.
+    ServiceStats {
+        /// Registered keys.
+        keys: usize,
+        /// Engine runs started across all keys.
+        engine_runs: u64,
+        /// Point/front queries served.
+        queries: u64,
+        /// Queries answered from an already-warm store.
+        warm_hits: u64,
+    },
+    /// The request could not be served.
+    Error {
+        /// Explanation.
+        reason: String,
+    },
+    /// Session end acknowledgement.
+    Bye,
+}
+
+/// Encodes a request as one protocol line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    serde_json::to_string(request).expect("requests serialize")
+}
+
+/// Encodes a response as one protocol line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses serialize")
+}
+
+/// Decodes one protocol line into a request.
+pub fn decode_request(line: &str) -> Result<Request, serde::Error> {
+    serde_json::from_str(line)
+}
+
+/// Decodes one protocol line into a response.
+pub fn decode_response(line: &str) -> Result<Response, serde::Error> {
+    serde_json::from_str(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr::schemes::warner;
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        let requests = vec![
+            Request::Register {
+                name: Some("demo".into()),
+                prior: vec![0.4, 0.3, 0.2, 0.1],
+                delta: 0.8,
+                slots: Some(500),
+                lazy: None,
+            },
+            Request::RegisterBatch {
+                names: None,
+                priors: vec![vec![0.5, 0.5], vec![0.9, 0.1]],
+                delta: 0.75,
+                slots: None,
+            },
+            Request::BestForPrivacy {
+                key: Some(42),
+                name: None,
+                min_privacy: 0.25,
+            },
+            Request::BestForMse {
+                key: None,
+                name: Some("demo".into()),
+                max_mse: 1e-4,
+            },
+            Request::Front {
+                key: Some(7),
+                name: None,
+            },
+            Request::Refresh {
+                key: Some(7),
+                name: None,
+                runs: Some(2),
+            },
+            Request::Sync,
+            Request::Stats {
+                key: None,
+                name: None,
+            },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            assert!(!line.contains('\n'), "one frame per line: {line}");
+            let back = decode_request(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_lines() {
+        let matrix = MatrixDto::from_matrix(&warner(4, 0.7).unwrap());
+        let responses = vec![
+            Response::Registered {
+                key: 9,
+                warm: true,
+                filled_slots: 55,
+                engine_runs: 1,
+            },
+            Response::RegisteredBatch {
+                keys: vec![1, 2, 3],
+                warmed: 2,
+            },
+            Response::Matrix {
+                key: 9,
+                privacy: 0.42,
+                mse: 3.5e-5,
+                max_posterior: 0.77,
+                matrix,
+            },
+            Response::NoMatch {
+                key: 9,
+                reason: "no entry with privacy >= 0.99".into(),
+            },
+            Response::Front {
+                key: 9,
+                points: vec![
+                    FrontPoint {
+                        privacy: 0.2,
+                        mse: 1e-5,
+                    },
+                    FrontPoint {
+                        privacy: 0.5,
+                        mse: 9e-5,
+                    },
+                ],
+            },
+            Response::Scheduled { key: 9, runs: 2 },
+            Response::Synced,
+            Response::KeyStats {
+                stats: KeyStatsDto {
+                    key: 9,
+                    warm: true,
+                    stale: false,
+                    filled_slots: 55,
+                    num_slots: 500,
+                    engine_runs: 2,
+                    queries: 11,
+                    privacy_lo: Some(0.1),
+                    privacy_hi: Some(0.8),
+                },
+            },
+            Response::ServiceStats {
+                keys: 3,
+                engine_runs: 4,
+                queries: 100,
+                warm_hits: 97,
+            },
+            Response::Error {
+                reason: "unknown key".into(),
+            },
+            Response::Bye,
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'), "one frame per line: {line}");
+            let back = decode_response(&line).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn matrix_dto_round_trips_bitwise() {
+        let original = warner(5, 0.65).unwrap();
+        let dto = MatrixDto::from_matrix(&original);
+        assert_eq!(dto.num_categories, 5);
+        let back = dto.to_matrix().unwrap();
+        for output in 0..5 {
+            for input in 0..5 {
+                assert_eq!(
+                    back.theta(output, input).to_bits(),
+                    original.theta(output, input).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_session_lines_parse() {
+        // The exact shapes the CI smoke session pipes into the binary.
+        let lines = [
+            r#"{"Register":{"name":"demo","prior":[0.4,0.3,0.2,0.1],"delta":0.8}}"#,
+            r#"{"BestForPrivacy":{"name":"demo","min_privacy":0.2}}"#,
+            r#"{"Front":{"name":"demo"}}"#,
+            r#"{"Stats":{"name":"demo"}}"#,
+            r#"{"Stats":{}}"#,
+            r#""Sync""#,
+            r#""Shutdown""#,
+        ];
+        for line in lines {
+            assert!(decode_request(line).is_ok(), "failed to parse: {line}");
+        }
+        // Garbage is rejected, not panicked on.
+        assert!(decode_request("not json").is_err());
+        assert!(decode_request(r#"{"Unknown":{}}"#).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The warm-Ω registry: one entry per canonical `(prior, δ, num_slots)`
+//! fingerprint.
+//!
+//! Each [`KeyEntry`] owns the sharded warm store for its problem plus the
+//! bookkeeping a serving layer needs: a warm latch (opened after the first
+//! engine run finishes), a staleness flag, run/query counters, the
+//! warm-start seed set carried between refreshes, and the last run's
+//! statistics. The registry itself is a read-mostly map behind an
+//! `RwLock`; queries take the read lock for the time it takes to clone one
+//! `Arc`.
+
+use crate::shard::ShardedOmega;
+use crate::worker::Latch;
+use optrr::{omega_fingerprint, RunStatistics};
+use rr::RrMatrix;
+use stats::Categorical;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One registered problem and its warm store.
+#[derive(Debug)]
+pub struct KeyEntry {
+    key: u64,
+    prior: Categorical,
+    delta: f64,
+    num_slots: usize,
+    store: ShardedOmega,
+    warm: Latch,
+    stale: AtomicBool,
+    engine_runs: AtomicU64,
+    queries: AtomicU64,
+    warm_seeds: Mutex<Vec<RrMatrix>>,
+    last_statistics: Mutex<Option<RunStatistics>>,
+}
+
+impl KeyEntry {
+    fn new(key: u64, prior: Categorical, delta: f64, num_slots: usize, num_shards: usize) -> Self {
+        Self {
+            key,
+            prior,
+            delta,
+            num_slots,
+            store: ShardedOmega::new(num_slots, num_shards),
+            warm: Latch::new(),
+            stale: AtomicBool::new(false),
+            engine_runs: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            warm_seeds: Mutex::new(Vec::new()),
+            last_statistics: Mutex::new(None),
+        }
+    }
+
+    /// The canonical fingerprint this entry is registered under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The prior distribution the matrices are optimized for.
+    pub fn prior(&self) -> &Categorical {
+        &self.prior
+    }
+
+    /// The privacy bound δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The Ω resolution.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// The sharded warm store.
+    pub fn store(&self) -> &ShardedOmega {
+        &self.store
+    }
+
+    /// The warm latch: open once the first engine run has landed.
+    pub fn warm_latch(&self) -> &Latch {
+        &self.warm
+    }
+
+    /// Whether the entry has warm data.
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_open()
+    }
+
+    /// Whether the entry has been marked stale (refresh scheduled or due).
+    pub fn is_stale(&self) -> bool {
+        self.stale.load(Ordering::SeqCst)
+    }
+
+    /// Marks the entry stale; the next scheduled refresh clears it.
+    pub fn mark_stale(&self) {
+        self.stale.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears the staleness flag (a refresh landed).
+    pub fn clear_stale(&self) {
+        self.stale.store(false, Ordering::SeqCst);
+    }
+
+    /// Number of engine runs started for this key. The run index doubles
+    /// as the deterministic seed offset for that run.
+    pub fn engine_runs(&self) -> u64 {
+        self.engine_runs.load(Ordering::SeqCst)
+    }
+
+    /// Claims the next run index (incrementing the run counter).
+    pub fn claim_run_index(&self) -> u64 {
+        self.engine_runs.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Number of point/front queries served from this entry.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::SeqCst)
+    }
+
+    /// Counts one served query.
+    pub fn count_query(&self) {
+        self.queries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The warm-start seed set: the previous run's archive matrices.
+    pub fn take_warm_seeds(&self) -> Vec<RrMatrix> {
+        self.warm_seeds.lock().expect("seed lock").clone()
+    }
+
+    /// Replaces the warm-start seed set with a finished run's archive.
+    pub fn put_warm_seeds(&self, seeds: Vec<RrMatrix>) {
+        *self.warm_seeds.lock().expect("seed lock") = seeds;
+    }
+
+    /// The statistics of the most recent finished run, when any.
+    pub fn last_statistics(&self) -> Option<RunStatistics> {
+        self.last_statistics.lock().expect("stats lock").clone()
+    }
+
+    /// Records a finished run's statistics.
+    pub fn put_statistics(&self, statistics: RunStatistics) {
+        *self.last_statistics.lock().expect("stats lock") = Some(statistics);
+    }
+}
+
+/// The fingerprint-keyed registry of warm stores, with optional
+/// human-readable name aliases for scripted sessions.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<HashMap<u64, Arc<KeyEntry>>>,
+    names: RwLock<HashMap<String, u64>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the entry for the canonical fingerprint of
+    /// `(prior, delta, num_slots)`, creating a cold one (with
+    /// `num_shards` store shards) when absent. The boolean is `true` when
+    /// the entry was just created and needs a warm-up run.
+    pub fn insert_or_get(
+        &self,
+        prior: &Categorical,
+        delta: f64,
+        num_slots: usize,
+        num_shards: usize,
+    ) -> (Arc<KeyEntry>, bool) {
+        let key = omega_fingerprint(prior, delta, num_slots);
+        if let Some(entry) = self.entries.read().expect("registry lock").get(&key) {
+            return (Arc::clone(entry), false);
+        }
+        let mut entries = self.entries.write().expect("registry lock");
+        // Double-checked under the write lock: a concurrent register may
+        // have inserted the same fingerprint between the two lock scopes.
+        if let Some(entry) = entries.get(&key) {
+            return (Arc::clone(entry), false);
+        }
+        let entry = Arc::new(KeyEntry::new(
+            key,
+            prior.clone(),
+            delta,
+            num_slots,
+            num_shards,
+        ));
+        entries.insert(key, Arc::clone(&entry));
+        (entry, true)
+    }
+
+    /// Binds a human-readable alias to a key (latest binding wins).
+    pub fn bind_name(&self, name: &str, key: u64) {
+        self.names
+            .write()
+            .expect("names lock")
+            .insert(name.to_string(), key);
+    }
+
+    /// Resolves an entry by explicit key or by alias, preferring the key.
+    pub fn resolve(&self, key: Option<u64>, name: Option<&str>) -> Option<Arc<KeyEntry>> {
+        let key = key.or_else(|| {
+            let names = self.names.read().expect("names lock");
+            name.and_then(|n| names.get(n).copied())
+        })?;
+        self.entries
+            .read()
+            .expect("registry lock")
+            .get(&key)
+            .map(Arc::clone)
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock").len()
+    }
+
+    /// Whether no key is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries, in unspecified order.
+    pub fn entries(&self) -> Vec<Arc<KeyEntry>> {
+        self.entries
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(Arc::clone)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior() -> Categorical {
+        Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap()
+    }
+
+    #[test]
+    fn insert_or_get_dedupes_by_fingerprint() {
+        let registry = Registry::new();
+        let (a, created_a) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        let (b, created_b) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        assert!(created_a);
+        assert!(!created_b);
+        assert_eq!(a.key(), b.key());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+        // A different delta is a different key.
+        let (c, created_c) = registry.insert_or_get(&prior(), 0.75, 100, 4);
+        assert!(created_c);
+        assert_ne!(a.key(), c.key());
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.entries().len(), 2);
+    }
+
+    #[test]
+    fn resolve_by_key_and_by_name() {
+        let registry = Registry::new();
+        let (entry, _) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        registry.bind_name("demo", entry.key());
+        assert!(registry.resolve(Some(entry.key()), None).is_some());
+        assert!(registry.resolve(None, Some("demo")).is_some());
+        // Key takes precedence over a name that resolves elsewhere.
+        let resolved = registry
+            .resolve(Some(entry.key()), Some("missing"))
+            .unwrap();
+        assert_eq!(resolved.key(), entry.key());
+        assert!(registry.resolve(None, Some("missing")).is_none());
+        assert!(registry.resolve(Some(42), None).is_none());
+        assert!(registry.resolve(None, None).is_none());
+    }
+
+    #[test]
+    fn entry_bookkeeping_counters() {
+        let registry = Registry::new();
+        let (entry, _) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        assert!(!entry.is_warm());
+        assert!(!entry.is_stale());
+        assert_eq!(entry.engine_runs(), 0);
+        assert_eq!(entry.claim_run_index(), 0);
+        assert_eq!(entry.claim_run_index(), 1);
+        assert_eq!(entry.engine_runs(), 2);
+        entry.count_query();
+        assert_eq!(entry.queries(), 1);
+        entry.mark_stale();
+        assert!(entry.is_stale());
+        entry.clear_stale();
+        assert!(!entry.is_stale());
+        assert!(entry.take_warm_seeds().is_empty());
+        assert!(entry.last_statistics().is_none());
+        assert_eq!(entry.delta(), 0.8);
+        assert_eq!(entry.num_slots(), 100);
+        assert_eq!(entry.prior().num_categories(), 4);
+        assert!(entry.store().is_empty());
+    }
+}

@@ -1,0 +1,759 @@
+//! The serving front door: registry + worker pool + protocol handling.
+//!
+//! A [`Service`] is the long-lived object behind the `serve` binary and the
+//! load-generator bench. It owns the warm-Ω [`Registry`], a [`WorkerPool`]
+//! that executes engine runs for cold or stale keys, and the counters the
+//! protocol's `Stats` request reports. Point queries never run the engine:
+//! they wait for the key's warm latch, then answer from the sharded store
+//! in O(slots) under per-shard locks.
+//!
+//! Determinism contract: the warm-up run of a key uses exactly the
+//! configured base seed, and run `i` of that key uses `seed + i`, so a
+//! service warm-up is bitwise-reproducible against a plain
+//! [`Optimizer::optimize_distribution`] call with the same configuration —
+//! the end-to-end tests assert this front-for-front.
+
+use crate::protocol::{KeyStatsDto, MatrixDto, Request, Response};
+use crate::registry::{KeyEntry, Registry};
+use crate::worker::WorkerPool;
+use optrr::{Optimizer, OptrrConfig, OptrrError};
+use stats::Categorical;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on refresh runs one `Refresh` request may schedule.
+pub const MAX_REFRESH_RUNS: usize = 16;
+
+/// Upper bound on a registration's Ω resolution. Each key's warm store
+/// allocates `num_shards` full-width slot vectors (so `OmegaSet::merge`
+/// applies shard-for-shard), so an uncapped client-supplied `slots` value
+/// could request an unbounded allocation and take the whole service down;
+/// 20× the paper's 1000-slot Ω is plenty of resolution.
+pub const MAX_OMEGA_SLOTS: usize = 20_000;
+
+/// Error type of the service's library API. Protocol handling maps every
+/// variant to a `Response::Error` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request itself is malformed (bad prior, bad delta, unknown key).
+    InvalidRequest(String),
+    /// The optimizer refused the derived configuration or prior.
+    Optimizer(OptrrError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            ServeError::Optimizer(e) => write!(f, "optimizer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OptrrError> for ServeError {
+    fn from(e: OptrrError) -> Self {
+        ServeError::Optimizer(e)
+    }
+}
+
+/// Convenience alias for the service API.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Configuration of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The engine-budget template for every key's runs. Per-key `delta`,
+    /// `omega_slots`, and the per-run seed offset are overlaid on it; the
+    /// rest (population, generations, engine kind, parallel evaluation)
+    /// applies as-is.
+    pub base: OptrrConfig,
+    /// Ω resolution used when a registration does not specify one.
+    pub default_slots: usize,
+    /// Shards per warm store.
+    pub num_shards: usize,
+    /// Worker threads executing engine runs.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(4);
+        Self {
+            base: OptrrConfig::fast(0.75, 2008),
+            default_slots: 500,
+            num_shards: 8,
+            workers,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A small-budget configuration for tests and CI smoke sessions:
+    /// sub-second warm-ups that still fill a meaningful Ω.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            base: OptrrConfig {
+                engine: emoo::EngineConfig {
+                    population_size: 16,
+                    archive_size: 8,
+                    generations: 30,
+                    mutation_rate: 0.5,
+                    density_k: 1,
+                },
+                omega_slots: 200,
+                ..OptrrConfig::fast(0.75, seed)
+            },
+            default_slots: 200,
+            num_shards: 4,
+            workers: 2,
+        }
+    }
+}
+
+/// Opens a warm latch when dropped, covering both the error-return and
+/// panic exits of a refresh run.
+struct OpenOnDrop<'a>(&'a crate::worker::Latch);
+
+impl Drop for OpenOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.open();
+    }
+}
+
+/// The long-lived matrix-serving service.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    registry: Registry,
+    pool: WorkerPool,
+    queries: AtomicU64,
+    warm_hits: AtomicU64,
+}
+
+impl Service {
+    /// Builds a service and spawns its worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        Self {
+            config,
+            registry: Registry::new(),
+            pool,
+            queries: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Borrow the registry (tests and the bench inspect counters).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Validates and normalizes a weight vector into a prior.
+    fn prior_from_weights(weights: &[f64]) -> Result<Categorical> {
+        if weights.len() < 2 {
+            return Err(ServeError::InvalidRequest(
+                "a prior needs at least two categories".into(),
+            ));
+        }
+        Categorical::from_weights(weights)
+            .map_err(|e| ServeError::InvalidRequest(format!("invalid prior: {e}")))
+    }
+
+    fn validate_delta(delta: f64) -> Result<()> {
+        if !(delta > 0.0 && delta <= 1.0) {
+            return Err(ServeError::InvalidRequest(format!(
+                "delta must be in (0, 1], got {delta}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The engine configuration for one run of one key: the shared budget
+    /// template with the key's δ and Ω resolution overlaid and the seed
+    /// advanced by the run index, so every run of every key is
+    /// deterministic and distinct.
+    fn run_config(&self, entry: &KeyEntry, run_index: u64) -> OptrrConfig {
+        OptrrConfig {
+            delta: entry.delta(),
+            omega_slots: entry.num_slots(),
+            seed: self.config.base.seed.wrapping_add(run_index),
+            ..self.config.base.clone()
+        }
+    }
+
+    /// Executes one engine run for a key and lands the result in its warm
+    /// store. Runs on a pool worker (or inline for batch registration).
+    fn run_refresh(&self, entry: &KeyEntry) {
+        let run_index = entry.claim_run_index();
+        // The latch must open no matter how the run ends — Err return or
+        // panic alike — or every blocking query on this key would wedge;
+        // the guard opens it on every exit path (opening twice is fine).
+        let _open_guard = OpenOnDrop(entry.warm_latch());
+        let config = self.run_config(entry, run_index);
+        let warm_seeds = entry.take_warm_seeds();
+        let result = Optimizer::new(config).and_then(|optimizer| {
+            optimizer.optimize_distribution_seeded(entry.prior(), warm_seeds)
+        });
+        match result {
+            Ok(outcome) => {
+                entry.store().absorb(&outcome.omega);
+                entry.put_warm_seeds(outcome.warm_seeds());
+                entry.put_statistics(outcome.statistics);
+                entry.clear_stale();
+            }
+            Err(error) => {
+                // Registration validates priors and deltas, so a failure
+                // here is exceptional; the latch still opens (queries see
+                // an empty store and answer NoMatch) instead of wedging.
+                eprintln!(
+                    "optrr-serve: refresh of key {:x} failed: {error}",
+                    entry.key()
+                );
+            }
+        }
+    }
+
+    /// Registers one prior under a privacy bound, returning its entry.
+    /// Newly created keys get a warm-up run scheduled on the worker pool;
+    /// with `block_until_warm` the call waits for the warm latch.
+    pub fn register(
+        self: &Arc<Self>,
+        name: Option<&str>,
+        weights: &[f64],
+        delta: f64,
+        slots: Option<usize>,
+        block_until_warm: bool,
+    ) -> Result<Arc<KeyEntry>> {
+        Self::validate_delta(delta)?;
+        let prior = Self::prior_from_weights(weights)?;
+        let num_slots = slots
+            .unwrap_or(self.config.default_slots)
+            .clamp(1, MAX_OMEGA_SLOTS);
+        let (entry, created) =
+            self.registry
+                .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
+        if let Some(name) = name {
+            self.registry.bind_name(name, entry.key());
+        }
+        if created {
+            let service = Arc::clone(self);
+            let job_entry = Arc::clone(&entry);
+            self.pool.submit(move || service.run_refresh(&job_entry));
+        }
+        if block_until_warm {
+            entry.warm_latch().wait();
+        }
+        Ok(entry)
+    }
+
+    /// Registers many priors under one δ and warms the cold ones in one
+    /// parallel batch via [`Optimizer::optimize_many`] — the multi-prior
+    /// batch front door. Returns the entries in input order plus the number
+    /// of engine runs the batch actually needed (already-warm keys are
+    /// reused, not re-run).
+    pub fn register_batch(
+        self: &Arc<Self>,
+        names: Option<&[String]>,
+        priors: &[Vec<f64>],
+        delta: f64,
+        slots: Option<usize>,
+    ) -> Result<(Vec<Arc<KeyEntry>>, usize)> {
+        Self::validate_delta(delta)?;
+        if priors.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        let num_slots = slots
+            .unwrap_or(self.config.default_slots)
+            .clamp(1, MAX_OMEGA_SLOTS);
+        let mut entries = Vec::with_capacity(priors.len());
+        let mut cold: Vec<(usize, Categorical)> = Vec::new();
+        for (index, weights) in priors.iter().enumerate() {
+            let prior = Self::prior_from_weights(weights)?;
+            let (entry, created) =
+                self.registry
+                    .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
+            if let Some(name) = names.and_then(|n| n.get(index)) {
+                self.registry.bind_name(name, entry.key());
+            }
+            if created {
+                cold.push((index, prior));
+            }
+            entries.push(entry);
+        }
+        if !cold.is_empty() {
+            // One optimizer fans the cold priors across cores; every run
+            // uses the base seed (run index 0), exactly like a solo
+            // warm-up, so batch and solo registration are bit-identical.
+            let cold_priors: Vec<Categorical> = cold.iter().map(|(_, p)| p.clone()).collect();
+            let config = self.run_config(&entries[cold[0].0], 0);
+            let ran = Optimizer::new(config).and_then(|o| o.optimize_many(&cold_priors));
+            match ran {
+                Ok(outcomes) => {
+                    for ((index, _), outcome) in cold.iter().zip(outcomes) {
+                        let entry = &entries[*index];
+                        entry.claim_run_index();
+                        entry.store().absorb(&outcome.omega);
+                        entry.put_warm_seeds(outcome.warm_seeds());
+                        entry.put_statistics(outcome.statistics);
+                        entry.warm_latch().open();
+                    }
+                }
+                Err(error) => {
+                    // The cold entries are already in the registry; mirror
+                    // a failed solo warm-up (run counted, latch opened) so
+                    // they answer NoMatch instead of wedging every later
+                    // query and re-registration.
+                    for (index, _) in &cold {
+                        let entry = &entries[*index];
+                        entry.claim_run_index();
+                        entry.warm_latch().open();
+                    }
+                    return Err(error.into());
+                }
+            }
+        }
+        Ok((entries, cold.len()))
+    }
+
+    /// Resolves a key/name pair to a registered entry.
+    pub fn resolve(&self, key: Option<u64>, name: Option<&str>) -> Result<Arc<KeyEntry>> {
+        self.registry.resolve(key, name).ok_or_else(|| {
+            ServeError::InvalidRequest(match (key, name) {
+                (Some(k), _) => format!("unknown key {k}"),
+                (None, Some(n)) => format!("unknown name {n:?}"),
+                (None, None) => "a query needs a key or a name".into(),
+            })
+        })
+    }
+
+    /// Counts one query against an entry, noting whether it was served
+    /// without waiting (warm hit) or had to wait for warm-up.
+    fn count_query(&self, entry: &KeyEntry) {
+        let was_warm = entry.is_warm();
+        entry.warm_latch().wait();
+        entry.count_query();
+        self.queries.fetch_add(1, Ordering::SeqCst);
+        if was_warm {
+            self.warm_hits.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Point query: best stored matrix with privacy ≥ `min_privacy`.
+    pub fn best_for_privacy(
+        &self,
+        entry: &KeyEntry,
+        min_privacy: f64,
+    ) -> Option<optrr::OmegaEntry> {
+        self.count_query(entry);
+        entry.store().best_for_privacy_at_least(min_privacy)
+    }
+
+    /// Point query: best stored matrix with MSE ≤ `max_mse`.
+    pub fn best_for_mse(&self, entry: &KeyEntry, max_mse: f64) -> Option<optrr::OmegaEntry> {
+        self.count_query(entry);
+        entry.store().best_for_mse_at_most(max_mse)
+    }
+
+    /// Front query: the warm store's non-dominated (privacy, MSE) points.
+    pub fn front(&self, entry: &KeyEntry) -> Vec<optrr::FrontPoint> {
+        self.count_query(entry);
+        let merged = entry.store().merge();
+        merged
+            .pareto_entries()
+            .iter()
+            .map(|e| optrr::FrontPoint::from_evaluation(&e.evaluation))
+            .collect()
+    }
+
+    /// Marks a key stale and schedules `runs` refresh engine runs on the
+    /// worker pool. Returns the number scheduled.
+    pub fn refresh(self: &Arc<Self>, entry: &Arc<KeyEntry>, runs: usize) -> usize {
+        let runs = runs.clamp(1, MAX_REFRESH_RUNS);
+        entry.mark_stale();
+        for _ in 0..runs {
+            let service = Arc::clone(self);
+            let job_entry = Arc::clone(entry);
+            self.pool.submit(move || service.run_refresh(&job_entry));
+        }
+        runs
+    }
+
+    /// Blocks until all scheduled engine runs have finished.
+    pub fn wait_idle(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Per-key statistics snapshot.
+    pub fn key_stats(&self, entry: &KeyEntry) -> KeyStatsDto {
+        let range = entry.store().privacy_range();
+        KeyStatsDto {
+            key: entry.key(),
+            warm: entry.is_warm(),
+            stale: entry.is_stale(),
+            filled_slots: entry.store().len(),
+            num_slots: entry.num_slots(),
+            engine_runs: entry.engine_runs(),
+            queries: entry.queries(),
+            privacy_lo: range.map(|(lo, _)| lo),
+            privacy_hi: range.map(|(_, hi)| hi),
+        }
+    }
+
+    /// Service-wide counters: `(keys, engine_runs, queries, warm_hits)`.
+    pub fn service_stats(&self) -> (usize, u64, u64, u64) {
+        let engine_runs = self
+            .registry
+            .entries()
+            .iter()
+            .map(|e| e.engine_runs())
+            .sum();
+        (
+            self.registry.len(),
+            engine_runs,
+            self.queries.load(Ordering::SeqCst),
+            self.warm_hits.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Handles one protocol request, mapping library errors to
+    /// [`Response::Error`].
+    pub fn handle(self: &Arc<Self>, request: Request) -> Response {
+        match self.try_handle(request) {
+            Ok(response) => response,
+            Err(error) => Response::Error {
+                reason: error.to_string(),
+            },
+        }
+    }
+
+    fn try_handle(self: &Arc<Self>, request: Request) -> Result<Response> {
+        Ok(match request {
+            Request::Register {
+                name,
+                prior,
+                delta,
+                slots,
+                lazy,
+            } => {
+                let block = !lazy.unwrap_or(false);
+                let entry = self.register(name.as_deref(), &prior, delta, slots, block)?;
+                Response::Registered {
+                    key: entry.key(),
+                    warm: entry.is_warm(),
+                    filled_slots: entry.store().len(),
+                    engine_runs: entry.engine_runs(),
+                }
+            }
+            Request::RegisterBatch {
+                names,
+                priors,
+                delta,
+                slots,
+            } => {
+                let (entries, warmed) =
+                    self.register_batch(names.as_deref(), &priors, delta, slots)?;
+                Response::RegisteredBatch {
+                    keys: entries.iter().map(|e| e.key()).collect(),
+                    warmed,
+                }
+            }
+            Request::BestForPrivacy {
+                key,
+                name,
+                min_privacy,
+            } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                match self.best_for_privacy(&entry, min_privacy) {
+                    Some(found) => Response::Matrix {
+                        key: entry.key(),
+                        privacy: found.evaluation.privacy,
+                        mse: found.evaluation.mse,
+                        max_posterior: found.evaluation.max_posterior,
+                        matrix: MatrixDto::from_matrix(&found.matrix),
+                    },
+                    None => Response::NoMatch {
+                        key: entry.key(),
+                        reason: format!("no stored matrix with privacy >= {min_privacy}"),
+                    },
+                }
+            }
+            Request::BestForMse { key, name, max_mse } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                match self.best_for_mse(&entry, max_mse) {
+                    Some(found) => Response::Matrix {
+                        key: entry.key(),
+                        privacy: found.evaluation.privacy,
+                        mse: found.evaluation.mse,
+                        max_posterior: found.evaluation.max_posterior,
+                        matrix: MatrixDto::from_matrix(&found.matrix),
+                    },
+                    None => Response::NoMatch {
+                        key: entry.key(),
+                        reason: format!("no stored matrix with mse <= {max_mse}"),
+                    },
+                }
+            }
+            Request::Front { key, name } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                Response::Front {
+                    key: entry.key(),
+                    points: self.front(&entry),
+                }
+            }
+            Request::Refresh { key, name, runs } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                let scheduled = self.refresh(&entry, runs.unwrap_or(1));
+                Response::Scheduled {
+                    key: entry.key(),
+                    runs: scheduled,
+                }
+            }
+            Request::Sync => {
+                self.wait_idle();
+                Response::Synced
+            }
+            Request::Stats { key, name } => {
+                if key.is_none() && name.is_none() {
+                    let (keys, engine_runs, queries, warm_hits) = self.service_stats();
+                    Response::ServiceStats {
+                        keys,
+                        engine_runs,
+                        queries,
+                        warm_hits,
+                    }
+                } else {
+                    let entry = self.resolve(key, name.as_deref())?;
+                    Response::KeyStats {
+                        stats: self.key_stats(&entry),
+                    }
+                }
+            }
+            Request::Shutdown => Response::Bye,
+        })
+    }
+
+    /// Drives a whole framed-JSON session: one request per input line, one
+    /// response per output line, until `Shutdown` or end of input.
+    /// Malformed lines produce `Error` responses and the session continues.
+    pub fn run_loop<R: BufRead, W: Write>(
+        self: &Arc<Self>,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let response = match crate::protocol::decode_request(trimmed) {
+                Ok(request) => self.handle(request),
+                Err(error) => Response::Error {
+                    reason: format!("bad request line: {error}"),
+                },
+            };
+            writeln!(writer, "{}", crate::protocol::encode_response(&response))?;
+            writer.flush()?;
+            if response == Response::Bye {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_service() -> Arc<Service> {
+        Arc::new(Service::new(ServiceConfig::smoke(77)))
+    }
+
+    const PRIOR: [f64; 5] = [0.35, 0.25, 0.2, 0.12, 0.08];
+
+    #[test]
+    fn register_warms_exactly_once_and_queries_never_rerun() {
+        let service = smoke_service();
+        let entry = service
+            .register(Some("demo"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        assert!(entry.is_warm());
+        assert_eq!(entry.engine_runs(), 1);
+        assert!(!entry.store().is_empty());
+
+        // Re-registering the same problem reuses the warm entry.
+        let again = service.register(None, &PRIOR, 0.8, None, true).unwrap();
+        assert_eq!(again.key(), entry.key());
+        assert_eq!(again.engine_runs(), 1);
+
+        // Point queries across the whole privacy axis: still one run.
+        let (lo, hi) = entry.store().privacy_range().unwrap();
+        for step in 0..10 {
+            let p = lo + (hi - lo) * step as f64 / 9.0;
+            let found = service.best_for_privacy(&entry, p);
+            assert!(found.is_some(), "no matrix for privacy >= {p}");
+        }
+        assert_eq!(entry.engine_runs(), 1);
+        assert_eq!(entry.queries(), 10);
+        let (_, runs, queries, warm_hits) = service.service_stats();
+        assert_eq!(runs, 1);
+        assert_eq!(queries, 10);
+        assert_eq!(warm_hits, 10);
+    }
+
+    #[test]
+    fn invalid_registrations_are_rejected() {
+        let service = smoke_service();
+        assert!(matches!(
+            service.register(None, &[1.0], 0.8, None, true),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register(None, &PRIOR, 0.0, None, true),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register(None, &PRIOR, 1.5, None, true),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(service
+            .register(None, &[0.0, -1.0, 2.0], 0.8, None, true)
+            .is_err());
+        assert!(service.resolve(Some(123), None).is_err());
+        assert!(service.resolve(None, None).is_err());
+    }
+
+    #[test]
+    fn slot_resolution_is_clamped_to_the_service_cap() {
+        let service = smoke_service();
+        // A hostile slots value cannot force an unbounded allocation.
+        let entry = service
+            .register(None, &PRIOR, 0.8, Some(usize::MAX), true)
+            .unwrap();
+        assert_eq!(entry.num_slots(), MAX_OMEGA_SLOTS);
+        let entry = service.register(None, &PRIOR, 0.75, Some(0), true).unwrap();
+        assert_eq!(entry.num_slots(), 1);
+        let (batch, _) = service
+            .register_batch(None, &[PRIOR.to_vec()], 0.7, Some(usize::MAX))
+            .unwrap();
+        assert_eq!(batch[0].num_slots(), MAX_OMEGA_SLOTS);
+    }
+
+    #[test]
+    fn lazy_registration_defers_and_queries_wait() {
+        let service = smoke_service();
+        let entry = service
+            .register(Some("lazy"), &PRIOR, 0.8, None, false)
+            .unwrap();
+        // The query blocks until the pool finishes the warm-up, then
+        // answers without another run.
+        let found = service.best_for_privacy(&entry, 0.0);
+        assert!(entry.is_warm());
+        assert!(found.is_some());
+        assert_eq!(entry.engine_runs(), 1);
+    }
+
+    #[test]
+    fn refresh_schedules_runs_and_improves_monotonically() {
+        let service = smoke_service();
+        let entry = service
+            .register(Some("r"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        let filled_before = entry.store().len();
+        let improvements_before = entry.store().improvements();
+        let scheduled = service.refresh(&entry, 2);
+        assert_eq!(scheduled, 2);
+        service.wait_idle();
+        assert_eq!(entry.engine_runs(), 3);
+        assert!(!entry.is_stale());
+        // Ω only ever improves: no filled slot is lost, improvements grow.
+        assert!(entry.store().len() >= filled_before);
+        assert!(entry.store().improvements() >= improvements_before);
+        // Clamping.
+        assert_eq!(service.refresh(&entry, 0), 1);
+        assert_eq!(service.refresh(&entry, 999), MAX_REFRESH_RUNS);
+        service.wait_idle();
+    }
+
+    #[test]
+    fn batch_registration_matches_solo_runs_and_reuses_warm_keys() {
+        let service = smoke_service();
+        let priors = vec![vec![0.35, 0.25, 0.2, 0.12, 0.08], vec![0.5, 0.3, 0.2]];
+        let (entries, warmed) = service.register_batch(None, &priors, 0.8, None).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(warmed, 2);
+        for entry in &entries {
+            assert!(entry.is_warm());
+            assert_eq!(entry.engine_runs(), 1);
+        }
+
+        // A solo service registering the first prior alone produces the
+        // identical front: the batch front door is a pure fan-out.
+        let solo = smoke_service();
+        let solo_entry = solo.register(None, &priors[0], 0.8, None, true).unwrap();
+        let batch_front = entries[0].store().merge();
+        let solo_front = solo_entry.store().merge();
+        assert_eq!(batch_front, solo_front);
+
+        // Re-batching with one new prior only warms the new one.
+        let extended = vec![priors[0].clone(), priors[1].clone(), vec![0.7, 0.2, 0.1]];
+        let (entries2, warmed2) = service.register_batch(None, &extended, 0.8, None).unwrap();
+        assert_eq!(entries2.len(), 3);
+        assert_eq!(warmed2, 1);
+        assert_eq!(entries2[0].key(), entries[0].key());
+
+        // Empty batch is a no-op.
+        let (none, zero) = service.register_batch(None, &[], 0.8, None).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn protocol_session_round_trips_through_run_loop() {
+        let service = smoke_service();
+        let session = [
+            r#"{"Register":{"name":"demo","prior":[0.35,0.25,0.2,0.12,0.08],"delta":0.8}}"#,
+            r#"{"BestForPrivacy":{"name":"demo","min_privacy":0.05}}"#,
+            r#"{"BestForMse":{"name":"demo","max_mse":1.0}}"#,
+            r#"{"Front":{"name":"demo"}}"#,
+            "not json at all",
+            r#"{"Stats":{"name":"demo"}}"#,
+            r#"{"Stats":{}}"#,
+            r#""Sync""#,
+            r#""Shutdown""#,
+            r#"{"Front":{"name":"after-shutdown-is-not-read"}}"#,
+        ]
+        .join("\n");
+        let mut output = Vec::new();
+        service.run_loop(session.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        // One response per line up to and including Bye.
+        assert_eq!(lines.len(), 9);
+        assert!(lines[0].contains("Registered"));
+        assert!(lines[1].contains("Matrix") || lines[1].contains("NoMatch"));
+        assert!(lines[2].contains("Matrix") || lines[2].contains("NoMatch"));
+        assert!(lines[3].contains("Front"));
+        assert!(lines[4].contains("Error"));
+        assert!(lines[5].contains("KeyStats"));
+        assert!(lines[6].contains("ServiceStats"));
+        assert_eq!(lines[7], r#""Synced""#);
+        assert_eq!(lines[8], r#""Bye""#);
+        // Every line decodes as a Response.
+        for line in lines {
+            assert!(crate::protocol::decode_response(line).is_ok());
+        }
+    }
+}

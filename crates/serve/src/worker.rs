@@ -1,0 +1,265 @@
+//! A small fixed-size worker pool for refresh jobs.
+//!
+//! The service schedules engine runs (cold-key warm-ups, stale-key
+//! refreshes) as jobs on this pool so the front door stays responsive
+//! while optimizations execute in the background. The pool is a classic
+//! shared-queue design: `workers` OS threads pop boxed closures from one
+//! queue; `wait_idle` blocks until every submitted job has finished, which
+//! is what the protocol's `Sync` request and the deterministic tests use
+//! as a barrier.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Jobs submitted but not yet finished (queued + running).
+    pending: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued or shutdown begins.
+    work: Condvar,
+    /// Signalled when `pending` drops to zero.
+    idle: Condvar,
+}
+
+/// A fixed pool of worker threads executing submitted jobs.
+///
+/// Dropping the pool waits for all pending jobs, then joins the workers.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with the given number of workers (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("optrr-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").pending
+    }
+
+    /// Enqueues a job for execution on some worker.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        assert!(!state.shutdown, "submit after shutdown");
+        state.queue.push_back(Box::new(job));
+        state.pending += 1;
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while state.pending > 0 {
+            state = self.shared.idle.wait(state).expect("pool lock");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).expect("pool lock");
+            }
+        };
+        // A panicking job must not wedge `wait_idle`, so the panic is
+        // contained and the pending count still drops.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if outcome.is_err() {
+            eprintln!("optrr-serve: a refresh job panicked; continuing");
+        }
+        let mut state = shared.state.lock().expect("pool lock");
+        state.pending -= 1;
+        if state.pending == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+/// A one-way boolean latch: starts closed, opens once, and every waiter is
+/// released. Used to signal "this key's Ω is warm".
+#[derive(Debug, Default)]
+pub struct Latch {
+    state: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Latch {
+    /// Creates a closed latch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the latch has been opened.
+    pub fn is_open(&self) -> bool {
+        *self.state.lock().expect("latch lock")
+    }
+
+    /// Opens the latch, releasing all current and future waiters.
+    pub fn open(&self) {
+        let mut open = self.state.lock().expect("latch lock");
+        *open = true;
+        drop(open);
+        self.opened.notify_all();
+    }
+
+    /// Blocks until the latch is open.
+    pub fn wait(&self) {
+        let mut open = self.state.lock().expect("latch lock");
+        while !*open {
+            open = self.opened.wait(open).expect("latch lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_job_and_wait_idle_blocks_until_done() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let inner = Arc::clone(&flag);
+        pool.submit(move || {
+            inner.store(7, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_the_pool() {
+        let pool = WorkerPool::new(2);
+        pool.submit(|| panic!("job panic"));
+        let ok = Arc::new(AtomicUsize::new(0));
+        let inner = Arc::clone(&ok);
+        pool.submit(move || {
+            inner.store(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_joins_after_draining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_idle();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn latch_opens_once_for_all_waiters() {
+        let latch = Arc::new(Latch::new());
+        assert!(!latch.is_open());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || {
+                    latch.wait();
+                    true
+                })
+            })
+            .collect();
+        latch.open();
+        for w in waiters {
+            assert!(w.join().unwrap());
+        }
+        assert!(latch.is_open());
+        // Waiting on an open latch returns immediately.
+        latch.wait();
+    }
+}

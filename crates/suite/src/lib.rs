@@ -15,6 +15,7 @@ pub use linalg;
 pub use mining;
 pub use optrr;
 pub use rr;
+pub use serve;
 pub use stats;
 
 /// A reduced-budget optimizer configuration for integration tests: large
