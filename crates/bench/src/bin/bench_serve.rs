@@ -11,16 +11,11 @@
 //!
 //! Usage: `cargo run -p optrr-bench --release --bin bench_serve [-- --streams N --queries M]`
 
+use bench_support::{arg_value, percentile};
 use serde::Serialize;
 use serve::{Service, ServiceConfig};
 use std::sync::Arc;
 use std::time::Instant;
-
-fn arg_value(name: &str) -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let at = args.iter().position(|a| a == name)?;
-    args.get(at + 1)?.parse().ok()
-}
 
 #[derive(Serialize)]
 struct ServeBaseline {
@@ -37,14 +32,6 @@ struct ServeBaseline {
     registered_keys: usize,
     engine_runs_warmup: u64,
     engine_runs_after_load: u64,
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank]
 }
 
 fn main() {

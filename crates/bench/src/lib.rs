@@ -259,6 +259,24 @@ pub fn optrr_front(report: &ExperimentReport) -> &ParetoFront {
         .expect("figure reports always contain an OptRR front")
 }
 
+/// Reads the `usize` value following a `--name` CLI flag, shared by the
+/// load-generator binaries.
+pub fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == name)?;
+    args.get(at + 1)?.parse().ok()
+}
+
+/// Nearest-rank percentile of a sorted latency sample (0 when empty),
+/// shared by the load-generator binaries.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

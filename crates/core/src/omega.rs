@@ -39,23 +39,30 @@ pub fn slot_index(privacy: f64, num_slots: usize) -> usize {
 /// pattern of δ and the slot count using FNV-1a. The result is stable
 /// across processes and platforms.
 pub fn omega_fingerprint(prior: &Categorical, delta: f64, num_slots: usize) -> u64 {
+    let words = std::iter::once(prior.num_categories() as u64)
+        .chain(prior.probs().iter().map(|&p| {
+            // Quantized probability: exact for any prior that is a ratio
+            // of counts up to ~10^12 records, tolerant of last-ulp noise.
+            (p * 1e12).round() as u64
+        }))
+        .chain([delta.to_bits(), num_slots as u64]);
+    fnv1a_64(words)
+}
+
+/// FNV-1a over a stream of little-endian `u64` words — the hash primitive
+/// behind [`omega_fingerprint`] and the serving pipeline's deterministic
+/// payload seeds. One definition keeps every fingerprint in the workspace
+/// on the same constants.
+pub fn fnv1a_64<I: IntoIterator<Item = u64>>(words: I) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = FNV_OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
+    for word in words {
+        for b in word.to_le_bytes() {
             hash ^= b as u64;
             hash = hash.wrapping_mul(FNV_PRIME);
         }
-    };
-    eat(&(prior.num_categories() as u64).to_le_bytes());
-    for &p in prior.probs() {
-        // Quantized probability: exact for any prior that is a ratio of
-        // counts up to ~10^12 records, tolerant of last-ulp noise.
-        eat(&(((p * 1e12).round()) as u64).to_le_bytes());
     }
-    eat(&delta.to_bits().to_le_bytes());
-    eat(&(num_slots as u64).to_le_bytes());
     hash
 }
 

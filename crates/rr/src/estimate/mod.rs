@@ -20,4 +20,7 @@ pub mod iterative;
 pub use inversion::{
     estimate_distribution, estimate_from_counts, estimate_from_disguised_frequencies,
 };
-pub use iterative::{iterative_estimate, IterativeConfig, IterativeOutcome};
+pub use iterative::{
+    iterative_estimate, iterative_estimate_from_frequencies, iterative_estimate_warm,
+    IterativeConfig, IterativeOutcome, WARM_START_BLEND,
+};

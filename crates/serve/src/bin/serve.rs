@@ -1,10 +1,14 @@
-//! The `serve` binary: the framed-JSON matrix-serving front door over
-//! stdin/stdout.
+//! The `serve` binary: the framed-JSON matrix-serving + pipeline front
+//! door over stdin/stdout.
 //!
 //! One JSON request per input line, one JSON response per output line (see
-//! `serve::protocol` for the frame shapes). The engine budget defaults to
-//! the smoke profile so offline smoke sessions warm up in well under a
-//! second; `--standard` selects the full default budget.
+//! `serve::protocol` for the frame shapes). Besides the matrix queries
+//! (`Register`/`BestForPrivacy`/`BestForMse`/`Front`), the binary speaks
+//! the streaming pipeline verbs — `Ingest`, `Disguise`, `Estimate`,
+//! `EstimateAll` — and the warm-store persistence verbs `Save`/`Load`.
+//! The engine budget defaults to the smoke profile so offline smoke
+//! sessions warm up in well under a second; `--standard` selects the full
+//! default budget.
 //!
 //! Usage:
 //! ```text
@@ -13,6 +17,7 @@
 //! #   OPTRR_SERVE_SEED     base RNG seed          (default 2008)
 //! #   OPTRR_SERVE_WORKERS  refresh worker threads (default 2/smoke, cores/standard)
 //! #   OPTRR_SERVE_SHARDS   shards per warm store  (default 4/smoke, 8/standard)
+//! #   OPTRR_SERVE_DRIFT    drift MSE threshold marking keys stale (default 1e-3)
 //! ```
 
 use serve::{Service, ServiceConfig};
@@ -43,6 +48,14 @@ fn config_from_env_and_args() -> ServiceConfig {
     }
     if let Some(shards) = env_usize("OPTRR_SERVE_SHARDS") {
         config.num_shards = shards.max(1);
+    }
+    if let Some(drift) = std::env::var("OPTRR_SERVE_DRIFT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if drift > 0.0 {
+            config.drift_mse_threshold = drift;
+        }
     }
     config
 }

@@ -20,7 +20,19 @@
 //!   per line) spoken by the `serve` binary over stdin/stdout.
 //! * [`service`] — [`Service`]: the front door tying the pieces together,
 //!   including the multi-prior batch registration that fans independent
-//!   problems across cores via `Optimizer::optimize_many`.
+//!   problems across cores via `Optimizer::optimize_many`, and the
+//!   `Save`/`Load` snapshot persistence that lets a restarted server skip
+//!   warm-up entirely.
+//! * [`counts`] — [`ShardedCounts`]: per-key sharded accumulators of
+//!   disguised response batches (round-robin disjoint locks, collapsed via
+//!   `CountSet::merge`).
+//! * [`pipeline`] — the streaming disguise + estimation pipeline
+//!   (`optrr-pipeline`): `Ingest` disguises raw responses server-side
+//!   through the matrix pinned per key, `Estimate` reconstructs the
+//!   original distribution (inversion with automatic iterative fallback,
+//!   warm-started between estimates), and estimation drift beyond the
+//!   configured MSE threshold marks the key stale and schedules a refresh
+//!   — the first telemetry-driven refresh trigger.
 //!
 //! Point queries never run the optimizer: after a key's warm-up they are
 //! answered from the warm store in O(slots) under per-shard locks, and the
@@ -48,14 +60,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counts;
+pub mod pipeline;
 pub mod protocol;
 pub mod registry;
 pub mod service;
 pub mod shard;
 pub mod worker;
 
-pub use protocol::{KeyStatsDto, MatrixDto, Request, Response};
+pub use counts::ShardedCounts;
+pub use pipeline::{payload_seed, EstimateMethod, EstimateOutcome, IngestOutcome, KeyPipeline};
+pub use protocol::{EstimateDto, KeyStatsDto, MatrixDto, Request, Response};
 pub use registry::{KeyEntry, Registry};
-pub use service::{ServeError, Service, ServiceConfig, MAX_OMEGA_SLOTS, MAX_REFRESH_RUNS};
+pub use service::{
+    KeySnapshot, ServeError, Service, ServiceConfig, ServiceSnapshot, MAX_OMEGA_SLOTS,
+    MAX_REFRESH_RUNS,
+};
 pub use shard::ShardedOmega;
 pub use worker::{Latch, WorkerPool};

@@ -77,6 +77,63 @@ pub enum Request {
         /// Alias supplied at registration.
         name: Option<String>,
     },
+    /// Stream one batch of categorical responses into a key's pipeline.
+    /// Exactly one of `records` (raw original values, disguised
+    /// server-side through the matrix pinned for the key) or `counts`
+    /// (pre-counted responses already disguised client-side) must be set.
+    Ingest {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+        /// Privacy floor used to pin the disguise matrix at the key's
+        /// first ingest (0 when omitted); ignored afterwards.
+        min_privacy: Option<f64>,
+        /// Raw original category indices, disguised server-side.
+        records: Option<Vec<usize>>,
+        /// Pre-counted disguised responses, one count per category.
+        counts: Option<Vec<u64>>,
+        /// Disguise RNG seed; defaults to a payload fingerprint so equal
+        /// batches disguise identically regardless of stream interleaving.
+        seed: Option<u64>,
+    },
+    /// Stateless one-shot disguise: returns the records pushed through
+    /// the best warm matrix for the privacy floor, accumulating nothing.
+    Disguise {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+        /// Privacy floor selecting the matrix.
+        min_privacy: f64,
+        /// Raw original category indices.
+        records: Vec<usize>,
+        /// Disguise RNG seed; payload-fingerprint default when omitted.
+        seed: Option<u64>,
+    },
+    /// Reconstruct the original distribution from a key's accumulated
+    /// responses (inversion, with automatic iterative fallback).
+    Estimate {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+    },
+    /// Reconstruct the distribution of every key with accumulated
+    /// responses, in ascending key order.
+    EstimateAll,
+    /// Snapshot every key's warm Ω (plus registration metadata) to a file
+    /// so a restarted server can skip warm-up.
+    Save {
+        /// Path of the snapshot file to write.
+        path: String,
+    },
+    /// Load a snapshot file, creating missing keys warm and merging into
+    /// existing ones.
+    Load {
+        /// Path of the snapshot file to read.
+        path: String,
+    },
     /// Mark a key stale and schedule refresh runs on the worker pool.
     Refresh {
         /// Canonical fingerprint from `Registered`.
@@ -157,6 +214,32 @@ pub struct KeyStatsDto {
     pub privacy_hi: Option<f64>,
 }
 
+/// One estimate reported by `Estimate`/`EstimateAll`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateDto {
+    /// The key that was estimated.
+    pub key: u64,
+    /// `"inversion"` or `"iterative"`.
+    pub method: String,
+    /// The reconstructed original distribution.
+    pub distribution: Vec<f64>,
+    /// Iterations the iterative estimator performed (0 for inversion).
+    pub iterations: u64,
+    /// Convergence residual of the iterative estimator (0 for inversion).
+    pub residual: f64,
+    /// MSE between the reconstruction and the registered prior (the
+    /// drift signal).
+    pub mse_vs_prior: f64,
+    /// Total responses the estimate is based on.
+    pub total_responses: u64,
+    /// Batches the estimate is based on.
+    pub batches: u64,
+    /// Whether the estimate exceeded the drift threshold.
+    pub drifted: bool,
+    /// Whether the key is marked stale after this estimate.
+    pub stale: bool,
+}
+
 /// A response line of the serving protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -204,6 +287,65 @@ pub enum Response {
         key: u64,
         /// Non-dominated (privacy, MSE) points in increasing privacy order.
         points: Vec<FrontPoint>,
+    },
+    /// An ingest batch landed.
+    Ingested {
+        /// The key the batch landed on.
+        key: u64,
+        /// Responses accepted from this batch.
+        accepted: u64,
+        /// Accepted raw responses that kept their original value through
+        /// the disguise (0 for pre-counted batches).
+        retained: u64,
+        /// Total responses accumulated for the key so far.
+        total: u64,
+        /// Total batches accumulated for the key so far.
+        batches: u64,
+        /// Privacy of the pinned disguise matrix.
+        privacy: f64,
+    },
+    /// A one-shot disguise finished.
+    Disguised {
+        /// The key whose matrix disguised the records.
+        key: u64,
+        /// Privacy of the selected matrix.
+        privacy: f64,
+        /// Closed-form MSE of the selected matrix.
+        mse: f64,
+        /// Records that kept their original value.
+        retained: u64,
+        /// The disguised records, in input order.
+        records: Vec<usize>,
+    },
+    /// An estimate finished.
+    Estimated {
+        /// The estimate payload.
+        stats: EstimateDto,
+    },
+    /// A sweep over every key with accumulated responses finished.
+    EstimatedAll {
+        /// One estimate per key with data, in ascending key order.
+        estimates: Vec<EstimateDto>,
+        /// Registered keys skipped for having no responses.
+        skipped: usize,
+        /// Keys with data whose estimate failed (broken channel).
+        failed: usize,
+    },
+    /// A snapshot was written.
+    Saved {
+        /// Path of the snapshot file.
+        path: String,
+        /// Keys the snapshot holds.
+        keys: usize,
+    },
+    /// A snapshot was loaded.
+    Loaded {
+        /// Path of the snapshot file.
+        path: String,
+        /// Keys created warm from the snapshot.
+        created: usize,
+        /// Keys that already existed and absorbed the snapshot's Ω.
+        merged: usize,
     },
     /// Refresh runs were scheduled.
     Scheduled {
@@ -299,6 +441,40 @@ mod tests {
                 name: None,
                 runs: Some(2),
             },
+            Request::Ingest {
+                key: None,
+                name: Some("demo".into()),
+                min_privacy: Some(0.2),
+                records: Some(vec![0, 1, 2, 0]),
+                counts: None,
+                seed: Some(11),
+            },
+            Request::Ingest {
+                key: Some(42),
+                name: None,
+                min_privacy: None,
+                records: None,
+                counts: Some(vec![10, 0, 3]),
+                seed: None,
+            },
+            Request::Disguise {
+                key: None,
+                name: Some("demo".into()),
+                min_privacy: 0.3,
+                records: vec![1, 1, 0],
+                seed: None,
+            },
+            Request::Estimate {
+                key: Some(42),
+                name: None,
+            },
+            Request::EstimateAll,
+            Request::Save {
+                path: "snapshot.json".into(),
+            },
+            Request::Load {
+                path: "snapshot.json".into(),
+            },
             Request::Sync,
             Request::Stats {
                 key: None,
@@ -351,6 +527,60 @@ mod tests {
                         mse: 9e-5,
                     },
                 ],
+            },
+            Response::Ingested {
+                key: 9,
+                accepted: 500,
+                retained: 321,
+                total: 1500,
+                batches: 3,
+                privacy: 0.41,
+            },
+            Response::Disguised {
+                key: 9,
+                privacy: 0.41,
+                mse: 3.5e-5,
+                retained: 2,
+                records: vec![0, 2, 1],
+            },
+            Response::Estimated {
+                stats: EstimateDto {
+                    key: 9,
+                    method: "inversion".into(),
+                    distribution: vec![0.4, 0.3, 0.2, 0.1],
+                    iterations: 0,
+                    residual: 0.0,
+                    mse_vs_prior: 2.4e-5,
+                    total_responses: 1500,
+                    batches: 3,
+                    drifted: false,
+                    stale: false,
+                },
+            },
+            Response::EstimatedAll {
+                estimates: vec![EstimateDto {
+                    key: 9,
+                    method: "iterative".into(),
+                    distribution: vec![0.5, 0.5],
+                    iterations: 40,
+                    residual: 9e-11,
+                    mse_vs_prior: 1.2e-2,
+                    total_responses: 10,
+                    batches: 1,
+                    drifted: true,
+                    stale: true,
+                }],
+                skipped: 2,
+                failed: 1,
+            },
+            Response::Saved {
+                path: "snapshot.json".into(),
+                keys: 3,
+            },
+            Response::Loaded {
+                path: "snapshot.json".into(),
+                created: 2,
+                merged: 1,
             },
             Response::Scheduled { key: 9, runs: 2 },
             Response::Synced,

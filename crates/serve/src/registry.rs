@@ -9,6 +9,7 @@
 //! `RwLock`; queries take the read lock for the time it takes to clone one
 //! `Arc`.
 
+use crate::pipeline::KeyPipeline;
 use crate::shard::ShardedOmega;
 use crate::worker::Latch;
 use optrr::{omega_fingerprint, RunStatistics};
@@ -32,6 +33,7 @@ pub struct KeyEntry {
     queries: AtomicU64,
     warm_seeds: Mutex<Vec<RrMatrix>>,
     last_statistics: Mutex<Option<RunStatistics>>,
+    pipeline: Mutex<Option<Arc<KeyPipeline>>>,
 }
 
 impl KeyEntry {
@@ -48,6 +50,7 @@ impl KeyEntry {
             queries: AtomicU64::new(0),
             warm_seeds: Mutex::new(Vec::new()),
             last_statistics: Mutex::new(None),
+            pipeline: Mutex::new(None),
         }
     }
 
@@ -96,6 +99,15 @@ impl KeyEntry {
         self.stale.store(true, Ordering::SeqCst);
     }
 
+    /// Atomically marks the entry stale, returning `true` only for the
+    /// caller that actually flipped the flag — the claim that lets
+    /// concurrent drift observations schedule exactly one refresh.
+    pub fn try_mark_stale(&self) -> bool {
+        self.stale
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
     /// Clears the staleness flag (a refresh landed).
     pub fn clear_stale(&self) {
         self.stale.store(false, Ordering::SeqCst);
@@ -110,6 +122,13 @@ impl KeyEntry {
     /// Claims the next run index (incrementing the run counter).
     pub fn claim_run_index(&self) -> u64 {
         self.engine_runs.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Restores the run counter from a snapshot, so future refreshes
+    /// continue the deterministic seed sequence instead of replaying run
+    /// 0. Only meaningful on a freshly created entry.
+    pub fn restore_engine_runs(&self, runs: u64) {
+        self.engine_runs.store(runs, Ordering::SeqCst);
     }
 
     /// Number of point/front queries served from this entry.
@@ -140,6 +159,26 @@ impl KeyEntry {
     /// Records a finished run's statistics.
     pub fn put_statistics(&self, statistics: RunStatistics) {
         *self.last_statistics.lock().expect("stats lock") = Some(statistics);
+    }
+
+    /// The streaming pipeline pinned to this key, when any batch has been
+    /// ingested (or a first ingest is in flight).
+    pub fn pipeline(&self) -> Option<Arc<KeyPipeline>> {
+        self.pipeline.lock().expect("pipeline lock").clone()
+    }
+
+    /// Installs a freshly built pipeline unless a concurrent first ingest
+    /// already pinned one; returns whichever pipeline ended up pinned.
+    pub fn install_pipeline(&self, pipeline: KeyPipeline) -> Arc<KeyPipeline> {
+        let mut slot = self.pipeline.lock().expect("pipeline lock");
+        match slot.as_ref() {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                let installed = Arc::new(pipeline);
+                *slot = Some(Arc::clone(&installed));
+                installed
+            }
+        }
     }
 }
 
@@ -220,6 +259,31 @@ impl Registry {
         self.len() == 0
     }
 
+    /// All aliases bound to a key, sorted — the inverse of [`bind_name`].
+    ///
+    /// [`bind_name`]: Registry::bind_name
+    pub fn names_of(&self, key: u64) -> Vec<String> {
+        self.names_by_key().remove(&key).unwrap_or_default()
+    }
+
+    /// The whole alias map inverted in one pass: key → sorted aliases.
+    /// Snapshotting uses this instead of a per-key [`names_of`] scan so a
+    /// `Save` over many keys stays linear in the alias count.
+    ///
+    /// [`names_of`]: Registry::names_of
+    pub fn names_by_key(&self) -> HashMap<u64, Vec<String>> {
+        let names = self.names.read().expect("names lock");
+        let mut inverse: HashMap<u64, Vec<String>> = HashMap::new();
+        for (name, key) in names.iter() {
+            inverse.entry(*key).or_default().push(name.clone());
+        }
+        drop(names);
+        for aliases in inverse.values_mut() {
+            aliases.sort();
+        }
+        inverse
+    }
+
     /// Snapshot of all entries, in unspecified order.
     pub fn entries(&self) -> Vec<Arc<KeyEntry>> {
         self.entries
@@ -272,6 +336,17 @@ mod tests {
         assert!(registry.resolve(None, Some("missing")).is_none());
         assert!(registry.resolve(Some(42), None).is_none());
         assert!(registry.resolve(None, None).is_none());
+    }
+
+    #[test]
+    fn names_of_inverts_bind_name_sorted() {
+        let registry = Registry::new();
+        let (entry, _) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        assert!(registry.names_of(entry.key()).is_empty());
+        registry.bind_name("zeta", entry.key());
+        registry.bind_name("alpha", entry.key());
+        assert_eq!(registry.names_of(entry.key()), vec!["alpha", "zeta"]);
+        assert!(registry.names_of(12345).is_empty());
     }
 
     #[test]

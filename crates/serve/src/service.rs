@@ -13,10 +13,12 @@
 //! [`Optimizer::optimize_distribution`] call with the same configuration —
 //! the end-to-end tests assert this front-for-front.
 
-use crate::protocol::{KeyStatsDto, MatrixDto, Request, Response};
+use crate::protocol::{EstimateDto, KeyStatsDto, MatrixDto, Request, Response};
 use crate::registry::{KeyEntry, Registry};
 use crate::worker::WorkerPool;
-use optrr::{Optimizer, OptrrConfig, OptrrError};
+use optrr::{OmegaSet, Optimizer, OptrrConfig, OptrrError};
+use rr::estimate::IterativeConfig;
+use serde::{Deserialize, Serialize};
 use stats::Categorical;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +42,8 @@ pub enum ServeError {
     InvalidRequest(String),
     /// The optimizer refused the derived configuration or prior.
     Optimizer(OptrrError),
+    /// A snapshot file could not be read, written, or decoded.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -47,6 +51,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
             ServeError::Optimizer(e) => write!(f, "optimizer error: {e}"),
+            ServeError::Snapshot(reason) => write!(f, "snapshot error: {reason}"),
         }
     }
 }
@@ -72,10 +77,20 @@ pub struct ServiceConfig {
     pub base: OptrrConfig,
     /// Ω resolution used when a registration does not specify one.
     pub default_slots: usize,
-    /// Shards per warm store.
+    /// Shards per warm store (and per ingest accumulator).
     pub num_shards: usize,
     /// Worker threads executing engine runs.
     pub workers: usize,
+    /// Budget of the iterative fallback estimator.
+    pub iterative: IterativeConfig,
+    /// Drift threshold: an estimate whose MSE against the registered prior
+    /// exceeds this marks the key stale. Sampling noise with a few
+    /// thousand responses sits around 1e-5–1e-4, so 1e-3 separates noise
+    /// from genuine drift.
+    pub drift_mse_threshold: f64,
+    /// Whether a drifted estimate also schedules one refresh engine run
+    /// (the telemetry-driven refresh trigger), on top of marking stale.
+    pub refresh_on_drift: bool,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +104,9 @@ impl Default for ServiceConfig {
             default_slots: 500,
             num_shards: 8,
             workers,
+            iterative: IterativeConfig::default(),
+            drift_mse_threshold: 1e-3,
+            refresh_on_drift: true,
         }
     }
 }
@@ -112,8 +130,35 @@ impl ServiceConfig {
             default_slots: 200,
             num_shards: 4,
             workers: 2,
+            ..Self::default()
         }
     }
+}
+
+/// One key's persisted state: enough to re-register it and refill its
+/// warm store without an engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeySnapshot {
+    /// The registered prior's probabilities.
+    pub prior: Vec<f64>,
+    /// The privacy bound δ.
+    pub delta: f64,
+    /// The Ω resolution.
+    pub slots: usize,
+    /// Engine runs completed before the snapshot (restored so refresh
+    /// seeds continue the sequence).
+    pub engine_runs: u64,
+    /// Aliases bound to the key, sorted.
+    pub names: Vec<String>,
+    /// The merged warm Ω.
+    pub omega: OmegaSet,
+}
+
+/// A whole-service snapshot: every registered key in ascending key order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// The persisted keys.
+    pub keys: Vec<KeySnapshot>,
 }
 
 /// Opens a warm latch when dropped, covering both the error-return and
@@ -426,6 +471,112 @@ impl Service {
         )
     }
 
+    /// Serializable snapshot of the whole registry: every key's
+    /// registration metadata, run counter, aliases, and merged warm Ω, in
+    /// ascending key order. Scheduled engine runs are drained first so the
+    /// snapshot is consistent.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.wait_idle();
+        let mut entries = self.registry.entries();
+        entries.sort_by_key(|e| e.key());
+        let mut names = self.registry.names_by_key();
+        ServiceSnapshot {
+            keys: entries
+                .iter()
+                .map(|entry| KeySnapshot {
+                    prior: entry.prior().probs().to_vec(),
+                    delta: entry.delta(),
+                    slots: entry.num_slots(),
+                    engine_runs: entry.engine_runs(),
+                    names: names.remove(&entry.key()).unwrap_or_default(),
+                    omega: entry.store().merge(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Writes a snapshot of the warm stores to `path`. Returns the number
+    /// of keys saved.
+    pub fn save_snapshot(&self, path: &str) -> Result<usize> {
+        let snapshot = self.snapshot();
+        let encoded = serde_json::to_string(&snapshot)
+            .map_err(|e| ServeError::Snapshot(format!("encode failed: {e}")))?;
+        std::fs::write(path, encoded + "\n")
+            .map_err(|e| ServeError::Snapshot(format!("write {path:?} failed: {e}")))?;
+        Ok(snapshot.keys.len())
+    }
+
+    /// Loads a snapshot file into the registry: missing keys are created
+    /// *warm* (no engine run — the whole point of persistence), existing
+    /// keys absorb the snapshot's Ω, which only ever improves them.
+    /// Returns `(created, merged)`.
+    pub fn load_snapshot(self: &Arc<Self>, path: &str) -> Result<(usize, usize)> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Snapshot(format!("read {path:?} failed: {e}")))?;
+        let snapshot: ServiceSnapshot = serde_json::from_str(text.trim())
+            .map_err(|e| ServeError::Snapshot(format!("decode {path:?} failed: {e}")))?;
+        let mut created_count = 0usize;
+        let mut merged_count = 0usize;
+        for key in &snapshot.keys {
+            Self::validate_delta(key.delta)?;
+            let prior = Self::prior_from_weights(&key.prior)?;
+            let slots = key.slots.clamp(1, MAX_OMEGA_SLOTS);
+            if key.omega.num_slots() != slots {
+                return Err(ServeError::Snapshot(format!(
+                    "key omega has {} slots, registration says {slots}",
+                    key.omega.num_slots()
+                )));
+            }
+            // Every stored matrix must act on the registered domain, or a
+            // later Ingest would pin a wrong-sized channel and estimation
+            // would die on a dimension mismatch.
+            if let Some(entry) = key
+                .omega
+                .entries()
+                .find(|e| e.matrix.num_categories() != prior.num_categories())
+            {
+                return Err(ServeError::Snapshot(format!(
+                    "key omega holds a {}-category matrix for a {}-category prior",
+                    entry.matrix.num_categories(),
+                    prior.num_categories()
+                )));
+            }
+            let (entry, created) =
+                self.registry
+                    .insert_or_get(&prior, key.delta, slots, self.config.num_shards);
+            entry.store().absorb(&key.omega);
+            for name in &key.names {
+                self.registry.bind_name(name, entry.key());
+            }
+            if created {
+                // Restore the run counter, then open the latch: the loaded
+                // store answers queries with zero warm-up runs.
+                entry.restore_engine_runs(key.engine_runs);
+                entry.warm_latch().open();
+                created_count += 1;
+            } else {
+                merged_count += 1;
+            }
+        }
+        Ok((created_count, merged_count))
+    }
+
+    /// Converts an estimate outcome into its transport form.
+    fn estimate_dto(outcome: crate::pipeline::EstimateOutcome) -> EstimateDto {
+        EstimateDto {
+            key: outcome.key,
+            method: outcome.method.to_string(),
+            distribution: outcome.distribution.probs().to_vec(),
+            iterations: outcome.iterations,
+            residual: outcome.residual,
+            mse_vs_prior: outcome.mse_vs_prior,
+            total_responses: outcome.total_responses,
+            batches: outcome.batches,
+            drifted: outcome.drifted,
+            stale: outcome.stale,
+        }
+    }
+
     /// Handles one protocol request, mapping library errors to
     /// [`Response::Error`].
     pub fn handle(self: &Arc<Self>, request: Request) -> Response {
@@ -509,6 +660,76 @@ impl Service {
                 Response::Front {
                     key: entry.key(),
                     points: self.front(&entry),
+                }
+            }
+            Request::Ingest {
+                key,
+                name,
+                min_privacy,
+                records,
+                counts,
+                seed,
+            } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                let outcome = self.ingest(
+                    &entry,
+                    min_privacy,
+                    records.as_deref(),
+                    counts.as_deref(),
+                    seed,
+                )?;
+                Response::Ingested {
+                    key: outcome.key,
+                    accepted: outcome.accepted,
+                    retained: outcome.retained,
+                    total: outcome.total,
+                    batches: outcome.batches,
+                    privacy: outcome.privacy,
+                }
+            }
+            Request::Disguise {
+                key,
+                name,
+                min_privacy,
+                records,
+                seed,
+            } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                let (evaluation, disguised, retained) =
+                    self.disguise(&entry, min_privacy, &records, seed)?;
+                Response::Disguised {
+                    key: entry.key(),
+                    privacy: evaluation.privacy,
+                    mse: evaluation.mse,
+                    retained,
+                    records: disguised,
+                }
+            }
+            Request::Estimate { key, name } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                let outcome = self.estimate(&entry)?;
+                Response::Estimated {
+                    stats: Self::estimate_dto(outcome),
+                }
+            }
+            Request::EstimateAll => {
+                let (outcomes, skipped, failed) = self.estimate_all();
+                Response::EstimatedAll {
+                    estimates: outcomes.into_iter().map(Self::estimate_dto).collect(),
+                    skipped,
+                    failed,
+                }
+            }
+            Request::Save { path } => {
+                let keys = self.save_snapshot(&path)?;
+                Response::Saved { path, keys }
+            }
+            Request::Load { path } => {
+                let (created, merged) = self.load_snapshot(&path)?;
+                Response::Loaded {
+                    path,
+                    created,
+                    merged,
                 }
             }
             Request::Refresh { key, name, runs } => {
@@ -718,6 +939,51 @@ mod tests {
         let (none, zero) = service.register_batch(None, &[], 0.8, None).unwrap();
         assert!(none.is_empty());
         assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn snapshot_save_load_restores_warm_stores_without_engine_runs() {
+        let dir = std::env::temp_dir().join("optrr_serve_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let path = path.to_str().unwrap();
+
+        let service = smoke_service();
+        let entry = service
+            .register(Some("persisted"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        let saved = service.save_snapshot(path).unwrap();
+        assert_eq!(saved, 1);
+
+        // A fresh service loads the snapshot: the key exists warm, with
+        // the identical store, restored run counter, and bound alias —
+        // and zero engine runs were executed here.
+        let restarted = smoke_service();
+        let (created, merged) = restarted.load_snapshot(path).unwrap();
+        assert_eq!((created, merged), (1, 0));
+        let restored = restarted.resolve(None, Some("persisted")).unwrap();
+        assert!(restored.is_warm());
+        assert_eq!(restored.engine_runs(), 1);
+        assert_eq!(restored.store().merge(), entry.store().merge());
+        assert!(restarted.best_for_privacy(&restored, 0.0).is_some());
+
+        // Loading into a service that already has the key merges the Ω
+        // (monotone improvement) instead of re-creating it.
+        let (created, merged) = restarted.load_snapshot(path).unwrap();
+        assert_eq!((created, merged), (0, 1));
+        assert_eq!(restored.store().merge(), entry.store().merge());
+
+        // Missing and corrupt snapshot files are reported, not panicked on.
+        assert!(matches!(
+            restarted.load_snapshot("/nonexistent/optrr.json"),
+            Err(ServeError::Snapshot(_))
+        ));
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(matches!(
+            restarted.load_snapshot(bad.to_str().unwrap()),
+            Err(ServeError::Snapshot(_))
+        ));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   samples into `n` categories (the workload construction of §VI).
 //! * [`Histogram`] — category counts and empirical distributions (the MLE
 //!   `N_i / N` of Theorem 1).
+//! * [`CountSet`] — mergeable batch accumulators of categorical response
+//!   counts (the substrate of the streaming ingest pipeline).
 //! * [`multinomial`] — `Var(N_i/N)` and `Cov(N_i/N, N_j/N)` (Theorem 6).
 //! * [`divergence`] — MSE, total variation, KL, chi-square, Hellinger.
 //! * [`summary`] — descriptive statistics for experiment reporting.
@@ -32,6 +34,7 @@
 
 pub mod categorical;
 pub mod continuous;
+pub mod counts;
 pub mod discretize;
 pub mod divergence;
 pub mod error;
@@ -42,6 +45,7 @@ pub mod summary;
 
 pub use categorical::{Categorical, PROBABILITY_TOLERANCE};
 pub use continuous::{ContinuousDistribution, Exponential, Gamma, Normal, Uniform};
+pub use counts::CountSet;
 pub use discretize::{
     assign_bins, discretize_distribution, discretize_distribution_over, discretize_samples,
     EqualWidthBins,
