@@ -1,0 +1,187 @@
+//! Benchmark of the incremental fitness kernel against from-scratch SPEA2
+//! fitness assignment.
+//!
+//! Simulates the engine's steady state: a combined population of `n`
+//! individuals where a `survival` fraction (the archive, ≥ 50% here)
+//! carries over between generations and the rest are fresh offspring. Each
+//! generation is fitness-assigned twice — once from scratch
+//! ([`emoo::assign_fitness`]) and once through a persistent
+//! [`emoo::FitnessKernel`] (serial and forced-parallel fill) — with the
+//! results asserted bitwise equal before the timings are trusted. Results
+//! land in `BENCH_fitness.json` at the workspace root.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin bench_fitness
+//!  [-- --generations G --survival-percent P | --smoke]`
+
+use bench_support::arg_value;
+use emoo::kernel::FitnessKernel;
+use emoo::{assign_fitness, Individual, Objectives};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured series, in the same row shape as the other BENCH files.
+#[derive(Serialize)]
+struct Entry {
+    name: String,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    iterations: u64,
+}
+
+/// The emitted baseline: per-series rows plus the headline speedups the
+/// acceptance criteria read.
+#[derive(Serialize)]
+struct FitnessBaseline {
+    generations: usize,
+    survival: f64,
+    entries: Vec<Entry>,
+    /// Mean from-scratch time over mean incremental (serial) time, per n.
+    speedup_incremental: Vec<SpeedupEntry>,
+}
+
+#[derive(Serialize)]
+struct SpeedupEntry {
+    n: usize,
+    scratch_over_incremental: f64,
+    scratch_over_incremental_parallel: f64,
+}
+
+/// A synthetic two-objective point cloud shaped like the engine's: mostly
+/// near a front with some dominated stragglers.
+fn random_point(rng: &mut StdRng) -> Objectives {
+    let t: f64 = rng.gen();
+    let noise: f64 = rng.gen::<f64>() * 0.3;
+    Objectives::pair(t + noise, (1.0 - t) + noise)
+}
+
+fn summarize(name: String, samples: &[u64]) -> Entry {
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    Entry {
+        name,
+        mean_ns: mean,
+        min_ns: *samples.iter().min().expect("non-empty"),
+        max_ns: *samples.iter().max().expect("non-empty"),
+        iterations: samples.len() as u64,
+    }
+}
+
+/// Drives `generations` steps of one population of size `n` with the given
+/// survivor count, timing the supplied assignment closure per generation
+/// and asserting it reproduces the from-scratch fitness bitwise.
+fn run_series(
+    n: usize,
+    survivors: usize,
+    generations: usize,
+    density_k: usize,
+    seed: u64,
+    mut assign: impl FnMut(&mut Vec<Individual<u64>>, &[u64]) -> u64,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id = 0u64;
+    let mut members: Vec<Individual<u64>> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    let mut samples = Vec::with_capacity(generations);
+    for _ in 0..generations {
+        // Survivors keep their ids; the rest of the population is fresh.
+        members.truncate(survivors.min(members.len()));
+        ids.truncate(members.len());
+        while members.len() < n {
+            members.push(Individual::new(next_id, random_point(&mut rng)));
+            ids.push(next_id);
+            next_id += 1;
+        }
+        samples.push(assign(&mut members, &ids));
+
+        // Cross-check against the reference implementation (outside the
+        // timed section).
+        let mut reference: Vec<Individual<u64>> = members.clone();
+        for ind in &mut reference {
+            ind.fitness = None;
+        }
+        assign_fitness(&mut reference, density_k);
+        for (a, b) in members.iter().zip(&reference) {
+            assert_eq!(
+                a.fitness.expect("assigned").to_bits(),
+                b.fitness.expect("assigned").to_bits(),
+                "incremental fitness diverged from scratch"
+            );
+        }
+    }
+    samples
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let generations = arg_value("--generations").unwrap_or(if smoke { 6 } else { 40 });
+    let survival_percent = arg_value("--survival-percent").unwrap_or(50).min(95);
+    let density_k = 1usize;
+    let sizes = [50usize, 100, 200];
+
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for &n in &sizes {
+        let survivors = n * survival_percent / 100;
+
+        // From scratch: the pre-kernel O(n²) path, every generation.
+        let scratch = run_series(n, survivors, generations, density_k, 7, |members, _ids| {
+            let started = Instant::now();
+            assign_fitness(members, density_k);
+            started.elapsed().as_nanos() as u64
+        });
+
+        // Incremental: one kernel persists across the series. The serial
+        // variant never crosses the parallel threshold at these sizes; the
+        // parallel variant always does (threshold 0).
+        let timed_kernel = |threshold: usize| {
+            let mut kernel = FitnessKernel::with_parallel_threshold(threshold);
+            run_series(n, survivors, generations, density_k, 7, |members, ids| {
+                let started = Instant::now();
+                kernel.assign_fitness(members, ids, density_k);
+                started.elapsed().as_nanos() as u64
+            })
+        };
+        let incremental = timed_kernel(usize::MAX);
+        let incremental_parallel = timed_kernel(0);
+
+        let scratch_row = summarize(format!("fitness_scratch/n{n}"), &scratch);
+        let serial_row = summarize(format!("fitness_incremental_serial/n{n}"), &incremental);
+        let parallel_row = summarize(
+            format!("fitness_incremental_parallel/n{n}"),
+            &incremental_parallel,
+        );
+        let speedup = scratch_row.mean_ns as f64 / serial_row.mean_ns.max(1) as f64;
+        let speedup_parallel = scratch_row.mean_ns as f64 / parallel_row.mean_ns.max(1) as f64;
+        println!(
+            "n={n:<4} survivors={survivors:<4} scratch {:>9} ns  incremental {:>9} ns ({speedup:.2}x)  parallel {:>9} ns ({speedup_parallel:.2}x)",
+            scratch_row.mean_ns, serial_row.mean_ns, parallel_row.mean_ns
+        );
+        speedups.push(SpeedupEntry {
+            n,
+            scratch_over_incremental: speedup,
+            scratch_over_incremental_parallel: speedup_parallel,
+        });
+        entries.push(scratch_row);
+        entries.push(serial_row);
+        entries.push(parallel_row);
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_fitness.json baseline write");
+        return;
+    }
+    let baseline = FitnessBaseline {
+        generations,
+        survival: survival_percent as f64 / 100.0,
+        entries,
+        speedup_incremental: speedups,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fitness.json");
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!("wrote baseline {path}"),
+        Err(error) => eprintln!("warning: could not write {path}: {error}"),
+    }
+}

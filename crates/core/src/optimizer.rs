@@ -36,6 +36,12 @@ pub struct RunStatistics {
     pub cache_hits: u64,
     /// Evaluation-cache misses (i.e. evaluations actually computed).
     pub cache_misses: u64,
+    /// Pairwise dominance/distance entries the engine's incremental
+    /// [`emoo::FitnessKernel`] reused across generations (the comparisons
+    /// *saved* relative to from-scratch fitness assignment).
+    pub fitness_pairs_reused: u64,
+    /// Pairwise entries the fitness kernel computed fresh.
+    pub fitness_pairs_computed: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_clock_seconds: f64,
 }
@@ -205,6 +211,8 @@ impl Optimizer {
             omega_filled: omega.len(),
             cache_hits,
             cache_misses,
+            fitness_pairs_reused: outcome.fitness_pairs_reused,
+            fitness_pairs_computed: outcome.fitness_pairs_computed,
             wall_clock_seconds,
         };
         Ok(OptrrOutcome {
@@ -289,6 +297,13 @@ mod tests {
         assert!(outcome.statistics.omega_filled > 0);
         assert!(outcome.statistics.wall_clock_seconds >= 0.0);
         assert_eq!(outcome.front.label, "OptRR");
+        // The incremental fitness kernel must have reused archive-vs-archive
+        // pairs across generations, and its counters must flow through.
+        assert!(
+            outcome.statistics.fitness_pairs_reused > 0,
+            "no pairwise fitness state was reused across generations"
+        );
+        assert!(outcome.statistics.fitness_pairs_computed > 0);
 
         // Every archive entry and every front point respects the bound.
         for (_, eval) in &outcome.archive {

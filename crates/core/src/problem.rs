@@ -57,6 +57,15 @@ pub struct Evaluation {
 /// (20,000-generation) runs regardless of category count.
 const CACHE_BYTE_BUDGET: usize = 64 << 20;
 
+/// Minimum batch work (matrices × n³, the dominant cost of one evaluation
+/// being the n×n matrix inversion) before a parallel-configured batch
+/// actually fans out across cores. Below this the thread spawn and the
+/// parallel path's key pre-pass cost more than they save —
+/// `BENCH_optimizer.json` showed parallel n=10×128 batches (work 128k)
+/// *losing* to serial by ~13% while n=20×128 (work 1.02M) broke even —
+/// so small batches stay on the serial path.
+pub const PARALLEL_BATCH_MIN_WORK: usize = 400_000;
+
 /// The OptRR problem instance: a prior distribution (from the data set
 /// being disguised), the record count, and the δ bound, plus the
 /// genome-keyed evaluation cache shared by the engine loop, Ω maintenance,
@@ -148,6 +157,14 @@ impl OptrrProblem {
         self.parallel_evaluation
     }
 
+    /// Whether a batch of `batch_len` matrices takes the data-parallel
+    /// path: parallel evaluation must be configured *and* the batch work
+    /// (`batch_len · n³`) must reach [`PARALLEL_BATCH_MIN_WORK`].
+    pub fn uses_parallel_for_batch(&self, batch_len: usize) -> bool {
+        let n = self.num_categories();
+        self.parallel_evaluation && batch_len.saturating_mul(n * n * n) >= PARALLEL_BATCH_MIN_WORK
+    }
+
     /// Evaluation-cache statistics: `(hits, misses)` since construction.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
@@ -187,12 +204,13 @@ impl OptrrProblem {
 
     /// Evaluates a whole batch of matrices, in input order — serially, or
     /// data-parallel across all cores when `parallel_evaluation` is
-    /// configured. Evaluation is pure, so the parallel path returns
-    /// bit-identical results. This is the single evaluation path shared by
-    /// the engines (via [`emoo::Problem::evaluate_batch`]) and the baseline
-    /// sweeps.
+    /// configured and the batch is big enough to beat the fan-out
+    /// overhead (see [`OptrrProblem::uses_parallel_for_batch`]).
+    /// Evaluation is pure, so the parallel path returns bit-identical
+    /// results. This is the single evaluation path shared by the engines
+    /// (via [`emoo::Problem::evaluate_batch`]) and the baseline sweeps.
     pub fn evaluate_matrices(&self, matrices: &[RrMatrix]) -> Vec<Evaluation> {
-        if !self.parallel_evaluation {
+        if !self.uses_parallel_for_batch(matrices.len()) {
             return matrices.iter().map(|m| self.evaluate_matrix(m)).collect();
         }
         // Resolve cache hits in one pre-pass and deduplicate repeated
@@ -590,6 +608,49 @@ mod tests {
             for (m, o) in matrices.iter().zip(&objectives) {
                 assert_eq!(o, &Problem::evaluate(&p, m));
             }
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_serial_under_the_work_threshold() {
+        // n=10 × 128 matrices is the benchmarked regression case (parallel
+        // lost to serial): work 128·10³ = 128k < 400k must stay serial.
+        let parallel_cfg = OptrrConfig {
+            parallel_evaluation: true,
+            ..OptrrConfig::fast(0.8, 1)
+        };
+        let uniform = |n: usize| Categorical::new(vec![1.0 / n as f64; n]).unwrap();
+        let p10 = OptrrProblem::new(uniform(10), &parallel_cfg).unwrap();
+        assert!(!p10.uses_parallel_for_batch(128));
+        assert!(p10.uses_parallel_for_batch(400)); // 400k ≥ threshold
+        let p20 = OptrrProblem::new(uniform(20), &parallel_cfg).unwrap();
+        assert!(p20.uses_parallel_for_batch(128)); // 1.02M ≥ threshold
+        assert!(!p20.uses_parallel_for_batch(40)); // 320k < threshold
+                                                   // With parallel evaluation off, the threshold never flips it on.
+        let serial_cfg = OptrrConfig::fast(0.8, 1);
+        let serial = OptrrProblem::new(uniform(20), &serial_cfg).unwrap();
+        assert!(!serial.uses_parallel_for_batch(1 << 20));
+    }
+
+    #[test]
+    fn above_threshold_parallel_batches_match_serial_bitwise() {
+        // A batch big enough to actually take the parallel path at n=5
+        // (3200·125 = 400k), checked against the serial reference.
+        let matrices: Vec<RrMatrix> = (0..3200)
+            .map(|k| warner(5, 0.21 + 0.000_2 * k as f64).unwrap())
+            .collect();
+        let parallel_cfg = OptrrConfig {
+            parallel_evaluation: true,
+            ..OptrrConfig::fast(0.8, 1)
+        };
+        let p = OptrrProblem::new(prior(), &parallel_cfg).unwrap();
+        assert!(p.uses_parallel_for_batch(matrices.len()));
+        let batch = p.evaluate_matrices(&matrices);
+        let reference = problem(0.8);
+        for (m, eval) in matrices.iter().zip(&batch) {
+            let expected = reference.evaluate_matrix(m);
+            assert_eq!(eval.privacy.to_bits(), expected.privacy.to_bits());
+            assert_eq!(eval.mse.to_bits(), expected.mse.to_bits());
         }
     }
 

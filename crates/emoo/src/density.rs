@@ -14,29 +14,56 @@
 //! practice, which is the default here.
 
 use crate::objectives::Objectives;
+use std::cmp::Ordering;
 
 /// Default neighbour index used by the density estimator (the paper's
 /// practical choice).
 pub const DEFAULT_K: usize = 1;
 
+/// The k-th smallest value of `values` (1-based `k`, clamped to the slice
+/// length), found by partial selection instead of a full sort: `k = 1` is a
+/// single min scan, larger `k` uses `select_nth_unstable`. The slice is
+/// reordered in place. Equal values make the result identical (bitwise) to
+/// indexing a fully sorted copy.
+pub(crate) fn kth_of(values: &mut [f64], k: usize) -> f64 {
+    debug_assert!(!values.is_empty());
+    let idx = k.saturating_sub(1).min(values.len() - 1);
+    if idx == 0 {
+        let mut best = values[0];
+        for &v in &values[1..] {
+            if v.partial_cmp(&best).expect("finite distances") == Ordering::Less {
+                best = v;
+            }
+        }
+        best
+    } else {
+        *values
+            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite distances"))
+            .1
+    }
+}
+
 /// Computes the distance from each point to its k-th nearest *other* point.
 ///
-/// Points with no neighbours (singleton input) get `f64::INFINITY`.
+/// Points with no neighbours (singleton input) get `f64::INFINITY`. One
+/// reusable row buffer and partial selection replace the per-point `Vec`
+/// and full sort of the naive formulation.
 pub fn kth_nearest_distances(points: &[Objectives], k: usize) -> Vec<f64> {
     let n = points.len();
     let mut out = Vec::with_capacity(n);
+    let mut dists: Vec<f64> = Vec::with_capacity(n.saturating_sub(1));
     for i in 0..n {
-        let mut dists: Vec<f64> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| points[i].distance(&points[j]))
-            .collect();
+        dists.clear();
+        dists.extend(
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| points[i].distance(&points[j])),
+        );
         if dists.is_empty() {
             out.push(f64::INFINITY);
             continue;
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-        let idx = k.saturating_sub(1).min(dists.len() - 1);
-        out.push(dists[idx]);
+        out.push(kth_of(&mut dists, k));
     }
     out
 }
@@ -98,6 +125,18 @@ mod tests {
         assert!(d.iter().all(|&x| x > 0.0));
         assert!(d[0] > d[2], "crowded point should have higher density");
         assert!(d[1] > d[2]);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        let raw = [5.0, 1.0, 4.0, 1.0, 3.0, 2.0, 2.0];
+        let mut sorted = raw.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for k in 1..=raw.len() + 2 {
+            let mut scratch = raw.to_vec();
+            let expected = sorted[k.saturating_sub(1).min(raw.len() - 1)];
+            assert_eq!(kth_of(&mut scratch, k).to_bits(), expected.to_bits());
+        }
     }
 
     #[test]

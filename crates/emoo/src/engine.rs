@@ -200,6 +200,12 @@ pub struct EngineOutcome<G> {
     pub generations_run: usize,
     /// Total number of objective evaluations performed.
     pub evaluations: usize,
+    /// Pairwise dominance/distance entries the
+    /// [`FitnessKernel`](crate::FitnessKernel) reused from previous
+    /// generations instead of recomputing.
+    pub fitness_pairs_reused: u64,
+    /// Pairwise entries the kernel computed fresh over the whole run.
+    pub fitness_pairs_computed: u64,
 }
 
 impl<G: Clone> EngineOutcome<G> {

@@ -13,6 +13,11 @@
 //!   breaks raw-fitness ties;
 //! * [`selection`] — binary-tournament mating selection and the
 //!   environmental selection with nearest-neighbour truncation;
+//! * [`kernel`] — the incremental [`FitnessKernel`]: generation-persistent
+//!   flat triangular dominance/distance matrices keyed by stable
+//!   individual ids, so per-generation fitness assignment costs O(m·n)
+//!   for m new offspring instead of O(n²), bitwise-equal to the
+//!   from-scratch path;
 //! * [`engine`] — the shared [`Engine`] abstraction: one [`EngineConfig`],
 //!   per-generation [`GenerationSnapshot`]s that carry the already-computed
 //!   objective evaluations, an [`EngineOutcome`], and the [`EngineKind`]
@@ -37,6 +42,7 @@ pub mod dominance;
 pub mod engine;
 pub mod indicators;
 pub mod individual;
+pub mod kernel;
 pub mod nsga2;
 pub mod objectives;
 pub mod selection;
@@ -48,6 +54,7 @@ pub use engine::{
     GenerationSnapshot, Problem,
 };
 pub use individual::Individual;
+pub use kernel::{FitnessKernel, KernelStats};
 pub use nsga2::Nsga2;
 pub use objectives::Objectives;
 pub use spea2::{assign_fitness, Spea2, Spea2Config, Spea2Outcome};
@@ -136,6 +143,100 @@ mod proptests {
             sorted.dedup();
             prop_assert_eq!(sorted.len(), selected.len());
             prop_assert!(selected.iter().all(|&i| i < combined.len()));
+        }
+
+        /// The tentpole guarantee of the incremental kernel: across a
+        /// random sequence of generations — each keeping a random subset
+        /// of the previous members (removals) and adding fresh points
+        /// (insertions) — the kernel's fitness assignment is **bitwise**
+        /// equal to the from-scratch SPEA2 path, its ranks equal NSGA-II's
+        /// from-scratch non-dominated sort, and the forced-parallel fill
+        /// matches the serial one. This pins both engines' kernel paths to
+        /// their reference implementations.
+        #[test]
+        fn kernel_is_bitwise_equal_to_scratch_across_generations(
+            initial in arb_points(20),
+            steps in proptest::collection::vec(
+                (arb_points(10), proptest::collection::vec(0u8..2, 30..31)),
+                1..5,
+            ),
+            k in 1usize..4,
+        ) {
+            let mut kernel = FitnessKernel::new();
+            let mut forced_parallel = kernel::FitnessKernel::with_parallel_threshold(0);
+            let mut next_id = 0u64;
+            let mut members: Vec<Individual<u64>> = Vec::new();
+            let mut ids: Vec<u64> = Vec::new();
+            let mut push = |points: &[Objectives],
+                            members: &mut Vec<Individual<u64>>,
+                            ids: &mut Vec<u64>| {
+                for p in points {
+                    members.push(Individual::new(next_id, p.clone()));
+                    ids.push(next_id);
+                    next_id += 1;
+                }
+            };
+            push(&initial, &mut members, &mut ids);
+
+            for (new_points, keep_mask) in &steps {
+                // Removals: drop members whose mask bit is false (the mask
+                // repeats if shorter than the membership).
+                let survivors: Vec<usize> = (0..members.len())
+                    .filter(|&i| keep_mask[i % keep_mask.len()] == 1)
+                    .collect();
+                members = survivors.iter().map(|&i| members[i].clone()).collect();
+                ids = survivors.iter().map(|&i| ids[i]).collect();
+                // Insertions.
+                push(new_points, &mut members, &mut ids);
+
+                let mut scratch = members.clone();
+                assign_fitness(&mut scratch, k);
+                let mut parallel_members = members.clone();
+                kernel.assign_fitness(&mut members, &ids, k);
+                forced_parallel.assign_fitness(&mut parallel_members, &ids, k);
+                let bits = |m: &[Individual<u64>]| {
+                    m.iter()
+                        .map(|i| i.fitness.expect("assigned").to_bits())
+                        .collect::<Vec<_>>()
+                };
+                prop_assert_eq!(bits(&members), bits(&scratch));
+                prop_assert_eq!(bits(&members), bits(&parallel_members));
+
+                // The NSGA-II rank path over the same membership.
+                let points: Vec<Objectives> =
+                    members.iter().map(|m| m.objectives.clone()).collect();
+                prop_assert_eq!(
+                    kernel.ranks(&members, &ids),
+                    nsga2::non_dominated_sort(&points)
+                );
+            }
+        }
+
+        /// Environmental selection with a cached distance source must pick
+        /// exactly the members the on-the-fly version picks.
+        #[test]
+        fn environmental_selection_with_cached_distances_matches(
+            points in arb_points(25),
+            size in 1usize..12,
+        ) {
+            let mut combined: Vec<Individual<u32>> = points
+                .iter()
+                .map(|o| Individual::new(0u32, o.clone()))
+                .collect();
+            assign_fitness(&mut combined, 1);
+            let baseline = selection::environmental_selection(&combined, size);
+            // Pre-computed distance matrix standing in for the kernel.
+            let n = combined.len();
+            let mut matrix = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    matrix[i * n + j] = combined[i].objectives.distance(&combined[j].objectives);
+                }
+            }
+            let cached = selection::environmental_selection_with(&combined, size, |a, b| {
+                matrix[a * n + b]
+            });
+            prop_assert_eq!(baseline, cached);
         }
 
         #[test]

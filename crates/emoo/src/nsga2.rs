@@ -14,8 +14,8 @@ use crate::dominance::dominates;
 use crate::engine::{evaluate_into_individuals, push_offspring_pair, seeded_initial_population};
 use crate::engine::{Engine, EngineConfig, EngineKind, EngineOutcome, GenerationSnapshot, Problem};
 use crate::individual::Individual;
+use crate::kernel::FitnessKernel;
 use crate::objectives::Objectives;
-use crate::spea2::assign_fitness;
 use rand::Rng;
 
 /// Performs fast non-dominated sorting; returns the front index (0 = best)
@@ -132,19 +132,26 @@ impl<'a, P: Problem> Engine<P> for Nsga2<'a, P> {
         let pop_size = self.config.population_size;
         let mut evaluations = 0usize;
 
+        // The incremental fitness kernel caches pairwise dominance across
+        // generations; the survivors of each environmental selection keep
+        // their ids, so both rank computations below mostly reuse pairs.
+        let mut kernel = FitnessKernel::new();
+
         // Initial population: seeds first, then random genomes, all
         // repaired and evaluated as one batch (shared with SPEA2).
         let mut population =
             seeded_initial_population(self.problem, pop_size, seeds, rng, &mut evaluations);
+        let mut population_ids = kernel.alloc_ids(population.len());
 
         let mut generations_run = 0usize;
         let mut front_len = 0usize;
         for generation in 0..self.config.generations {
             generations_run = generation + 1;
 
-            // Rank the current population for mating selection.
+            // Rank the current population for mating selection; every pair
+            // was already compared in the previous generation's union.
             let points: Vec<Objectives> = population.iter().map(|i| i.objectives.clone()).collect();
-            let ranks = non_dominated_sort(&points);
+            let ranks = kernel.ranks(&population, &population_ids);
             let crowd = crowding_distances(&points, &ranks);
 
             // Binary-tournament selection on (rank, -crowding).
@@ -178,13 +185,17 @@ impl<'a, P: Problem> Engine<P> for Nsga2<'a, P> {
             }
             let mut offspring =
                 evaluate_into_individuals(self.problem, child_genomes, &mut evaluations);
+            let mut offspring_ids = kernel.alloc_ids(offspring.len());
 
             // Environmental selection over the union, by (rank, crowding).
+            // Only offspring-involving pairs are fresh comparisons.
             let mut union = population;
             union.append(&mut offspring);
+            let mut union_ids = population_ids;
+            union_ids.append(&mut offspring_ids);
             let union_points: Vec<Objectives> =
                 union.iter().map(|i| i.objectives.clone()).collect();
-            let union_ranks = non_dominated_sort(&union_points);
+            let union_ranks = kernel.ranks(&union, &union_ids);
             let union_crowd = crowding_distances(&union_points, &union_ranks);
             let mut order: Vec<usize> = (0..union.len()).collect();
             order.sort_by(|&a, &b| {
@@ -205,6 +216,7 @@ impl<'a, P: Problem> Engine<P> for Nsga2<'a, P> {
                 .iter()
                 .map(|&i| slots[i].take().expect("selection indices are unique"))
                 .collect();
+            population_ids = order.iter().map(|&i| union_ids[i]).collect();
 
             // The snapshot slices are disjoint (elite prefix vs the
             // rest), so observers chaining them visit each individual
@@ -223,13 +235,19 @@ impl<'a, P: Problem> Engine<P> for Nsga2<'a, P> {
         // The final first front (already a prefix of the sorted
         // population), bounded by the shared archive size and
         // fitness-assigned like the SPEA2 archive so downstream reporting
-        // is uniform.
+        // is uniform. The kernel reuses the dominance pairs; distances are
+        // computed here for the first time (rank passes skip them), for
+        // the bounded front only.
         population.truncate(front_len.min(self.config.archive_size).max(1));
-        assign_fitness(&mut population, self.config.density_k);
+        population_ids.truncate(population.len());
+        kernel.assign_fitness(&mut population, &population_ids, self.config.density_k);
+        let kernel_stats = kernel.stats();
         EngineOutcome {
             archive: population,
             generations_run,
             evaluations,
+            fitness_pairs_reused: kernel_stats.pairs_reused,
+            fitness_pairs_computed: kernel_stats.pairs_computed,
         }
     }
 }

@@ -3,7 +3,6 @@
 //! Section V.C / V.D of the paper.
 
 use crate::individual::Individual;
-use crate::objectives::Objectives;
 use rand::Rng;
 
 /// Binary tournament selection: picks two members uniformly at random and
@@ -33,7 +32,20 @@ pub fn fill_mating_pool<G, R: Rng + ?Sized>(
 }
 
 /// SPEA2 environmental selection over an already fitness-assigned combined
-/// population. Returns the indices selected for the next archive:
+/// population, computing objective distances on the fly. Engines that have
+/// a [`FitnessKernel`](crate::FitnessKernel) holding the distance triangle
+/// for `combined` should call [`environmental_selection_with`] with
+/// [`FitnessKernel::distance`](crate::FitnessKernel::distance) instead, so
+/// truncation reuses the cached distances.
+pub fn environmental_selection<G>(combined: &[Individual<G>], archive_size: usize) -> Vec<usize> {
+    environmental_selection_with(combined, archive_size, |a, b| {
+        combined[a].objectives.distance(&combined[b].objectives)
+    })
+}
+
+/// SPEA2 environmental selection with a caller-supplied distance source
+/// (`distance(a, b)` over indices into `combined`). Returns the indices
+/// selected for the next archive:
 ///
 /// 1. all non-dominated members (fitness < 1);
 /// 2. if fewer than `archive_size`, topped up with the best dominated
@@ -41,7 +53,11 @@ pub fn fill_mating_pool<G, R: Rng + ?Sized>(
 /// 3. if more than `archive_size`, iteratively truncated by removing the
 ///    member with the smallest distance to its nearest neighbour
 ///    (ties broken by the next-nearest distances).
-pub fn environmental_selection<G>(combined: &[Individual<G>], archive_size: usize) -> Vec<usize> {
+pub fn environmental_selection_with<G>(
+    combined: &[Individual<G>],
+    archive_size: usize,
+    distance: impl Fn(usize, usize) -> f64,
+) -> Vec<usize> {
     assert!(archive_size > 0, "archive size must be positive");
     let mut selected: Vec<usize> = combined
         .iter()
@@ -73,38 +89,90 @@ pub fn environmental_selection<G>(combined: &[Individual<G>], archive_size: usiz
         return selected;
     }
 
-    // Truncate by nearest-neighbour distance until the size fits.
-    while selected.len() > archive_size {
-        let points: Vec<&Objectives> = selected.iter().map(|&i| &combined[i].objectives).collect();
-        let remove_pos = most_crowded(&points);
-        selected.remove(remove_pos);
-    }
+    truncate_most_crowded(&mut selected, archive_size, &distance);
     selected
 }
 
-/// Finds the index (into `points`) of the member with the lexicographically
-/// smallest sorted distance vector to the others — the SPEA2 truncation
-/// victim.
-fn most_crowded(points: &[&Objectives]) -> usize {
-    let n = points.len();
-    debug_assert!(n > 1);
-    // Pre-compute each member's sorted distance list.
-    let mut sorted_dists: Vec<Vec<f64>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut d: Vec<f64> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| points[i].distance(points[j]))
-            .collect();
-        d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-        sorted_dists.push(d);
+/// Iteratively removes the member with the lexicographically smallest
+/// sorted distance vector until `selected` fits `archive_size`.
+///
+/// The lexicographic winner's first element is necessarily the globally
+/// smallest nearest-neighbour distance, so each round needs only a min
+/// scan per member (partial selection); full sorted distance vectors are
+/// built — into two reusable buffers — solely for the members tied on that
+/// minimum (typically just the two endpoints of the closest pair). Ties on
+/// the whole vector resolve to the earliest member, exactly like a full
+/// lexicographic argmin.
+fn truncate_most_crowded(
+    selected: &mut Vec<usize>,
+    archive_size: usize,
+    distance: &impl Fn(usize, usize) -> f64,
+) {
+    let mut mins: Vec<f64> = Vec::new();
+    let mut best_row: Vec<f64> = Vec::new();
+    let mut row: Vec<f64> = Vec::new();
+    while selected.len() > archive_size {
+        let n = selected.len();
+        debug_assert!(n > 1);
+        // Nearest-neighbour distance of every member: a min scan, no sort.
+        mins.clear();
+        for (p, &i) in selected.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for (q, &j) in selected.iter().enumerate() {
+                if p == q {
+                    continue;
+                }
+                let d = distance(i, j);
+                if d.partial_cmp(&best).expect("finite distances") == std::cmp::Ordering::Less {
+                    best = d;
+                }
+            }
+            mins.push(best);
+        }
+        let global_min = mins
+            .iter()
+            .copied()
+            .reduce(|a, b| if b < a { b } else { a })
+            .expect("non-empty selection");
+
+        // Tie-break the candidates (members whose nearest distance equals
+        // the global minimum) on their full sorted distance vectors.
+        let mut victim = usize::MAX;
+        for (p, &m) in mins.iter().enumerate() {
+            if m != global_min {
+                continue;
+            }
+            if victim == usize::MAX {
+                victim = p;
+                fill_sorted_row(&mut best_row, selected, p, distance);
+                continue;
+            }
+            fill_sorted_row(&mut row, selected, p, distance);
+            if lexicographically_smaller(&row, &best_row) {
+                victim = p;
+                std::mem::swap(&mut best_row, &mut row);
+            }
+        }
+        selected.remove(victim);
     }
-    let mut best = 0usize;
-    for i in 1..n {
-        if lexicographically_smaller(&sorted_dists[i], &sorted_dists[best]) {
-            best = i;
+}
+
+/// Fills `row` with member `p`'s sorted distances to every other selected
+/// member.
+fn fill_sorted_row(
+    row: &mut Vec<f64>,
+    selected: &[usize],
+    p: usize,
+    distance: &impl Fn(usize, usize) -> f64,
+) {
+    row.clear();
+    let i = selected[p];
+    for (q, &j) in selected.iter().enumerate() {
+        if q != p {
+            row.push(distance(i, j));
         }
     }
-    best
+    row.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
 }
 
 /// True when `a` is lexicographically smaller than `b` (first differing
@@ -124,6 +192,7 @@ fn lexicographically_smaller(a: &[f64], b: &[f64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objectives::Objectives;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

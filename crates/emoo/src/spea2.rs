@@ -18,8 +18,9 @@ use crate::engine::{
     EngineOutcome,
 };
 use crate::individual::Individual;
+use crate::kernel::FitnessKernel;
 use crate::objectives::Objectives;
-use crate::selection::{environmental_selection, fill_mating_pool};
+use crate::selection::{environmental_selection_with, fill_mating_pool};
 use rand::Rng;
 
 pub use crate::engine::{EngineConfig, GenerationSnapshot, Problem};
@@ -33,7 +34,13 @@ pub type Spea2Config = EngineConfig;
 pub type Spea2Outcome<G> = EngineOutcome<G>;
 
 /// Assigns SPEA2 fitness (raw fitness + density) to every member of the
-/// combined population, in place.
+/// combined population, in place, from scratch.
+///
+/// This is the reference implementation: O(n²) comparisons and distances
+/// every call. The engines run the incremental
+/// [`FitnessKernel`](crate::FitnessKernel) instead, which produces bitwise
+/// identical fitness values while reusing pairwise state across
+/// generations; the crate's property tests pin the two together.
 pub fn assign_fitness<G>(combined: &mut [Individual<G>], density_k: usize) {
     let points: Vec<Objectives> = combined.iter().map(|i| i.objectives.clone()).collect();
     let raw = raw_fitness(&points);
@@ -78,6 +85,11 @@ impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
     {
         let mut evaluations = 0usize;
 
+        // The incremental fitness kernel: pairwise dominance and distance
+        // state persists across generations, so each fitness assignment
+        // only computes the pairs involving this generation's offspring.
+        let mut kernel = FitnessKernel::new();
+
         // Initial population Q_0: seeds first, then random genomes, all
         // repaired and evaluated as one batch.
         let mut population = seeded_initial_population(
@@ -87,22 +99,35 @@ impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
             rng,
             &mut evaluations,
         );
+        let mut population_ids = kernel.alloc_ids(population.len());
         let mut archive: Vec<Individual<P::Genome>> = Vec::new();
+        let mut archive_ids: Vec<u64> = Vec::new();
         let mut generations_run = 0usize;
 
         for generation in 0..self.config.generations {
             generations_run = generation + 1;
 
-            // 1. Fitness assignment over the union of population and archive.
+            // 1. Fitness assignment over the union of population and
+            // archive. Archive-vs-archive pairs are reused from the
+            // previous generation through the kernel.
             let mut combined: Vec<Individual<P::Genome>> =
                 Vec::with_capacity(population.len() + archive.len());
             combined.append(&mut population);
             combined.append(&mut archive);
-            assign_fitness(&mut combined, self.config.density_k);
+            let mut combined_ids: Vec<u64> =
+                Vec::with_capacity(population_ids.len() + archive_ids.len());
+            combined_ids.append(&mut population_ids);
+            combined_ids.append(&mut archive_ids);
+            kernel.assign_fitness(&mut combined, &combined_ids, self.config.density_k);
 
-            // 2. Environmental selection into the next archive.
-            let selected = environmental_selection(&combined, self.config.archive_size);
+            // 2. Environmental selection into the next archive; truncation
+            // reads distances straight from the kernel's triangle.
+            let selected =
+                environmental_selection_with(&combined, self.config.archive_size, |a, b| {
+                    kernel.distance(a, b)
+                });
             let mut next_archive: Vec<Individual<P::Genome>> = Vec::with_capacity(selected.len());
+            let mut next_archive_ids: Vec<u64> = Vec::with_capacity(selected.len());
             // Extract in index order without cloning genomes more than once.
             let mut keep = vec![false; combined.len()];
             for &i in &selected {
@@ -111,9 +136,11 @@ impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
             for (i, ind) in combined.into_iter().enumerate() {
                 if keep[i] {
                     next_archive.push(ind);
+                    next_archive_ids.push(combined_ids[i]);
                 }
             }
             archive = next_archive;
+            archive_ids = next_archive_ids;
 
             // 3. Mating selection from the archive.
             let mating_pool = fill_mating_pool(&archive, self.config.population_size, rng);
@@ -148,6 +175,7 @@ impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
                 );
             }
             population = evaluate_into_individuals(self.problem, child_genomes, &mut evaluations);
+            population_ids = kernel.alloc_ids(population.len());
 
             // 6. Observer hook (Ω update, logging, convergence checks).
             let snapshot = GenerationSnapshot {
@@ -161,12 +189,17 @@ impl<'a, P: Problem> Engine<P> for Spea2<'a, P> {
             }
         }
 
-        // Final fitness assignment so the returned archive is ranked.
-        assign_fitness(&mut archive, self.config.density_k);
+        // Final fitness assignment so the returned archive is ranked. The
+        // archive is a subset of the last combined set, so every pair is a
+        // kernel cache hit.
+        kernel.assign_fitness(&mut archive, &archive_ids, self.config.density_k);
+        let kernel_stats = kernel.stats();
         EngineOutcome {
             archive,
             generations_run,
             evaluations,
+            fitness_pairs_reused: kernel_stats.pairs_reused,
+            fitness_pairs_computed: kernel_stats.pairs_computed,
         }
     }
 }

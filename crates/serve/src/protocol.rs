@@ -212,6 +212,13 @@ pub struct KeyStatsDto {
     pub privacy_lo: Option<f64>,
     /// Highest privacy currently covered, when any slot is filled.
     pub privacy_hi: Option<f64>,
+    /// Pairwise fitness-kernel entries the most recent refresh run reused
+    /// across generations (comparisons saved), 0 before the first run
+    /// completes in this process.
+    pub fitness_pairs_reused: u64,
+    /// Pairwise fitness-kernel entries the most recent refresh run
+    /// computed fresh.
+    pub fitness_pairs_computed: u64,
 }
 
 /// One estimate reported by `Estimate`/`EstimateAll`.
@@ -595,6 +602,8 @@ mod tests {
                     queries: 11,
                     privacy_lo: Some(0.1),
                     privacy_hi: Some(0.8),
+                    fitness_pairs_reused: 120,
+                    fitness_pairs_computed: 45,
                 },
             },
             Response::ServiceStats {

@@ -442,6 +442,12 @@ impl Service {
     /// Per-key statistics snapshot.
     pub fn key_stats(&self, entry: &KeyEntry) -> KeyStatsDto {
         let range = entry.store().privacy_range();
+        // Refresh telemetry from the most recent engine run: how much
+        // pairwise fitness state the incremental kernel reused.
+        let (fitness_pairs_reused, fitness_pairs_computed) = entry
+            .last_statistics()
+            .map(|s| (s.fitness_pairs_reused, s.fitness_pairs_computed))
+            .unwrap_or((0, 0));
         KeyStatsDto {
             key: entry.key(),
             warm: entry.is_warm(),
@@ -452,6 +458,8 @@ impl Service {
             queries: entry.queries(),
             privacy_lo: range.map(|(lo, _)| lo),
             privacy_hi: range.map(|(_, hi)| hi),
+            fitness_pairs_reused,
+            fitness_pairs_computed,
         }
     }
 
