@@ -9,11 +9,19 @@
 //! registry resolution plus sharded Ω reads. Results land in
 //! `BENCH_serve.json` at the workspace root.
 //!
-//! Usage: `cargo run -p optrr-bench --release --bin bench_serve [-- --streams N --queries M]`
+//! `--smoke` runs the multi-tenant lifecycle scenario instead: 100+ keys
+//! registered under a deliberately small memory budget, asserting that
+//! LRU evictions occur, the byte accounting stays under the budget, and
+//! every key — evicted or not — still answers point queries correctly
+//! after its transparent re-warm. Results land in
+//! `BENCH_serve_tenants.json`.
+//!
+//! Usage: `cargo run -p optrr-bench --release --bin bench_serve
+//!         [-- --streams N --queries M | --smoke [--tenants K]]`
 
 use bench_support::{arg_value, percentile};
 use serde::Serialize;
-use serve::{Service, ServiceConfig};
+use serve::{KeyState, Service, ServiceConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,7 +42,134 @@ struct ServeBaseline {
     engine_runs_after_load: u64,
 }
 
+#[derive(Serialize)]
+struct TenantBaseline {
+    tenants: usize,
+    budget_bytes: u64,
+    peak_unbudgeted_bytes_estimate: u64,
+    resident_bytes_after_load: u64,
+    resident_bytes_after_queries: u64,
+    evictions_after_load: u64,
+    evictions_total: u64,
+    evicted_keys_after_load: usize,
+    rewarms_total: u64,
+    register_seconds: f64,
+    query_seconds: f64,
+}
+
+/// The multi-tenant lifecycle smoke: many keys, small budget.
+fn run_tenant_smoke() {
+    let tenants = arg_value("--tenants").unwrap_or(120).max(8);
+    // Deterministic 4-category priors, all distinct fingerprints.
+    let priors: Vec<Vec<f64>> = (0..tenants)
+        .map(|i| {
+            let skew = 1.0 + (i % 37) as f64 * 0.11 + (i / 37) as f64 * 0.017;
+            (0..4).map(|c| 1.0 / (c as f64 + skew)).collect()
+        })
+        .collect();
+
+    // Probe a handful of keys on an unbudgeted twin to size the budget at
+    // roughly a quarter of the full load.
+    let probe = Arc::new(Service::new(ServiceConfig::tiny(2008)));
+    for prior in priors.iter().take(8) {
+        probe
+            .register(None, prior, 0.8, None, true)
+            .expect("probe registration succeeds");
+    }
+    let (probe_bytes, _, _) = probe.memory_stats();
+    let per_key = (probe_bytes / 8).max(1);
+    let budget = per_key * tenants as u64 / 4;
+
+    let mut config = ServiceConfig::tiny(2008);
+    config.memory_budget_bytes = Some(budget);
+    let service = Arc::new(Service::new(config));
+
+    let register_started = Instant::now();
+    let (entries, warmed) = service
+        .register_batch(None, &priors, 0.8, None)
+        .expect("batch registration succeeds");
+    service.wait_idle();
+    let register_seconds = register_started.elapsed().as_secs_f64();
+    assert_eq!(warmed, tenants, "every tenant needs its own warm-up");
+
+    let (resident_after_load, _, evictions_after_load) = service.memory_stats();
+    let evicted_after_load = entries
+        .iter()
+        .filter(|e| e.state() == KeyState::Evicted)
+        .count();
+    assert!(
+        evictions_after_load > 0,
+        "{tenants} tenants must not fit a {budget}-byte budget"
+    );
+    assert!(
+        resident_after_load <= budget,
+        "byte accounting above budget after load: {resident_after_load} > {budget}"
+    );
+    println!(
+        "{tenants} tenants under a {budget}-byte budget: {evictions_after_load} evictions, \
+         {evicted_after_load} evicted, {resident_after_load} bytes resident \
+         (registered in {register_seconds:.2}s)"
+    );
+
+    // Every key still answers — evicted ones re-warm transparently — and
+    // the accounting stays under budget throughout.
+    let query_started = Instant::now();
+    for entry in &entries {
+        let found = service.best_for_privacy(entry, 0.0);
+        assert!(
+            found.is_some(),
+            "key {:x} lost its answers after eviction",
+            entry.key()
+        );
+        let (resident, _, _) = service.memory_stats();
+        assert!(
+            resident <= budget,
+            "byte accounting above budget mid-queries: {resident} > {budget}"
+        );
+    }
+    service.wait_idle();
+    let query_seconds = query_started.elapsed().as_secs_f64();
+    let (resident_after_queries, _, evictions_total) = service.memory_stats();
+    assert!(resident_after_queries <= budget);
+    let rewarms_total: u64 = entries.iter().map(|e| e.rewarms()).sum();
+    assert!(
+        rewarms_total > 0,
+        "querying every key must have re-warmed the evicted ones"
+    );
+
+    let baseline = TenantBaseline {
+        tenants,
+        budget_bytes: budget,
+        peak_unbudgeted_bytes_estimate: per_key * tenants as u64,
+        resident_bytes_after_load: resident_after_load,
+        resident_bytes_after_queries: resident_after_queries,
+        evictions_after_load,
+        evictions_total,
+        evicted_keys_after_load: evicted_after_load,
+        rewarms_total,
+        register_seconds,
+        query_seconds,
+    };
+    println!(
+        "all {tenants} tenants answered; {rewarms_total} re-warms, {evictions_total} evictions \
+         total, {resident_after_queries} bytes resident (queried in {query_seconds:.2}s)"
+    );
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve_tenants.json"
+    );
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!("wrote baseline {path}"),
+        Err(error) => eprintln!("warning: could not write {path}: {error}"),
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_tenant_smoke();
+        return;
+    }
     let streams = arg_value("--streams")
         .unwrap_or_else(|| {
             std::thread::available_parallelism()

@@ -75,6 +75,17 @@ pub struct OmegaEntry {
     pub evaluation: Evaluation,
 }
 
+impl OmegaEntry {
+    /// Approximate resident heap bytes of this entry: the n×n matrix data
+    /// plus a fixed allowance for the evaluation and allocation headers.
+    /// The number is an accounting estimate (used by memory-budgeted
+    /// serving layers), not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.matrix.num_categories() as u64;
+        n * n * 8 + 64
+    }
+}
+
 /// The privacy-indexed optimal set Ω.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OmegaSet {
@@ -112,6 +123,26 @@ impl OmegaSet {
     /// Total improvements (inserts + replacements) so far.
     pub fn improvements(&self) -> u64 {
         self.improvements
+    }
+
+    /// Approximate resident heap bytes of this Ω's *payload*:
+    /// [`OmegaEntry::approx_bytes`] for every filled slot. The slot vector
+    /// skeleton is deliberately excluded — it is not reclaimable by
+    /// clearing the set, and serving layers bound it separately by capping
+    /// the slot count — so memory budgets over this quantity measure
+    /// exactly what eviction can free.
+    pub fn approx_bytes(&self) -> u64 {
+        self.entries().map(OmegaEntry::approx_bytes).sum()
+    }
+
+    /// Empties every slot and resets the improvement counter, keeping the
+    /// resolution. This is the eviction primitive: the Ω keeps answering
+    /// (with `None`) but holds no matrices until a re-warm refills it.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.improvements = 0;
     }
 
     /// The slot index a privacy value maps to.
@@ -500,6 +531,23 @@ mod tests {
         merged.merge(&low);
         merged.merge(&high);
         assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_fills_and_clear_resets() {
+        let mut omega = OmegaSet::new(50);
+        assert_eq!(omega.approx_bytes(), 0, "an empty Ω has no payload");
+        let m = matrix();
+        omega.offer(&m, &eval(0.3, 1e-4));
+        omega.offer(&m, &eval(0.7, 2e-4));
+        // Each 4-category entry accounts its 16 matrix cells plus overhead.
+        assert_eq!(omega.approx_bytes(), 2 * (16 * 8 + 64));
+        omega.clear();
+        assert!(omega.is_empty());
+        assert_eq!(omega.improvements(), 0);
+        assert_eq!(omega.approx_bytes(), 0);
+        // A cleared Ω accepts offers again.
+        assert!(omega.offer(&m, &eval(0.5, 1e-4)));
     }
 
     #[test]

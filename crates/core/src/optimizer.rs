@@ -223,6 +223,37 @@ impl Optimizer {
         })
     }
 
+    /// The refresh entry point for serving layers: re-optimizes a
+    /// registered problem, optionally against an *estimated-distribution
+    /// override* instead of the registered prior.
+    ///
+    /// A long-lived service registers a prior once, but the population it
+    /// disguises drifts; when estimation telemetry detects that drift, the
+    /// refresh run should optimize the matrices for the distribution the
+    /// estimates actually observe. The override must live on the same
+    /// category domain as the registered prior — the disguise channel's
+    /// dimension is fixed at registration — and `None` reproduces the
+    /// plain warm-started refresh bit for bit.
+    pub fn optimize_refresh(
+        &self,
+        registered: &Categorical,
+        override_target: Option<&Categorical>,
+        warm_seeds: Vec<RrMatrix>,
+    ) -> Result<OptrrOutcome> {
+        if let Some(target) = override_target {
+            if target.num_categories() != registered.num_categories() {
+                return Err(OptrrError::InvalidConfig {
+                    reason: format!(
+                        "distribution override has {} categories, the registered prior has {}",
+                        target.num_categories(),
+                        registered.num_categories()
+                    ),
+                });
+            }
+        }
+        self.optimize_distribution_seeded(override_target.unwrap_or(registered), warm_seeds)
+    }
+
     /// Runs the search against a data set, using its empirical distribution
     /// as the prior (the paper's experimental setting).
     pub fn optimize_dataset(&self, dataset: &CategoricalDataset) -> Result<OptrrOutcome> {
@@ -449,6 +480,35 @@ mod tests {
             .optimize_distribution_seeded(&prior, Vec::new())
             .unwrap();
         assert_eq!(plain.omega, first.omega);
+    }
+
+    #[test]
+    fn optimize_refresh_overrides_the_target_and_validates_the_domain() {
+        let optimizer = Optimizer::new(fast_config(0.8)).unwrap();
+        let prior = normal_prior();
+        // No override: bit-identical to the plain seeded run.
+        let plain = optimizer
+            .optimize_distribution_seeded(&prior, Vec::new())
+            .unwrap();
+        let refreshed = optimizer
+            .optimize_refresh(&prior, None, Vec::new())
+            .unwrap();
+        assert_eq!(plain.omega, refreshed.omega);
+        // An override redirects the search to the estimated distribution:
+        // identical to optimizing that distribution directly.
+        let drifted = Categorical::new(vec![0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.1, 0.6]).unwrap();
+        let overridden = optimizer
+            .optimize_refresh(&prior, Some(&drifted), Vec::new())
+            .unwrap();
+        let direct = optimizer.optimize_distribution(&drifted).unwrap();
+        assert_eq!(overridden.omega, direct.omega);
+        assert_ne!(overridden.omega, plain.omega);
+        // A wrong-domain override is rejected before any engine run.
+        let wrong = Categorical::new(vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            optimizer.optimize_refresh(&prior, Some(&wrong), Vec::new()),
+            Err(OptrrError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

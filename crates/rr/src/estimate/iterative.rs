@@ -90,6 +90,31 @@ pub fn iterative_estimate_from_frequencies(
 /// every category starts with enough mass to move at full speed.
 pub const WARM_START_BLEND: f64 = 1e-4;
 
+/// Prepares an estimated posterior for handoff as an *optimization
+/// target* (or as any other downstream prior): blends it with the uniform
+/// distribution at weight `blend`, so every category keeps at least
+/// `blend / n` mass.
+///
+/// A projected inversion estimate can contain exact zeros (a drifted
+/// stream concentrated on one category produces them routinely), and a
+/// zero-probability category is degenerate as an optimization prior: the
+/// closed-form MSE stops weighing that category's reconstruction error,
+/// so the optimizer is free to garble it. The blend is the same remedy
+/// [`WARM_START_BLEND`] applies to warm-started EM runs, exposed for the
+/// serving layer's drift-driven re-optimization, where the refresh run
+/// targets the estimated distribution instead of the registered prior.
+/// `blend` is clamped to `[0, 1]`; 0 returns the posterior unchanged.
+pub fn handoff_posterior(posterior: &Categorical, blend: f64) -> Categorical {
+    let blend = blend.clamp(0.0, 1.0);
+    let n = posterior.num_categories() as f64;
+    let floored: Vec<f64> = posterior
+        .probs()
+        .iter()
+        .map(|p| (1.0 - blend) * p + blend / n)
+        .collect();
+    Categorical::new(floored).expect("a blend of two distributions is a distribution")
+}
+
 /// Runs the iterative estimator warm-started from a previous posterior.
 ///
 /// This is the incremental mode of the streaming pipeline: after new
@@ -347,6 +372,25 @@ mod tests {
             "estimate {:?}",
             out.distribution
         );
+    }
+
+    #[test]
+    fn handoff_posterior_floors_zeros_and_preserves_the_simplex() {
+        let degenerate = Categorical::point_mass(4, 2).unwrap();
+        let target = handoff_posterior(&degenerate, 1e-3);
+        assert!((target.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (i, &p) in target.probs().iter().enumerate() {
+            assert!(p >= 1e-3 / 4.0, "category {i} lost its floor: {p}");
+        }
+        assert!(
+            target.prob(2) > 0.99,
+            "the mass stays where the estimate put it"
+        );
+        // blend 0 is the identity; out-of-range blends are clamped.
+        let p = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        assert!(handoff_posterior(&p, 0.0).approx_eq(&p, 1e-12));
+        assert!(handoff_posterior(&p, 7.0).approx_eq(&Categorical::uniform(4).unwrap(), 1e-12));
+        assert!(handoff_posterior(&p, -3.0).approx_eq(&p, 1e-12));
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub use inversion::{
     estimate_distribution, estimate_from_counts, estimate_from_disguised_frequencies,
 };
 pub use iterative::{
-    iterative_estimate, iterative_estimate_from_frequencies, iterative_estimate_warm,
-    IterativeConfig, IterativeOutcome, WARM_START_BLEND,
+    handoff_posterior, iterative_estimate, iterative_estimate_from_frequencies,
+    iterative_estimate_warm, IterativeConfig, IterativeOutcome, WARM_START_BLEND,
 };

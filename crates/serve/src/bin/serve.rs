@@ -5,63 +5,40 @@
 //! `serve::protocol` for the frame shapes). Besides the matrix queries
 //! (`Register`/`BestForPrivacy`/`BestForMse`/`Front`), the binary speaks
 //! the streaming pipeline verbs — `Ingest`, `Disguise`, `Estimate`,
-//! `EstimateAll` — and the warm-store persistence verbs `Save`/`Load`.
-//! The engine budget defaults to the smoke profile so offline smoke
-//! sessions warm up in well under a second; `--standard` selects the full
-//! default budget.
+//! `EstimateAll` — the persistence verbs `Save`/`Load` (plus automatic
+//! snapshots on `Sync`/shutdown when `OPTRR_SERVE_SNAPSHOT` is set), and
+//! the multi-tenant lifecycle verbs `Evict`/`Stats`. The engine budget
+//! defaults to the smoke profile so offline smoke sessions warm up in
+//! well under a second; `--standard` selects the full default budget.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p optrr-serve --bin serve [-- --standard]
-//! # environment overrides:
-//! #   OPTRR_SERVE_SEED     base RNG seed          (default 2008)
-//! #   OPTRR_SERVE_WORKERS  refresh worker threads (default 2/smoke, cores/standard)
-//! #   OPTRR_SERVE_SHARDS   shards per warm store  (default 4/smoke, 8/standard)
-//! #   OPTRR_SERVE_DRIFT    drift MSE threshold marking keys stale (default 1e-3)
+//! # environment overrides (invalid values abort startup, see serve::env):
+//! #   OPTRR_SERVE_SEED          base RNG seed             (default 2008)
+//! #   OPTRR_SERVE_WORKERS       refresh worker threads    (default 2/smoke, cores/standard)
+//! #   OPTRR_SERVE_SHARDS        shards per warm store     (default 4/smoke, 8/standard)
+//! #   OPTRR_SERVE_DRIFT         drift MSE threshold       (default 1e-3)
+//! #   OPTRR_SERVE_COVERAGE      coverage-miss threshold   (default 8, 0 disables)
+//! #   OPTRR_SERVE_BUDGET_BYTES  resident-memory budget    (default unbounded)
+//! #   OPTRR_SERVE_TTL_SECS      idle-key TTL              (default none)
+//! #   OPTRR_SERVE_SNAPSHOT      snapshot/autosave path    (default none)
 //! ```
 
-use serve::{Service, ServiceConfig};
+use serve::Service;
 use std::io::{self, BufReader};
 use std::sync::Arc;
 
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.parse().ok()
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.parse().ok()
-}
-
-fn config_from_env_and_args() -> ServiceConfig {
-    let standard = std::env::args().any(|a| a == "--standard");
-    let seed = env_u64("OPTRR_SERVE_SEED").unwrap_or(2008);
-    let mut config = if standard {
-        ServiceConfig {
-            base: optrr::OptrrConfig::fast(0.75, seed),
-            ..ServiceConfig::default()
-        }
-    } else {
-        ServiceConfig::smoke(seed)
-    };
-    if let Some(workers) = env_usize("OPTRR_SERVE_WORKERS") {
-        config.workers = workers.max(1);
-    }
-    if let Some(shards) = env_usize("OPTRR_SERVE_SHARDS") {
-        config.num_shards = shards.max(1);
-    }
-    if let Some(drift) = std::env::var("OPTRR_SERVE_DRIFT")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-    {
-        if drift > 0.0 {
-            config.drift_mse_threshold = drift;
-        }
-    }
-    config
-}
-
 fn main() {
-    let service = Arc::new(Service::new(config_from_env_and_args()));
+    let standard = std::env::args().any(|a| a == "--standard");
+    let config = match serve::env::config_from_env(standard) {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("optrr-serve: invalid environment configuration: {error}");
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(Service::new(config));
     let stdin = io::stdin();
     let stdout = io::stdout();
     if let Err(error) = service.run_loop(BufReader::new(stdin.lock()), stdout.lock()) {

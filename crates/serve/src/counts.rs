@@ -77,6 +77,23 @@ impl ShardedCounts {
             .add_counts(counts)
     }
 
+    /// Absorbs a whole pre-merged [`CountSet`] into one shard — the
+    /// snapshot-restore path. Count accumulation commutes, so the merged
+    /// view afterwards is bitwise-identical to having ingested the
+    /// original batch stream directly.
+    pub fn absorb(&self, counts: &CountSet) -> StatsResult<()> {
+        self.shards[0]
+            .lock()
+            .expect("count shard lock")
+            .merge(counts)
+    }
+
+    /// Approximate resident heap bytes: every shard's count vector plus a
+    /// fixed per-shard allowance for the counters and lock.
+    pub fn approx_bytes(&self) -> u64 {
+        self.shards.len() as u64 * (self.num_categories as u64 * 8 + 64)
+    }
+
     /// Collapses the shards into one [`CountSet`] via [`CountSet::merge`].
     pub fn merge(&self) -> CountSet {
         let mut merged = CountSet::new(self.num_categories).expect("validated at construction");
@@ -147,6 +164,26 @@ mod tests {
         assert!(store.ingest_records(&[9]).is_err());
         assert!(store.ingest_counts(&[1, 2]).is_err());
         assert_eq!(store.merge().total(), 9);
+    }
+
+    #[test]
+    fn absorb_restores_a_merged_set_bitwise() {
+        let original = ShardedCounts::new(3, 4);
+        original.ingest_records(&[0, 0, 1]).unwrap();
+        original.ingest_counts(&[0, 2, 5]).unwrap();
+        let merged = original.merge();
+
+        let restored = ShardedCounts::new(3, 2);
+        restored.absorb(&merged).unwrap();
+        assert_eq!(restored.merge(), merged);
+        assert_eq!(restored.total(), original.total());
+        assert_eq!(restored.batches(), original.batches());
+        // Later batches keep accumulating on top of the restored state.
+        restored.ingest_records(&[2]).unwrap();
+        assert_eq!(restored.total(), original.total() + 1);
+        // A wrong-domain absorb is rejected.
+        assert!(restored.absorb(&CountSet::new(5).unwrap()).is_err());
+        assert!(ShardedCounts::new(3, 2).approx_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Validated environment configuration for the `serve` binary.
+//!
+//! Earlier versions parsed `OPTRR_SERVE_*` variables permissively: an
+//! unparsable or out-of-domain value silently fell back to the default,
+//! which turns an operator typo (`OPTRR_SERVE_DRIFT=1e-3x`,
+//! `OPTRR_SERVE_DRIFT=-1`) into a service running with a policy nobody
+//! asked for. This module rejects such values with a startup error
+//! instead: every variable is either absent, valid, or fatal.
+//!
+//! Recognized variables:
+//!
+//! | variable                   | domain                | configures |
+//! |----------------------------|-----------------------|------------|
+//! | `OPTRR_SERVE_SEED`         | u64                   | base RNG seed |
+//! | `OPTRR_SERVE_WORKERS`      | integer ≥ 1           | refresh worker threads |
+//! | `OPTRR_SERVE_SHARDS`       | integer ≥ 1           | shards per warm store |
+//! | `OPTRR_SERVE_DRIFT`        | finite float > 0      | drift MSE threshold |
+//! | `OPTRR_SERVE_COVERAGE`     | u64 (0 disables)      | coverage-miss threshold |
+//! | `OPTRR_SERVE_BUDGET_BYTES` | u64 ≥ 1               | resident-memory budget |
+//! | `OPTRR_SERVE_TTL_SECS`     | finite float > 0      | idle-key TTL |
+//! | `OPTRR_SERVE_SNAPSHOT`     | non-empty path        | snapshot/autosave path |
+
+use crate::service::ServiceConfig;
+use std::time::Duration;
+
+/// A fatal configuration error: the variable name and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The offending environment variable.
+    pub name: &'static str,
+    /// Why its value was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+fn reject(name: &'static str, reason: String) -> EnvError {
+    EnvError { name, reason }
+}
+
+/// Reads and validates one `u64` variable. `min` rejects values below it.
+pub fn env_u64(name: &'static str, min: u64) -> Result<Option<u64>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let value: u64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| reject(name, format!("{raw:?} is not an unsigned integer")))?;
+    if value < min {
+        return Err(reject(name, format!("{value} is below the minimum {min}")));
+    }
+    Ok(Some(value))
+}
+
+/// Reads and validates one `usize` variable with a lower bound.
+pub fn env_usize(name: &'static str, min: usize) -> Result<Option<usize>, EnvError> {
+    Ok(env_u64(name, min as u64)?.map(|v| v as usize))
+}
+
+/// Reads and validates one strictly positive, finite `f64` variable.
+pub fn env_positive_f64(name: &'static str) -> Result<Option<f64>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let value: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| reject(name, format!("{raw:?} is not a number")))?;
+    if !value.is_finite() {
+        return Err(reject(name, format!("{value} is not finite")));
+    }
+    if value <= 0.0 {
+        return Err(reject(name, format!("{value} is not strictly positive")));
+    }
+    Ok(Some(value))
+}
+
+/// Reads one non-empty string variable (an empty value is an error — it
+/// is always a quoting accident, never a meaningful path).
+pub fn env_nonempty(name: &'static str) -> Result<Option<String>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    if raw.trim().is_empty() {
+        return Err(reject(name, "value is empty".into()));
+    }
+    Ok(Some(raw))
+}
+
+/// Builds the `serve` binary's [`ServiceConfig`] from the environment:
+/// the smoke profile by default, the full default budget with
+/// `standard = true`, with every `OPTRR_SERVE_*` override validated.
+pub fn config_from_env(standard: bool) -> Result<ServiceConfig, EnvError> {
+    let seed = env_u64("OPTRR_SERVE_SEED", 0)?.unwrap_or(2008);
+    let mut config = if standard {
+        ServiceConfig {
+            base: optrr::OptrrConfig::fast(0.75, seed),
+            ..ServiceConfig::default()
+        }
+    } else {
+        ServiceConfig::smoke(seed)
+    };
+    if let Some(workers) = env_usize("OPTRR_SERVE_WORKERS", 1)? {
+        config.workers = workers;
+    }
+    if let Some(shards) = env_usize("OPTRR_SERVE_SHARDS", 1)? {
+        config.num_shards = shards;
+    }
+    if let Some(drift) = env_positive_f64("OPTRR_SERVE_DRIFT")? {
+        config.drift_mse_threshold = drift;
+    }
+    if let Some(coverage) = env_u64("OPTRR_SERVE_COVERAGE", 0)? {
+        config.coverage_miss_threshold = coverage;
+    }
+    if let Some(budget) = env_u64("OPTRR_SERVE_BUDGET_BYTES", 1)? {
+        config.memory_budget_bytes = Some(budget);
+    }
+    if let Some(ttl) = env_positive_f64("OPTRR_SERVE_TTL_SECS")? {
+        config.key_ttl = Some(Duration::from_secs_f64(ttl));
+    }
+    if let Some(path) = env_nonempty("OPTRR_SERVE_SNAPSHOT")? {
+        config.snapshot_path = Some(path);
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Environment variables are process-global, and the test harness runs
+    // tests on threads: everything touching the environment lives in this
+    // one test function so no other test can race it.
+    #[test]
+    fn env_overrides_are_validated_not_silently_defaulted() {
+        // Absent variables are simply absent.
+        std::env::remove_var("OPTRR_SERVE_DRIFT");
+        assert_eq!(env_positive_f64("OPTRR_SERVE_DRIFT"), Ok(None));
+
+        // Valid values land in the config.
+        std::env::set_var("OPTRR_SERVE_DRIFT", "5e-2");
+        std::env::set_var("OPTRR_SERVE_WORKERS", "3");
+        std::env::set_var("OPTRR_SERVE_SHARDS", " 6 ");
+        std::env::set_var("OPTRR_SERVE_SEED", "42");
+        std::env::set_var("OPTRR_SERVE_COVERAGE", "0");
+        std::env::set_var("OPTRR_SERVE_BUDGET_BYTES", "1048576");
+        std::env::set_var("OPTRR_SERVE_TTL_SECS", "2.5");
+        std::env::set_var("OPTRR_SERVE_SNAPSHOT", "warm.json");
+        let config = config_from_env(false).expect("all values valid");
+        assert_eq!(config.drift_mse_threshold, 5e-2);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.num_shards, 6);
+        assert_eq!(config.base.seed, 42);
+        assert_eq!(config.coverage_miss_threshold, 0);
+        assert_eq!(config.memory_budget_bytes, Some(1_048_576));
+        assert_eq!(config.key_ttl, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(config.snapshot_path.as_deref(), Some("warm.json"));
+        // The standard profile applies the same overrides on the full
+        // engine budget.
+        let standard = config_from_env(true).expect("all values valid");
+        assert_eq!(standard.base.seed, 42);
+        assert_eq!(standard.memory_budget_bytes, Some(1_048_576));
+
+        // Every malformed value is a startup error, never a default.
+        for (name, bad) in [
+            ("OPTRR_SERVE_DRIFT", "zero point one"),
+            ("OPTRR_SERVE_DRIFT", "-1e-3"),
+            ("OPTRR_SERVE_DRIFT", "0"),
+            ("OPTRR_SERVE_DRIFT", "inf"),
+            ("OPTRR_SERVE_DRIFT", "NaN"),
+            ("OPTRR_SERVE_WORKERS", "0"),
+            ("OPTRR_SERVE_WORKERS", "-2"),
+            ("OPTRR_SERVE_WORKERS", "many"),
+            ("OPTRR_SERVE_SHARDS", "0"),
+            ("OPTRR_SERVE_SEED", "1.5"),
+            ("OPTRR_SERVE_COVERAGE", "-1"),
+            ("OPTRR_SERVE_BUDGET_BYTES", "0"),
+            ("OPTRR_SERVE_BUDGET_BYTES", "1MB"),
+            ("OPTRR_SERVE_TTL_SECS", "-5"),
+            ("OPTRR_SERVE_TTL_SECS", "soon"),
+            ("OPTRR_SERVE_SNAPSHOT", "   "),
+        ] {
+            std::env::set_var(name, bad);
+            let error =
+                config_from_env(false).expect_err(&format!("{name}={bad:?} must be rejected"));
+            assert_eq!(error.name, name, "wrong variable blamed for {name}={bad:?}");
+            assert!(!error.to_string().is_empty());
+            // Restore a valid value before testing the next variable.
+            match name {
+                "OPTRR_SERVE_DRIFT" => std::env::set_var(name, "5e-2"),
+                "OPTRR_SERVE_SNAPSHOT" => std::env::set_var(name, "warm.json"),
+                "OPTRR_SERVE_TTL_SECS" => std::env::set_var(name, "2.5"),
+                "OPTRR_SERVE_BUDGET_BYTES" => std::env::set_var(name, "1048576"),
+                "OPTRR_SERVE_COVERAGE" => std::env::set_var(name, "0"),
+                _ => std::env::set_var(name, "3"),
+            }
+        }
+
+        for name in [
+            "OPTRR_SERVE_DRIFT",
+            "OPTRR_SERVE_WORKERS",
+            "OPTRR_SERVE_SHARDS",
+            "OPTRR_SERVE_SEED",
+            "OPTRR_SERVE_COVERAGE",
+            "OPTRR_SERVE_BUDGET_BYTES",
+            "OPTRR_SERVE_TTL_SECS",
+            "OPTRR_SERVE_SNAPSHOT",
+        ] {
+            std::env::remove_var(name);
+        }
+        let config = config_from_env(false).expect("a clean environment is valid");
+        assert_eq!(config.drift_mse_threshold, 1e-3);
+        assert_eq!(config.memory_budget_bytes, None);
+        assert_eq!(config.key_ttl, None);
+        assert_eq!(config.snapshot_path, None);
+    }
+}

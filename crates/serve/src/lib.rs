@@ -6,9 +6,15 @@
 //! disguising user data. This crate turns the batch optimizer into that
 //! long-lived service:
 //!
-//! * [`registry`] — warm Ω stores keyed by the canonical
-//!   `(prior, δ, num_slots)` fingerprint ([`optrr::omega_fingerprint`]),
-//!   with warm latches, staleness flags, and run/query counters.
+//! * [`lifecycle`] — the per-key tenant state machine
+//!   (`Cold → Warming → Warm → Stale(reason) → Refreshing → Evicted`):
+//!   every transition is a compare-exchange, so exactly-once warm-ups,
+//!   refresh claims, and re-warms are properties of the type. It owns all
+//!   per-key state — warm store, pinned pipeline, run counter, byte
+//!   accounting, drift/coverage telemetry.
+//! * [`registry`] — the fingerprint-keyed map over those lifecycles
+//!   ([`optrr::omega_fingerprint`] is the key), plus the LRU scan the
+//!   memory budget evicts by.
 //! * [`shard`] — [`ShardedOmega`]: the privacy-slot range split into
 //!   disjoint contiguous shards ([`optrr::slot_index`] is the shard key),
 //!   each behind its own lock, so concurrent engine runs land their offers
@@ -20,9 +26,13 @@
 //!   per line) spoken by the `serve` binary over stdin/stdout.
 //! * [`service`] — [`Service`]: the front door tying the pieces together,
 //!   including the multi-prior batch registration that fans independent
-//!   problems across cores via `Optimizer::optimize_many`, and the
-//!   `Save`/`Load` snapshot persistence that lets a restarted server skip
-//!   warm-up entirely.
+//!   problems across cores via `Optimizer::optimize_many`; the
+//!   `Save`/`Load` snapshot persistence (now covering ingest accumulators
+//!   and posteriors, with autosave on `Sync`/shutdown) that lets a
+//!   restarted server skip warm-up *and* resume estimation streams; and
+//!   the memory budget that bounds resident bytes by evicting
+//!   least-recently-touched keys, which re-warm transparently on their
+//!   next query.
 //! * [`counts`] — [`ShardedCounts`]: per-key sharded accumulators of
 //!   disguised response batches (round-robin disjoint locks, collapsed via
 //!   `CountSet::merge`).
@@ -30,9 +40,14 @@
 //!   (`optrr-pipeline`): `Ingest` disguises raw responses server-side
 //!   through the matrix pinned per key, `Estimate` reconstructs the
 //!   original distribution (inversion with automatic iterative fallback,
-//!   warm-started between estimates), and estimation drift beyond the
-//!   configured MSE threshold marks the key stale and schedules a refresh
-//!   — the first telemetry-driven refresh trigger.
+//!   warm-started between estimates). Estimation drift beyond the
+//!   configured MSE threshold — and point queries landing in uncovered
+//!   privacy ranges — mark the key stale, and the scheduled refresh
+//!   re-optimizes against the *estimated* posterior instead of the
+//!   registered prior.
+//! * [`env`] — validated `OPTRR_SERVE_*` environment configuration for
+//!   the binary (bad values abort startup instead of silently
+//!   defaulting).
 //!
 //! Point queries never run the optimizer: after a key's warm-up they are
 //! answered from the warm store in O(slots) under per-shard locks, and the
@@ -61,6 +76,8 @@
 #![warn(missing_docs)]
 
 pub mod counts;
+pub mod env;
+pub mod lifecycle;
 pub mod pipeline;
 pub mod protocol;
 pub mod registry;
@@ -69,12 +86,15 @@ pub mod shard;
 pub mod worker;
 
 pub use counts::ShardedCounts;
-pub use pipeline::{payload_seed, EstimateMethod, EstimateOutcome, IngestOutcome, KeyPipeline};
+pub use lifecycle::{KeyLifecycle, KeyState, StaleReason, StateCell};
+pub use pipeline::{
+    payload_seed, EstimateMethod, EstimateOutcome, IngestOutcome, KeyPipeline, PipelineSnapshot,
+};
 pub use protocol::{EstimateDto, KeyStatsDto, MatrixDto, Request, Response};
 pub use registry::{KeyEntry, Registry};
 pub use service::{
     KeySnapshot, ServeError, Service, ServiceConfig, ServiceSnapshot, MAX_OMEGA_SLOTS,
-    MAX_REFRESH_RUNS,
+    MAX_REFRESH_RUNS, REFRESH_TARGET_BLEND,
 };
 pub use shard::ShardedOmega;
-pub use worker::{Latch, WorkerPool};
+pub use worker::WorkerPool;

@@ -1,0 +1,970 @@
+//! The per-key lifecycle engine: one state machine per registered tenant.
+//!
+//! Before this module, the per-key serving state was implicit and spread
+//! across four files: the registry held a one-way warm latch and a boolean
+//! staleness flag, the pipeline pinned its disguise channel on first
+//! ingest, the refresh worker claimed run indices, and the service's call
+//! sites had to cooperate to keep "exactly one scheduled refresh" true.
+//! [`KeyLifecycle`] pulls all of it into one place and makes the
+//! transitions explicit:
+//!
+//! ```text
+//!            claim_warmup          finish_run(landed)
+//!   Cold ───────────────▶ Warming ───────────────────▶ Warm
+//!                            ▲                          │ ▲
+//!               claim_rewarm │          try_mark_stale  │ │ finish_run(landed)
+//!                            │                          ▼ │
+//!   Evicted ◀──── try_evict ─┴──── Warm|Stale     Stale(reason)
+//!      │                                                │
+//!      └◀─── try_evict ──── (idle only)    begin_run    ▼
+//!                                           Refreshing(reason)
+//! ```
+//!
+//! Every transition is a compare-exchange on one packed atomic word, so
+//! exactly-once claims (one warm-up per cold key, one scheduled refresh
+//! per drift observation, one re-warm per evicted key) are properties of
+//! the type rather than of call-site discipline. Waiting ("block until
+//! this key can answer queries") is a condvar over the same word, which is
+//! what replaced the old one-way latch: eviction can close the gate again,
+//! and a re-warm reopens it.
+//!
+//! The struct also owns everything the state guards: the sharded warm-Ω
+//! store, the pinned streaming pipeline (disguise channel, ingest
+//! accumulators, posterior), the warm-start seed set, the deterministic
+//! run counter, and the drift/coverage/eviction telemetry — plus the byte
+//! accounting and LRU touch stamp the memory-budgeted registry evicts by.
+
+use crate::pipeline::KeyPipeline;
+use crate::shard::ShardedOmega;
+use optrr::RunStatistics;
+use rr::RrMatrix;
+use stats::Categorical;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a key went stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleReason {
+    /// An explicit `Refresh` request.
+    Manual,
+    /// Estimation drift: the estimated distribution left the registered
+    /// prior beyond the configured MSE threshold.
+    Drift,
+    /// Query-shape telemetry: repeated point queries landed in privacy
+    /// ranges the warm store does not cover.
+    Coverage,
+}
+
+impl StaleReason {
+    fn encode(self) -> u8 {
+        match self {
+            StaleReason::Manual => 0,
+            StaleReason::Drift => 1,
+            StaleReason::Coverage => 2,
+        }
+    }
+
+    fn decode(bits: u8) -> Self {
+        match bits {
+            0 => StaleReason::Manual,
+            1 => StaleReason::Drift,
+            _ => StaleReason::Coverage,
+        }
+    }
+}
+
+impl std::fmt::Display for StaleReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StaleReason::Manual => "manual",
+            StaleReason::Drift => "drift",
+            StaleReason::Coverage => "coverage",
+        })
+    }
+}
+
+/// The lifecycle state of one registered key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyState {
+    /// Registered, no warm-up claimed yet.
+    Cold,
+    /// A warm-up (or re-warm after eviction) is claimed or executing; the
+    /// store holds no queryable data yet and queries wait.
+    Warming,
+    /// Warm data is resident and fresh; queries answer immediately.
+    Warm,
+    /// Warm data is resident but a refresh is due for the given reason.
+    /// Queries still answer from the current store.
+    Stale(StaleReason),
+    /// Warm data is resident and at least one refresh engine run is in
+    /// flight for the given reason. Queries still answer.
+    Refreshing(StaleReason),
+    /// An eviction is in progress: the evictor won the claim and is
+    /// snapshotting/dropping the resident state. Queries and queued runs
+    /// wait for the (brief, bounded) transition to `Evicted` — this is
+    /// what makes "snapshot, then drop" atomic to every observer.
+    Evicting,
+    /// The key's resident state was evicted. The next query claims a
+    /// re-warm and waits for it.
+    Evicted,
+}
+
+impl KeyState {
+    const COLD: u8 = 0;
+    const WARMING: u8 = 1;
+    const WARM: u8 = 2;
+    const STALE: u8 = 3;
+    const REFRESHING: u8 = 4;
+    const EVICTING: u8 = 5;
+    const EVICTED: u8 = 6;
+
+    fn encode(self) -> u8 {
+        match self {
+            KeyState::Cold => Self::COLD,
+            KeyState::Warming => Self::WARMING,
+            KeyState::Warm => Self::WARM,
+            KeyState::Stale(r) => Self::STALE | (r.encode() << 4),
+            KeyState::Refreshing(r) => Self::REFRESHING | (r.encode() << 4),
+            KeyState::Evicting => Self::EVICTING,
+            KeyState::Evicted => Self::EVICTED,
+        }
+    }
+
+    fn decode(bits: u8) -> Self {
+        let reason = StaleReason::decode(bits >> 4);
+        match bits & 0x0f {
+            Self::COLD => KeyState::Cold,
+            Self::WARMING => KeyState::Warming,
+            Self::WARM => KeyState::Warm,
+            Self::STALE => KeyState::Stale(reason),
+            Self::REFRESHING => KeyState::Refreshing(reason),
+            Self::EVICTING => KeyState::Evicting,
+            _ => KeyState::Evicted,
+        }
+    }
+
+    /// Whether warm data is resident (the old "latch is open" predicate).
+    pub fn has_warm_data(self) -> bool {
+        matches!(
+            self,
+            KeyState::Warm | KeyState::Stale(_) | KeyState::Refreshing(_)
+        )
+    }
+
+    /// Whether the key is due (or already being refreshed) for a reason.
+    pub fn is_stale(self) -> bool {
+        matches!(self, KeyState::Stale(_) | KeyState::Refreshing(_))
+    }
+
+    /// The staleness reason, when one applies.
+    pub fn stale_reason(self) -> Option<StaleReason> {
+        match self {
+            KeyState::Stale(r) | KeyState::Refreshing(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KeyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyState::Cold => write!(f, "cold"),
+            KeyState::Warming => write!(f, "warming"),
+            KeyState::Warm => write!(f, "warm"),
+            KeyState::Stale(r) => write!(f, "stale({r})"),
+            KeyState::Refreshing(r) => write!(f, "refreshing({r})"),
+            KeyState::Evicting => write!(f, "evicting"),
+            KeyState::Evicted => write!(f, "evicted"),
+        }
+    }
+}
+
+/// The compare-exchange-guarded state cell: one packed atomic word plus a
+/// condvar for waiters. All legal transitions are methods; anything else
+/// simply fails the compare-exchange and returns `false`.
+#[derive(Debug)]
+pub struct StateCell {
+    bits: AtomicU8,
+    /// Engine runs currently executing for this key (a refresh request may
+    /// schedule several). The state leaves `Refreshing`/`Warming` only
+    /// when this drops to zero.
+    inflight: AtomicU64,
+    gate: Mutex<()>,
+    changed: Condvar,
+}
+
+impl Default for StateCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateCell {
+    /// A fresh cell in [`KeyState::Cold`].
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU8::new(KeyState::Cold.encode()),
+            inflight: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> KeyState {
+        KeyState::decode(self.bits.load(Ordering::SeqCst))
+    }
+
+    /// Engine runs currently executing.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    fn cas(&self, from: KeyState, to: KeyState) -> bool {
+        let swapped = self
+            .bits
+            .compare_exchange(
+                from.encode(),
+                to.encode(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if swapped {
+            self.notify();
+        }
+        swapped
+    }
+
+    fn notify(&self) {
+        let _guard = self.gate.lock().expect("state gate");
+        self.changed.notify_all();
+    }
+
+    /// Claims the cold warm-up: `Cold → Warming`. Exactly one caller per
+    /// key ever wins this claim.
+    pub fn claim_warmup(&self) -> bool {
+        self.cas(KeyState::Cold, KeyState::Warming)
+    }
+
+    /// Claims the re-warm of an evicted key: `Evicted → Warming`. Exactly
+    /// one caller per eviction wins.
+    pub fn claim_rewarm(&self) -> bool {
+        self.cas(KeyState::Evicted, KeyState::Warming)
+    }
+
+    /// Marks the key stale: `Warm → Stale(reason)`. Fails (preserving the
+    /// original reason) when the key is already stale, refreshing, or not
+    /// yet warm — so the first observer of a drift episode is the only one
+    /// that schedules work, and a manual refresh cannot demote a
+    /// drift-stale key to `Manual`.
+    pub fn try_mark_stale(&self, reason: StaleReason) -> bool {
+        self.cas(KeyState::Warm, KeyState::Stale(reason))
+    }
+
+    /// A worker starts one engine run. Transitions `Warm`/`Stale` into
+    /// `Refreshing` (keeping the reason), keeps `Warming`/`Refreshing`
+    /// (a second concurrent run), and re-opens `Cold`/`Evicted` as
+    /// `Warming` (a queued job that raced an eviction re-warms the key).
+    /// A run arriving mid-eviction waits for the (brief) `Evicting` →
+    /// `Evicted` transition first, so it can never interleave with the
+    /// evictor's snapshot-and-drop. Returns the state the run started
+    /// from, which tells the worker whether this is a warm-up or a
+    /// refresh and for which reason.
+    pub fn begin_run(&self) -> KeyState {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        loop {
+            let observed = self.state();
+            let next = match observed {
+                KeyState::Evicting => {
+                    self.wait_while_evicting();
+                    continue;
+                }
+                KeyState::Cold | KeyState::Warming | KeyState::Evicted => KeyState::Warming,
+                KeyState::Warm => KeyState::Refreshing(StaleReason::Manual),
+                KeyState::Stale(r) | KeyState::Refreshing(r) => KeyState::Refreshing(r),
+            };
+            if observed == next || self.cas(observed, next) {
+                return observed;
+            }
+        }
+    }
+
+    /// Blocks while an eviction is in progress. The evictor always
+    /// resolves `Evicting` to `Evicted` in bounded time (a sidecar write
+    /// plus a store clear), so this cannot wedge.
+    fn wait_while_evicting(&self) {
+        let mut guard = self.gate.lock().expect("state gate");
+        while self.state() == KeyState::Evicting {
+            guard = self.changed.wait(guard).expect("state gate");
+        }
+    }
+
+    /// A worker finished one engine run. When the last in-flight run
+    /// lands, `Warming`/`Refreshing` resolve to `Warm` on success;
+    /// on failure a warm-up still resolves to `Warm` (the store is empty
+    /// and queries answer `NoMatch` rather than wedging) while a refresh
+    /// falls back to `Stale(reason)` so the debt stays visible.
+    pub fn finish_run(&self, landed: bool) {
+        let before = self.inflight.fetch_sub(1, Ordering::SeqCst);
+        assert!(before > 0, "finish_run without a matching begin_run");
+        if before != 1 {
+            return;
+        }
+        loop {
+            let observed = self.state();
+            let next = match observed {
+                KeyState::Warming => KeyState::Warm,
+                KeyState::Refreshing(r) => {
+                    if landed {
+                        KeyState::Warm
+                    } else {
+                        KeyState::Stale(r)
+                    }
+                }
+                // A concurrent begin_run already owns the state again, or
+                // the key was never in a running state (illegal pairing
+                // caught by the inflight assert above).
+                other => other,
+            };
+            if observed == next || self.cas(observed, next) {
+                return;
+            }
+        }
+    }
+
+    /// Claims the eviction of an idle key: `Warm | Stale → Evicting`,
+    /// only when no run is in flight. The winner snapshots and drops the
+    /// resident state, then resolves the claim with [`finish_evict`];
+    /// queries, re-warm claims, and queued runs all wait out the
+    /// `Evicting` window, so "snapshot, then drop" is atomic to every
+    /// observer. `Warming`/`Refreshing` keys are never evicted (their
+    /// runs are about to land bytes anyway), and `Cold`/`Evicted` keys
+    /// have nothing to evict.
+    ///
+    /// [`finish_evict`]: StateCell::finish_evict
+    pub fn try_evict(&self) -> bool {
+        if self.inflight.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        loop {
+            let observed = self.state();
+            match observed {
+                KeyState::Warm | KeyState::Stale(_) => {
+                    if self.cas(observed, KeyState::Evicting) {
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Resolves a won [`try_evict`] claim: `Evicting → Evicted`, waking
+    /// everything that waited out the eviction window.
+    ///
+    /// [`try_evict`]: StateCell::try_evict
+    pub fn finish_evict(&self) {
+        let resolved = self.cas(KeyState::Evicting, KeyState::Evicted);
+        assert!(resolved, "finish_evict without a won try_evict claim");
+    }
+
+    /// Opens a key directly as warm without an engine run — the snapshot
+    /// restore path (`Cold | Warming | Evicted → Warm`). Returns `false`
+    /// when warm data was already resident (or an eviction is mid-flight).
+    pub fn open_warm(&self) -> bool {
+        loop {
+            let observed = self.state();
+            match observed {
+                KeyState::Cold | KeyState::Warming | KeyState::Evicted => {
+                    if self.cas(observed, KeyState::Warm) {
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Restores a freshly created key directly into `Evicted` — the
+    /// snapshot-load path for keys whose resident state was evicted
+    /// before the snapshot was written (their next query re-warms them
+    /// from the sidecar or by engine replay). `Cold → Evicted` only.
+    pub fn restore_evicted(&self) -> bool {
+        self.cas(KeyState::Cold, KeyState::Evicted)
+    }
+
+    /// Blocks while the key has no warm data *and* is not evicted: i.e.
+    /// through `Cold`/`Warming`/`Evicting`. Returns the state observed on
+    /// wake-up; callers loop, handling `Evicted` by claiming a re-warm.
+    pub fn wait_while_warming(&self) -> KeyState {
+        let mut guard = self.gate.lock().expect("state gate");
+        loop {
+            let state = self.state();
+            if !matches!(
+                state,
+                KeyState::Cold | KeyState::Warming | KeyState::Evicting
+            ) {
+                return state;
+            }
+            guard = self.changed.wait(guard).expect("state gate");
+        }
+    }
+}
+
+/// The unified per-key state: identity, state machine, and every resident
+/// structure the machine guards. This is what the registry stores per
+/// fingerprint (re-exported there as `KeyEntry` for continuity).
+#[derive(Debug)]
+pub struct KeyLifecycle {
+    key: u64,
+    prior: Categorical,
+    delta: f64,
+    num_slots: usize,
+    state: StateCell,
+    store: ShardedOmega,
+    engine_runs: AtomicU64,
+    queries: AtomicU64,
+    warm_seeds: Mutex<Vec<RrMatrix>>,
+    last_statistics: Mutex<Option<RunStatistics>>,
+    pipeline: Mutex<Option<Arc<KeyPipeline>>>,
+    /// Milliseconds (on the owning service's clock) of the last query,
+    /// ingest, estimate, or registration touch — the LRU eviction order.
+    last_touch_ms: AtomicU64,
+    /// Point queries that found *nothing* satisfying their privacy floor —
+    /// the query-shape staleness signal.
+    coverage_misses: AtomicU64,
+    drift_events: AtomicU64,
+    evictions: AtomicU64,
+    rewarms: AtomicU64,
+}
+
+impl KeyLifecycle {
+    pub(crate) fn new(
+        key: u64,
+        prior: Categorical,
+        delta: f64,
+        num_slots: usize,
+        num_shards: usize,
+    ) -> Self {
+        Self {
+            key,
+            prior,
+            delta,
+            num_slots,
+            state: StateCell::new(),
+            store: ShardedOmega::new(num_slots, num_shards),
+            engine_runs: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            warm_seeds: Mutex::new(Vec::new()),
+            last_statistics: Mutex::new(None),
+            pipeline: Mutex::new(None),
+            last_touch_ms: AtomicU64::new(0),
+            coverage_misses: AtomicU64::new(0),
+            drift_events: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rewarms: AtomicU64::new(0),
+        }
+    }
+
+    /// The canonical fingerprint this entry is registered under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The prior distribution the matrices are optimized for.
+    pub fn prior(&self) -> &Categorical {
+        &self.prior
+    }
+
+    /// The privacy bound δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The Ω resolution.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// The sharded warm store.
+    pub fn store(&self) -> &ShardedOmega {
+        &self.store
+    }
+
+    /// The state machine guarding every transition of this key.
+    pub fn lifecycle(&self) -> &StateCell {
+        &self.state
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> KeyState {
+        self.state.state()
+    }
+
+    /// Whether warm data is resident (the old latch predicate: queries
+    /// answer without waiting).
+    pub fn is_warm(&self) -> bool {
+        self.state().has_warm_data()
+    }
+
+    /// Whether the entry is marked stale or currently refreshing.
+    pub fn is_stale(&self) -> bool {
+        self.state().is_stale()
+    }
+
+    /// Number of engine-run indices claimed for this key. The run index
+    /// doubles as the deterministic seed offset for that run, so the
+    /// counter survives eviction: a re-warm replays indices `0..n` without
+    /// claiming new ones, and the next refresh continues the sequence.
+    pub fn engine_runs(&self) -> u64 {
+        self.engine_runs.load(Ordering::SeqCst)
+    }
+
+    /// Claims the next run index (incrementing the run counter).
+    pub fn claim_run_index(&self) -> u64 {
+        self.engine_runs.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Restores the run counter from a snapshot, so future refreshes
+    /// continue the deterministic seed sequence instead of replaying run
+    /// 0. Only meaningful on a freshly created entry.
+    pub fn restore_engine_runs(&self, runs: u64) {
+        self.engine_runs.store(runs, Ordering::SeqCst);
+    }
+
+    /// Number of point/front queries served from this entry.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::SeqCst)
+    }
+
+    /// Counts one served query.
+    pub fn count_query(&self) {
+        self.queries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The warm-start seed set: the previous run's archive matrices.
+    pub fn take_warm_seeds(&self) -> Vec<RrMatrix> {
+        self.warm_seeds.lock().expect("seed lock").clone()
+    }
+
+    /// Replaces the warm-start seed set with a finished run's archive.
+    pub fn put_warm_seeds(&self, seeds: Vec<RrMatrix>) {
+        *self.warm_seeds.lock().expect("seed lock") = seeds;
+    }
+
+    /// The statistics of the most recent finished run, when any.
+    pub fn last_statistics(&self) -> Option<RunStatistics> {
+        self.last_statistics.lock().expect("stats lock").clone()
+    }
+
+    /// Records a finished run's statistics.
+    pub fn put_statistics(&self, statistics: RunStatistics) {
+        *self.last_statistics.lock().expect("stats lock") = Some(statistics);
+    }
+
+    /// The streaming pipeline pinned to this key, when any batch has been
+    /// ingested (or a first ingest is in flight).
+    pub fn pipeline(&self) -> Option<Arc<KeyPipeline>> {
+        self.pipeline.lock().expect("pipeline lock").clone()
+    }
+
+    /// Installs a freshly built pipeline unless a concurrent first ingest
+    /// already pinned one; returns whichever pipeline ended up pinned.
+    pub fn install_pipeline(&self, pipeline: KeyPipeline) -> Arc<KeyPipeline> {
+        let mut slot = self.pipeline.lock().expect("pipeline lock");
+        match slot.as_ref() {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                let installed = Arc::new(pipeline);
+                *slot = Some(Arc::clone(&installed));
+                installed
+            }
+        }
+    }
+
+    /// Stamps the LRU clock.
+    pub fn touch(&self, now_ms: u64) {
+        self.last_touch_ms.store(now_ms, Ordering::SeqCst);
+    }
+
+    /// Milliseconds of the last touch on the owning service's clock.
+    pub fn last_touch_ms(&self) -> u64 {
+        self.last_touch_ms.load(Ordering::SeqCst)
+    }
+
+    /// Counts one coverage miss (a point query no stored matrix could
+    /// satisfy) and returns the new total.
+    pub fn count_coverage_miss(&self) -> u64 {
+        self.coverage_misses.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Point queries that matched nothing in the current coverage
+    /// episode (reset when a coverage-stale claim wins, so each episode
+    /// schedules exactly one refresh instead of one per further miss).
+    pub fn coverage_misses(&self) -> u64 {
+        self.coverage_misses.load(Ordering::SeqCst)
+    }
+
+    /// Starts a new coverage episode (the miss count begins again).
+    pub fn reset_coverage_misses(&self) {
+        self.coverage_misses.store(0, Ordering::SeqCst);
+    }
+
+    /// Counts one drift event (an estimate beyond the MSE threshold).
+    pub fn count_drift_event(&self) {
+        self.drift_events.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Drift events observed for this key. Unlike the pinned pipeline's
+    /// per-stream counter this one survives eviction, and snapshots
+    /// persist it so `Stats` keeps the history across restarts.
+    pub fn drift_events(&self) -> u64 {
+        self.drift_events.load(Ordering::SeqCst)
+    }
+
+    /// Restores the drift-event history from a snapshot.
+    pub fn restore_drift_events(&self, events: u64) {
+        self.drift_events.store(events, Ordering::SeqCst);
+    }
+
+    /// Times this key's resident state was evicted.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::SeqCst)
+    }
+
+    /// Times this key was re-warmed after an eviction.
+    pub fn rewarms(&self) -> u64 {
+        self.rewarms.load(Ordering::SeqCst)
+    }
+
+    /// Counts one completed re-warm.
+    pub fn count_rewarm(&self) {
+        self.rewarms.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Approximate resident heap bytes of this key: the sharded Ω, the
+    /// warm-start seed set, and the pinned pipeline's accumulators. This
+    /// is the quantity the service's memory budget bounds.
+    pub fn resident_bytes(&self) -> u64 {
+        let n = self.prior.num_categories() as u64;
+        let seeds = self.warm_seeds.lock().expect("seed lock").len() as u64 * (n * n * 8 + 64);
+        let pipeline = self
+            .pipeline()
+            .map(|p| p.approx_bytes())
+            .unwrap_or_default();
+        self.store.approx_bytes() + seeds + pipeline
+    }
+
+    /// Drops every resident structure after a successful
+    /// [`StateCell::try_evict`]: clears the Ω shards, the seed set, and
+    /// the pinned pipeline, and counts the eviction. Returns the bytes
+    /// freed. The run counter is deliberately kept — re-warm replays it.
+    pub fn drop_resident_state(&self) -> u64 {
+        let freed = self.resident_bytes();
+        self.store.clear();
+        self.warm_seeds.lock().expect("seed lock").clear();
+        *self.pipeline.lock().expect("pipeline lock") = None;
+        self.evictions.fetch_add(1, Ordering::SeqCst);
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_claim_is_exactly_once_and_runs_land_warm() {
+        let cell = StateCell::new();
+        assert_eq!(cell.state(), KeyState::Cold);
+        assert!(!cell.state().has_warm_data());
+        assert!(cell.claim_warmup(), "first claim wins");
+        assert!(!cell.claim_warmup(), "second claim must lose");
+        assert_eq!(cell.state(), KeyState::Warming);
+
+        assert_eq!(cell.begin_run(), KeyState::Warming);
+        assert_eq!(cell.inflight(), 1);
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+        assert_eq!(cell.inflight(), 0);
+        assert!(cell.state().has_warm_data());
+    }
+
+    #[test]
+    fn failed_warmup_still_opens_the_key() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(false);
+        // The old latch behavior: a failed cold run opens the key so
+        // queries see an empty store instead of wedging.
+        assert_eq!(cell.state(), KeyState::Warm);
+        assert!(!cell.state().is_stale());
+    }
+
+    #[test]
+    fn stale_claim_is_exactly_once_per_episode_and_keeps_its_reason() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+
+        assert!(cell.try_mark_stale(StaleReason::Drift));
+        assert!(
+            !cell.try_mark_stale(StaleReason::Drift),
+            "one refresh per drift episode"
+        );
+        // A later manual mark cannot demote the recorded reason.
+        assert!(!cell.try_mark_stale(StaleReason::Manual));
+        assert_eq!(cell.state(), KeyState::Stale(StaleReason::Drift));
+        assert_eq!(cell.state().stale_reason(), Some(StaleReason::Drift));
+        assert!(cell.state().is_stale());
+
+        // The refresh run carries the reason through Refreshing and lands
+        // Warm, after which a new episode can be claimed.
+        assert_eq!(cell.begin_run(), KeyState::Stale(StaleReason::Drift));
+        assert_eq!(cell.state(), KeyState::Refreshing(StaleReason::Drift));
+        assert!(cell.state().is_stale(), "refreshing still reports stale");
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+        assert!(cell.try_mark_stale(StaleReason::Coverage));
+    }
+
+    #[test]
+    fn failed_refresh_keeps_the_staleness_debt() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        cell.try_mark_stale(StaleReason::Coverage);
+        cell.begin_run();
+        cell.finish_run(false);
+        assert_eq!(cell.state(), KeyState::Stale(StaleReason::Coverage));
+    }
+
+    #[test]
+    fn concurrent_refresh_runs_resolve_when_the_last_lands() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        cell.try_mark_stale(StaleReason::Manual);
+        cell.begin_run();
+        cell.begin_run();
+        assert_eq!(cell.inflight(), 2);
+        cell.finish_run(true);
+        assert_eq!(
+            cell.state(),
+            KeyState::Refreshing(StaleReason::Manual),
+            "one run still in flight"
+        );
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+    }
+
+    #[test]
+    fn eviction_requires_an_idle_resident_key() {
+        let cell = StateCell::new();
+        // Illegal: nothing resident to evict.
+        assert!(!cell.try_evict(), "cold keys cannot be evicted");
+        cell.claim_warmup();
+        assert!(!cell.try_evict(), "warming keys cannot be evicted");
+        cell.begin_run();
+        cell.finish_run(true);
+        cell.try_mark_stale(StaleReason::Manual);
+        cell.begin_run();
+        assert!(!cell.try_evict(), "in-flight runs block eviction");
+        cell.finish_run(true);
+        assert!(cell.try_evict());
+        // The claim parks the key in Evicting until the evictor resolves
+        // it; nothing else can claim, re-warm, or open it meanwhile.
+        assert_eq!(cell.state(), KeyState::Evicting);
+        assert!(!cell.try_evict(), "concurrent eviction claims must lose");
+        assert!(!cell.claim_rewarm(), "re-warm waits out the eviction");
+        assert!(!cell.open_warm(), "snapshot restore waits out the eviction");
+        cell.finish_evict();
+        assert_eq!(cell.state(), KeyState::Evicted);
+        assert!(!cell.try_evict(), "double eviction is illegal");
+        assert!(!cell.state().has_warm_data());
+
+        // Exactly one re-warm claim wins, and the re-warm run lands Warm.
+        assert!(cell.claim_rewarm());
+        assert!(!cell.claim_rewarm());
+        assert_eq!(cell.state(), KeyState::Warming);
+        cell.begin_run();
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+    }
+
+    #[test]
+    fn illegal_claims_fail_without_corrupting_the_state() {
+        let cell = StateCell::new();
+        // Stale before warm: illegal.
+        assert!(!cell.try_mark_stale(StaleReason::Drift));
+        // Re-warm claim without an eviction: illegal.
+        assert!(!cell.claim_rewarm());
+        assert_eq!(cell.state(), KeyState::Cold);
+        cell.claim_warmup();
+        assert!(!cell.try_mark_stale(StaleReason::Drift), "warming ≠ warm");
+        assert_eq!(cell.state(), KeyState::Warming);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching begin_run")]
+    fn finish_without_begin_panics() {
+        let cell = StateCell::new();
+        cell.finish_run(true);
+    }
+
+    #[test]
+    fn begin_run_reopens_an_evicted_key() {
+        // A refresh job queued before an eviction begins afterwards: the
+        // run re-warms the key instead of landing in a corrupt state.
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        assert!(cell.try_evict());
+        cell.finish_evict();
+        assert_eq!(cell.begin_run(), KeyState::Evicted);
+        assert_eq!(cell.state(), KeyState::Warming);
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+    }
+
+    #[test]
+    fn open_warm_covers_the_snapshot_paths_only() {
+        let restore = StateCell::new();
+        assert!(restore.open_warm(), "cold snapshot load opens warm");
+        assert!(!restore.open_warm(), "already warm");
+        assert_eq!(restore.state(), KeyState::Warm);
+
+        restore.try_mark_stale(StaleReason::Drift);
+        assert!(!restore.open_warm(), "stale keys are not snapshot targets");
+        assert_eq!(restore.state(), KeyState::Stale(StaleReason::Drift));
+
+        // A key persisted *after* its eviction restores straight into
+        // Evicted (its next query re-warms it); only cold keys qualify.
+        let evicted = StateCell::new();
+        assert!(evicted.restore_evicted());
+        assert_eq!(evicted.state(), KeyState::Evicted);
+        assert!(!evicted.restore_evicted());
+        assert!(!restore.restore_evicted(), "only cold keys restore evicted");
+    }
+
+    #[test]
+    fn waiters_release_on_warm_and_on_eviction() {
+        let cell = Arc::new(StateCell::new());
+        cell.claim_warmup();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || cell.wait_while_warming())
+            })
+            .collect();
+        cell.begin_run();
+        cell.finish_run(true);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), KeyState::Warm);
+        }
+        // A waiter that observes Evicted returns it (the caller claims the
+        // re-warm); it must not block forever. A waiter arriving during
+        // the Evicting window is released when the eviction resolves.
+        assert!(cell.try_evict());
+        let waiter = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || cell.wait_while_warming())
+        };
+        cell.finish_evict();
+        assert_eq!(waiter.join().unwrap(), KeyState::Evicted);
+        assert_eq!(cell.wait_while_warming(), KeyState::Evicted);
+    }
+
+    #[test]
+    fn state_display_names_are_stable() {
+        assert_eq!(KeyState::Cold.to_string(), "cold");
+        assert_eq!(KeyState::Warming.to_string(), "warming");
+        assert_eq!(KeyState::Warm.to_string(), "warm");
+        assert_eq!(
+            KeyState::Stale(StaleReason::Drift).to_string(),
+            "stale(drift)"
+        );
+        assert_eq!(
+            KeyState::Refreshing(StaleReason::Coverage).to_string(),
+            "refreshing(coverage)"
+        );
+        assert_eq!(KeyState::Evicting.to_string(), "evicting");
+        assert_eq!(KeyState::Evicted.to_string(), "evicted");
+        assert_eq!(
+            KeyState::Stale(StaleReason::Manual).to_string(),
+            "stale(manual)"
+        );
+    }
+
+    #[test]
+    fn state_encoding_round_trips() {
+        let states = [
+            KeyState::Cold,
+            KeyState::Warming,
+            KeyState::Warm,
+            KeyState::Stale(StaleReason::Manual),
+            KeyState::Stale(StaleReason::Drift),
+            KeyState::Stale(StaleReason::Coverage),
+            KeyState::Refreshing(StaleReason::Manual),
+            KeyState::Refreshing(StaleReason::Drift),
+            KeyState::Refreshing(StaleReason::Coverage),
+            KeyState::Evicting,
+            KeyState::Evicted,
+        ];
+        for state in states {
+            assert_eq!(KeyState::decode(state.encode()), state);
+        }
+    }
+
+    #[test]
+    fn lifecycle_owns_counters_and_drops_resident_state_on_eviction() {
+        let prior = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let entry = KeyLifecycle::new(7, prior, 0.8, 100, 4);
+        assert_eq!(entry.key(), 7);
+        assert_eq!(entry.state(), KeyState::Cold);
+        assert_eq!(entry.resident_bytes(), entry.store().approx_bytes());
+
+        // Land a fake warm-up: seeds + a stored matrix.
+        entry.lifecycle().claim_warmup();
+        entry.lifecycle().begin_run();
+        let m = rr::schemes::warner(4, 0.7).unwrap();
+        entry.store().offer(
+            &m,
+            &optrr::Evaluation {
+                privacy: 0.4,
+                mse: 1e-4,
+                max_posterior: 0.7,
+                feasible: true,
+            },
+        );
+        entry.put_warm_seeds(vec![m]);
+        assert_eq!(entry.claim_run_index(), 0);
+        entry.lifecycle().finish_run(true);
+
+        let resident = entry.resident_bytes();
+        assert!(resident > entry.store().num_slots() as u64);
+        entry.touch(42);
+        assert_eq!(entry.last_touch_ms(), 42);
+        assert_eq!(entry.count_coverage_miss(), 1);
+        entry.count_drift_event();
+        assert_eq!(entry.coverage_misses(), 1);
+        assert_eq!(entry.drift_events(), 1);
+
+        assert!(entry.lifecycle().try_evict());
+        let freed = entry.drop_resident_state();
+        entry.lifecycle().finish_evict();
+        assert_eq!(freed, resident);
+        assert!(entry.store().is_empty());
+        assert!(entry.take_warm_seeds().is_empty());
+        assert!(entry.pipeline().is_none());
+        assert_eq!(entry.evictions(), 1);
+        // The deterministic run counter survives for the re-warm replay.
+        assert_eq!(entry.engine_runs(), 1);
+    }
+}

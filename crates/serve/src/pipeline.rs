@@ -29,6 +29,7 @@
 //! same batches — the end-to-end tests assert it.
 
 use crate::counts::ShardedCounts;
+use crate::lifecycle::StaleReason;
 use crate::registry::KeyEntry;
 use crate::service::{Result, ServeError, Service};
 use optrr::Evaluation;
@@ -39,8 +40,9 @@ use rr::estimate::{
     iterative_estimate_warm,
 };
 use rr::RrMatrix;
+use serde::{Deserialize, Serialize};
 use stats::divergence::mean_squared_error;
-use stats::Categorical;
+use stats::{Categorical, CountSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -117,10 +119,110 @@ impl KeyPipeline {
         self.drift_events.load(Ordering::SeqCst)
     }
 
-    /// The previous estimate, used to warm-start the iterative estimator.
+    /// The previous estimate, used to warm-start the iterative estimator
+    /// — and, under drift-driven re-optimization, as the refresh run's
+    /// optimization target.
     pub fn posterior(&self) -> Option<Categorical> {
         self.posterior.lock().expect("posterior lock").clone()
     }
+
+    /// Approximate resident heap bytes: the pinned matrix, the sharded
+    /// accumulator, and the stored posterior.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.matrix.num_categories() as u64;
+        n * n * 8 + self.counts.approx_bytes() + n * 8 + 64
+    }
+
+    /// The pipeline's persisted form: pinned channel, merged accumulator,
+    /// counters, and posterior — everything a restart needs to resume the
+    /// estimation stream bitwise.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            matrix: self.matrix.clone(),
+            evaluation: self.evaluation,
+            min_privacy: self.min_privacy,
+            counts: self.counts.merge(),
+            raw_records: self.raw_records(),
+            estimates: self.estimates(),
+            drift_events: self.drift_events(),
+            posterior: self.posterior(),
+        }
+    }
+
+    /// Rebuilds a pipeline from its persisted form. Accumulation
+    /// commutes, so later batches land on top of the restored counts
+    /// exactly as they would have on the live accumulator.
+    pub fn restore(
+        snapshot: &PipelineSnapshot,
+        num_shards: usize,
+    ) -> std::result::Result<Self, String> {
+        let n = snapshot.matrix.num_categories();
+        if snapshot.counts.num_categories() != n {
+            return Err(format!(
+                "pipeline snapshot counts cover {} categories, the pinned matrix {}",
+                snapshot.counts.num_categories(),
+                n
+            ));
+        }
+        let pipeline = Self::new(
+            snapshot.matrix.clone(),
+            snapshot.evaluation,
+            snapshot.min_privacy,
+            num_shards,
+        );
+        if !snapshot.counts.is_empty() {
+            pipeline
+                .counts
+                .absorb(&snapshot.counts)
+                .map_err(|e| format!("pipeline snapshot counts rejected: {e}"))?;
+        }
+        pipeline
+            .raw_records
+            .store(snapshot.raw_records, Ordering::SeqCst);
+        pipeline
+            .estimates
+            .store(snapshot.estimates, Ordering::SeqCst);
+        pipeline
+            .drift_events
+            .store(snapshot.drift_events, Ordering::SeqCst);
+        if let Some(posterior) = &snapshot.posterior {
+            if posterior.num_categories() != n {
+                return Err(format!(
+                    "pipeline snapshot posterior covers {} categories, the pinned matrix {n}",
+                    posterior.num_categories()
+                ));
+            }
+            // The serialized Categorical restores its exact bit pattern,
+            // so warm-started re-estimates resume identically.
+            *pipeline.posterior.lock().expect("posterior lock") = Some(posterior.clone());
+        }
+        Ok(pipeline)
+    }
+}
+
+/// The persisted form of a [`KeyPipeline`] (pipeline persistence phase 2):
+/// enough for a restarted server to resume the in-flight estimation
+/// stream — the pinned channel, the merged accumulator, and the posterior
+/// the next estimate warm-starts from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// The disguise matrix pinned at first ingest.
+    pub matrix: RrMatrix,
+    /// The pinned matrix's evaluation at selection time.
+    pub evaluation: Evaluation,
+    /// The privacy bound that selected the pinned matrix.
+    pub min_privacy: f64,
+    /// The merged response accumulator (counts, total, batch counter).
+    pub counts: CountSet,
+    /// Raw records disguised server-side before the snapshot.
+    pub raw_records: u64,
+    /// Estimates computed before the snapshot.
+    pub estimates: u64,
+    /// Drift events observed before the snapshot.
+    pub drift_events: u64,
+    /// The warm-start posterior, when an estimate has run (serialized
+    /// bit-exact so resumed re-estimates match the live service).
+    pub posterior: Option<Categorical>,
 }
 
 /// How an estimate reconstructed the distribution.
@@ -214,7 +316,11 @@ impl Service {
     /// privacy ≥ `min_privacy` (waiting for warm-up like any point query)
     /// and pinned for the life of the stream. Later calls reuse the pinned
     /// pipeline whatever bound they pass, so one key is always one channel.
-    pub fn pipeline_for(&self, entry: &KeyEntry, min_privacy: f64) -> Result<Arc<KeyPipeline>> {
+    pub fn pipeline_for(
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
+        min_privacy: f64,
+    ) -> Result<Arc<KeyPipeline>> {
         if let Some(pipeline) = entry.pipeline() {
             return Ok(pipeline);
         }
@@ -239,8 +345,8 @@ impl Service {
     /// accumulating anything. The seed defaults to the payload
     /// fingerprint, so equal requests give equal answers.
     pub fn disguise(
-        &self,
-        entry: &KeyEntry,
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
         min_privacy: f64,
         records: &[usize],
         seed: Option<u64>,
@@ -289,8 +395,8 @@ impl Service {
     /// given. The batch lands wholly in one shard of the key's sharded
     /// accumulator, so concurrent streams never contend.
     pub fn ingest(
-        &self,
-        entry: &KeyEntry,
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
         min_privacy: Option<f64>,
         records: Option<&[usize]>,
         counts: Option<&[u64]>,
@@ -344,6 +450,7 @@ impl Service {
                 (total, 0)
             }
         };
+        entry.touch(self.now_ms());
         Ok(IngestOutcome {
             key: entry.key(),
             accepted,
@@ -361,6 +468,10 @@ impl Service {
     /// threshold marks the key stale and (if configured) schedules one
     /// refresh engine run — the telemetry-driven refresh trigger.
     pub fn estimate(self: &Arc<Self>, entry: &Arc<KeyEntry>) -> Result<EstimateOutcome> {
+        // An evicted key re-warms first (restoring its persisted pipeline
+        // when a sidecar exists), so estimation is as eviction-transparent
+        // as the point queries.
+        self.ensure_live(entry);
         let pipeline = entry.pipeline().ok_or_else(|| {
             ServeError::InvalidRequest("no responses ingested for this key yet".into())
         })?;
@@ -400,13 +511,19 @@ impl Service {
         let drifted = mse_vs_prior > self.config().drift_mse_threshold;
         if drifted {
             pipeline.drift_events.fetch_add(1, Ordering::SeqCst);
+            entry.count_drift_event();
             // The population no longer follows the registered prior. The
-            // compare-exchange claim makes concurrent drift observations
-            // schedule exactly one refresh between them.
-            if entry.try_mark_stale() && self.config().refresh_on_drift {
-                self.refresh(entry, 1);
+            // lifecycle's compare-exchange makes concurrent drift
+            // observations schedule exactly one refresh between them —
+            // and records *why* the key is stale, so the scheduled run
+            // re-optimizes against this posterior instead of the prior.
+            if entry.lifecycle().try_mark_stale(StaleReason::Drift)
+                && self.config().refresh_on_drift
+            {
+                self.schedule_runs(entry, 1);
             }
         }
+        entry.touch(self.now_ms());
         Ok(EstimateOutcome {
             key: entry.key(),
             method,

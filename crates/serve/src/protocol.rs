@@ -134,6 +134,17 @@ pub enum Request {
         /// Path of the snapshot file to read.
         path: String,
     },
+    /// Evict a key's resident state (Ω matrices, warm-start seeds, pinned
+    /// pipeline) if it is idle. The key stays registered and re-warms
+    /// transparently on its next query — from its eviction sidecar when
+    /// persistence is configured, by deterministic engine replay
+    /// otherwise.
+    Evict {
+        /// Canonical fingerprint from `Registered`.
+        key: Option<u64>,
+        /// Alias supplied at registration.
+        name: Option<String>,
+    },
     /// Mark a key stale and schedule refresh runs on the worker pool.
     Refresh {
         /// Canonical fingerprint from `Registered`.
@@ -196,7 +207,7 @@ impl MatrixDto {
 pub struct KeyStatsDto {
     /// Canonical fingerprint.
     pub key: u64,
-    /// Whether the warm latch is open.
+    /// Whether warm data is resident (queries answer without waiting).
     pub warm: bool,
     /// Whether the key is marked stale.
     pub stale: bool,
@@ -208,6 +219,21 @@ pub struct KeyStatsDto {
     pub engine_runs: u64,
     /// Queries served from this key's warm store.
     pub queries: u64,
+    /// The lifecycle state, e.g. `"warm"`, `"stale(drift)"`,
+    /// `"refreshing(coverage)"`, `"evicted"`.
+    pub state: String,
+    /// Approximate resident bytes (Ω matrices + warm-start seeds + ingest
+    /// accumulators) this key holds.
+    pub resident_bytes: u64,
+    /// Estimates that exceeded the drift threshold.
+    pub drift_events: u64,
+    /// Point queries that matched no stored matrix (the query-shape
+    /// staleness signal).
+    pub coverage_misses: u64,
+    /// Times this key's resident state was evicted.
+    pub evictions: u64,
+    /// Times this key was re-warmed after an eviction.
+    pub rewarms: u64,
     /// Lowest privacy currently covered, when any slot is filled.
     pub privacy_lo: Option<f64>,
     /// Highest privacy currently covered, when any slot is filled.
@@ -354,6 +380,17 @@ pub enum Response {
         /// Keys that already existed and absorbed the snapshot's Ω.
         merged: usize,
     },
+    /// An eviction request was handled.
+    Evicted {
+        /// The key that was addressed.
+        key: u64,
+        /// Whether the resident state was actually dropped (`false` when
+        /// the key was cold, warming, already evicted, or had a run in
+        /// flight).
+        evicted: bool,
+        /// Approximate bytes freed (0 when nothing was evicted).
+        bytes_freed: u64,
+    },
     /// Refresh runs were scheduled.
     Scheduled {
         /// The key being refreshed.
@@ -378,6 +415,12 @@ pub enum Response {
         queries: u64,
         /// Queries answered from an already-warm store.
         warm_hits: u64,
+        /// Approximate resident bytes across all keys.
+        resident_bytes: u64,
+        /// The configured memory budget, when one is set.
+        budget_bytes: Option<u64>,
+        /// Evictions performed since start (budget, TTL, and manual).
+        evictions: u64,
     },
     /// The request could not be served.
     Error {
@@ -447,6 +490,10 @@ mod tests {
                 key: Some(7),
                 name: None,
                 runs: Some(2),
+            },
+            Request::Evict {
+                key: None,
+                name: Some("demo".into()),
             },
             Request::Ingest {
                 key: None,
@@ -590,6 +637,11 @@ mod tests {
                 merged: 1,
             },
             Response::Scheduled { key: 9, runs: 2 },
+            Response::Evicted {
+                key: 9,
+                evicted: true,
+                bytes_freed: 123_456,
+            },
             Response::Synced,
             Response::KeyStats {
                 stats: KeyStatsDto {
@@ -600,6 +652,12 @@ mod tests {
                     num_slots: 500,
                     engine_runs: 2,
                     queries: 11,
+                    state: "stale(drift)".into(),
+                    resident_bytes: 40_960,
+                    drift_events: 3,
+                    coverage_misses: 1,
+                    evictions: 2,
+                    rewarms: 2,
                     privacy_lo: Some(0.1),
                     privacy_hi: Some(0.8),
                     fitness_pairs_reused: 120,
@@ -611,6 +669,9 @@ mod tests {
                 engine_runs: 4,
                 queries: 100,
                 warm_hits: 97,
+                resident_bytes: 1_234_567,
+                budget_bytes: Some(8_000_000),
+                evictions: 5,
             },
             Response::Error {
                 reason: "unknown key".into(),
@@ -650,6 +711,7 @@ mod tests {
             r#"{"Front":{"name":"demo"}}"#,
             r#"{"Stats":{"name":"demo"}}"#,
             r#"{"Stats":{}}"#,
+            r#"{"Evict":{"name":"demo"}}"#,
             r#""Sync""#,
             r#""Shutdown""#,
         ];

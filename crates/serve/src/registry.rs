@@ -1,186 +1,22 @@
 //! The warm-Ω registry: one entry per canonical `(prior, δ, num_slots)`
 //! fingerprint.
 //!
-//! Each [`KeyEntry`] owns the sharded warm store for its problem plus the
-//! bookkeeping a serving layer needs: a warm latch (opened after the first
-//! engine run finishes), a staleness flag, run/query counters, the
-//! warm-start seed set carried between refreshes, and the last run's
-//! statistics. The registry itself is a read-mostly map behind an
-//! `RwLock`; queries take the read lock for the time it takes to clone one
-//! `Arc`.
+//! Since the lifecycle refactor the per-key state lives in
+//! [`KeyLifecycle`] (re-exported here as [`KeyEntry`] — the name the rest
+//! of the workspace grew up with): the state machine, the sharded warm
+//! store, the pinned pipeline, the run counter, and the memory-accounting
+//! telemetry all travel together. The registry itself is the
+//! fingerprint-keyed map over those entries: a read-mostly `RwLock` where
+//! queries take the read lock for the time it takes to clone one `Arc`.
 
-use crate::pipeline::KeyPipeline;
-use crate::shard::ShardedOmega;
-use crate::worker::Latch;
-use optrr::{omega_fingerprint, RunStatistics};
-use rr::RrMatrix;
+use crate::lifecycle::KeyLifecycle;
+use optrr::omega_fingerprint;
 use stats::Categorical;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
-/// One registered problem and its warm store.
-#[derive(Debug)]
-pub struct KeyEntry {
-    key: u64,
-    prior: Categorical,
-    delta: f64,
-    num_slots: usize,
-    store: ShardedOmega,
-    warm: Latch,
-    stale: AtomicBool,
-    engine_runs: AtomicU64,
-    queries: AtomicU64,
-    warm_seeds: Mutex<Vec<RrMatrix>>,
-    last_statistics: Mutex<Option<RunStatistics>>,
-    pipeline: Mutex<Option<Arc<KeyPipeline>>>,
-}
-
-impl KeyEntry {
-    fn new(key: u64, prior: Categorical, delta: f64, num_slots: usize, num_shards: usize) -> Self {
-        Self {
-            key,
-            prior,
-            delta,
-            num_slots,
-            store: ShardedOmega::new(num_slots, num_shards),
-            warm: Latch::new(),
-            stale: AtomicBool::new(false),
-            engine_runs: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            warm_seeds: Mutex::new(Vec::new()),
-            last_statistics: Mutex::new(None),
-            pipeline: Mutex::new(None),
-        }
-    }
-
-    /// The canonical fingerprint this entry is registered under.
-    pub fn key(&self) -> u64 {
-        self.key
-    }
-
-    /// The prior distribution the matrices are optimized for.
-    pub fn prior(&self) -> &Categorical {
-        &self.prior
-    }
-
-    /// The privacy bound δ.
-    pub fn delta(&self) -> f64 {
-        self.delta
-    }
-
-    /// The Ω resolution.
-    pub fn num_slots(&self) -> usize {
-        self.num_slots
-    }
-
-    /// The sharded warm store.
-    pub fn store(&self) -> &ShardedOmega {
-        &self.store
-    }
-
-    /// The warm latch: open once the first engine run has landed.
-    pub fn warm_latch(&self) -> &Latch {
-        &self.warm
-    }
-
-    /// Whether the entry has warm data.
-    pub fn is_warm(&self) -> bool {
-        self.warm.is_open()
-    }
-
-    /// Whether the entry has been marked stale (refresh scheduled or due).
-    pub fn is_stale(&self) -> bool {
-        self.stale.load(Ordering::SeqCst)
-    }
-
-    /// Marks the entry stale; the next scheduled refresh clears it.
-    pub fn mark_stale(&self) {
-        self.stale.store(true, Ordering::SeqCst);
-    }
-
-    /// Atomically marks the entry stale, returning `true` only for the
-    /// caller that actually flipped the flag — the claim that lets
-    /// concurrent drift observations schedule exactly one refresh.
-    pub fn try_mark_stale(&self) -> bool {
-        self.stale
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-    }
-
-    /// Clears the staleness flag (a refresh landed).
-    pub fn clear_stale(&self) {
-        self.stale.store(false, Ordering::SeqCst);
-    }
-
-    /// Number of engine runs started for this key. The run index doubles
-    /// as the deterministic seed offset for that run.
-    pub fn engine_runs(&self) -> u64 {
-        self.engine_runs.load(Ordering::SeqCst)
-    }
-
-    /// Claims the next run index (incrementing the run counter).
-    pub fn claim_run_index(&self) -> u64 {
-        self.engine_runs.fetch_add(1, Ordering::SeqCst)
-    }
-
-    /// Restores the run counter from a snapshot, so future refreshes
-    /// continue the deterministic seed sequence instead of replaying run
-    /// 0. Only meaningful on a freshly created entry.
-    pub fn restore_engine_runs(&self, runs: u64) {
-        self.engine_runs.store(runs, Ordering::SeqCst);
-    }
-
-    /// Number of point/front queries served from this entry.
-    pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::SeqCst)
-    }
-
-    /// Counts one served query.
-    pub fn count_query(&self) {
-        self.queries.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// The warm-start seed set: the previous run's archive matrices.
-    pub fn take_warm_seeds(&self) -> Vec<RrMatrix> {
-        self.warm_seeds.lock().expect("seed lock").clone()
-    }
-
-    /// Replaces the warm-start seed set with a finished run's archive.
-    pub fn put_warm_seeds(&self, seeds: Vec<RrMatrix>) {
-        *self.warm_seeds.lock().expect("seed lock") = seeds;
-    }
-
-    /// The statistics of the most recent finished run, when any.
-    pub fn last_statistics(&self) -> Option<RunStatistics> {
-        self.last_statistics.lock().expect("stats lock").clone()
-    }
-
-    /// Records a finished run's statistics.
-    pub fn put_statistics(&self, statistics: RunStatistics) {
-        *self.last_statistics.lock().expect("stats lock") = Some(statistics);
-    }
-
-    /// The streaming pipeline pinned to this key, when any batch has been
-    /// ingested (or a first ingest is in flight).
-    pub fn pipeline(&self) -> Option<Arc<KeyPipeline>> {
-        self.pipeline.lock().expect("pipeline lock").clone()
-    }
-
-    /// Installs a freshly built pipeline unless a concurrent first ingest
-    /// already pinned one; returns whichever pipeline ended up pinned.
-    pub fn install_pipeline(&self, pipeline: KeyPipeline) -> Arc<KeyPipeline> {
-        let mut slot = self.pipeline.lock().expect("pipeline lock");
-        match slot.as_ref() {
-            Some(existing) => Arc::clone(existing),
-            None => {
-                let installed = Arc::new(pipeline);
-                *slot = Some(Arc::clone(&installed));
-                installed
-            }
-        }
-    }
-}
+/// One registered problem and its unified lifecycle state.
+pub type KeyEntry = KeyLifecycle;
 
 /// The fingerprint-keyed registry of warm stores, with optional
 /// human-readable name aliases for scripted sessions.
@@ -293,11 +129,35 @@ impl Registry {
             .map(Arc::clone)
             .collect()
     }
+
+    /// Total approximate resident bytes across every entry with warm
+    /// data — the quantity a memory budget bounds. Cold and evicted keys
+    /// count only their (empty) shard skeletons.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.resident_bytes()).sum()
+    }
+
+    /// The least-recently-touched entry that is currently evictable
+    /// (resident, idle, and not the protected key), when any.
+    pub fn lru_evictable(&self, protect: u64) -> Option<Arc<KeyEntry>> {
+        self.entries()
+            .into_iter()
+            .filter(|e| {
+                e.key() != protect
+                    && e.lifecycle().inflight() == 0
+                    && matches!(
+                        e.state(),
+                        crate::lifecycle::KeyState::Warm | crate::lifecycle::KeyState::Stale(_)
+                    )
+            })
+            .min_by_key(|e| (e.last_touch_ms(), e.key()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::{KeyState, StaleReason};
 
     fn prior() -> Categorical {
         Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap()
@@ -355,21 +215,45 @@ mod tests {
         let (entry, _) = registry.insert_or_get(&prior(), 0.8, 100, 4);
         assert!(!entry.is_warm());
         assert!(!entry.is_stale());
+        assert_eq!(entry.state(), KeyState::Cold);
         assert_eq!(entry.engine_runs(), 0);
         assert_eq!(entry.claim_run_index(), 0);
         assert_eq!(entry.claim_run_index(), 1);
         assert_eq!(entry.engine_runs(), 2);
         entry.count_query();
         assert_eq!(entry.queries(), 1);
-        entry.mark_stale();
-        assert!(entry.is_stale());
-        entry.clear_stale();
-        assert!(!entry.is_stale());
         assert!(entry.take_warm_seeds().is_empty());
         assert!(entry.last_statistics().is_none());
         assert_eq!(entry.delta(), 0.8);
         assert_eq!(entry.num_slots(), 100);
         assert_eq!(entry.prior().num_categories(), 4);
         assert!(entry.store().is_empty());
+    }
+
+    #[test]
+    fn lru_scan_orders_by_touch_and_skips_non_evictable_entries() {
+        let registry = Registry::new();
+        let (a, _) = registry.insert_or_get(&prior(), 0.8, 100, 4);
+        let (b, _) = registry.insert_or_get(&prior(), 0.7, 100, 4);
+        let (c, _) = registry.insert_or_get(&prior(), 0.6, 100, 4);
+        // Nothing resident yet: nothing to evict.
+        assert!(registry.lru_evictable(0).is_none());
+        for entry in [&a, &b, &c] {
+            entry.lifecycle().claim_warmup();
+            entry.lifecycle().begin_run();
+            entry.lifecycle().finish_run(true);
+        }
+        a.touch(30);
+        b.touch(10);
+        c.touch(20);
+        // Least recently touched wins; the protected key is skipped.
+        assert_eq!(registry.lru_evictable(0).unwrap().key(), b.key());
+        assert_eq!(registry.lru_evictable(b.key()).unwrap().key(), c.key());
+        // Stale keys remain evictable; keys with runs in flight are not.
+        b.lifecycle().try_mark_stale(StaleReason::Drift);
+        assert_eq!(registry.lru_evictable(0).unwrap().key(), b.key());
+        b.lifecycle().begin_run();
+        assert_eq!(registry.lru_evictable(0).unwrap().key(), c.key());
+        b.lifecycle().finish_run(true);
     }
 }

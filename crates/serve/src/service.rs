@@ -2,10 +2,33 @@
 //!
 //! A [`Service`] is the long-lived object behind the `serve` binary and the
 //! load-generator bench. It owns the warm-Ω [`Registry`], a [`WorkerPool`]
-//! that executes engine runs for cold or stale keys, and the counters the
-//! protocol's `Stats` request reports. Point queries never run the engine:
-//! they wait for the key's warm latch, then answer from the sharded store
-//! in O(slots) under per-shard locks.
+//! that executes engine runs for cold, stale, or evicted keys, and the
+//! counters the protocol's `Stats` request reports. Point queries never run
+//! the engine synchronously in-protocol: they wait for the key's lifecycle
+//! to report warm data, then answer from the sharded store in O(slots)
+//! under per-shard locks.
+//!
+//! Since the lifecycle refactor, every per-key transition — warm-up claim,
+//! staleness, refresh, eviction, re-warm — goes through the
+//! compare-exchange-guarded state machine in [`crate::lifecycle`], and the
+//! service adds three policies on top:
+//!
+//! * **memory budget**: with [`ServiceConfig::memory_budget_bytes`] set,
+//!   the total resident bytes (Ω matrices + warm-start seeds + ingest
+//!   accumulators) are bounded by evicting least-recently-touched idle
+//!   keys; with [`ServiceConfig::key_ttl`] set, untouched keys expire.
+//!   Evicted keys re-warm transparently on their next query — from the
+//!   per-key eviction sidecar when [`ServiceConfig::snapshot_path`] is
+//!   configured (bitwise-identical), or by deterministically replaying the
+//!   key's engine-run sequence otherwise (bitwise-identical for
+//!   prior-targeted run histories).
+//! * **drift-driven re-optimization**: a key marked stale by estimation
+//!   drift (or by coverage telemetry) refreshes against the *estimated*
+//!   posterior instead of the registered prior, through
+//!   [`Optimizer::optimize_refresh`]'s distribution override.
+//! * **query-shape telemetry**: point queries that find no matrix for
+//!   their privacy floor count as coverage misses; past the configured
+//!   threshold the key goes stale and a refresh is scheduled.
 //!
 //! Determinism contract: the warm-up run of a key uses exactly the
 //! configured base seed, and run `i` of that key uses `seed + i`, so a
@@ -13,6 +36,8 @@
 //! [`Optimizer::optimize_distribution`] call with the same configuration —
 //! the end-to-end tests assert this front-for-front.
 
+use crate::lifecycle::{KeyState, StaleReason};
+use crate::pipeline::PipelineSnapshot;
 use crate::protocol::{EstimateDto, KeyStatsDto, MatrixDto, Request, Response};
 use crate::registry::{KeyEntry, Registry};
 use crate::worker::WorkerPool;
@@ -23,6 +48,7 @@ use stats::Categorical;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Upper bound on refresh runs one `Refresh` request may schedule.
 pub const MAX_REFRESH_RUNS: usize = 16;
@@ -33,6 +59,13 @@ pub const MAX_REFRESH_RUNS: usize = 16;
 /// could request an unbounded allocation and take the whole service down;
 /// 20× the paper's 1000-slot Ω is plenty of resolution.
 pub const MAX_OMEGA_SLOTS: usize = 20_000;
+
+/// Uniform blend applied to an estimated posterior before it becomes a
+/// refresh run's optimization target (see
+/// [`rr::estimate::handoff_posterior`]): a drifted stream concentrated on
+/// few categories yields posterior zeros, and a zero-probability category
+/// would stop weighing that category's reconstruction error.
+pub const REFRESH_TARGET_BLEND: f64 = 1e-3;
 
 /// Error type of the service's library API. Protocol handling maps every
 /// variant to a `Response::Error` line.
@@ -91,6 +124,28 @@ pub struct ServiceConfig {
     /// Whether a drifted estimate also schedules one refresh engine run
     /// (the telemetry-driven refresh trigger), on top of marking stale.
     pub refresh_on_drift: bool,
+    /// Whether a drift- or coverage-stale key's refresh run re-optimizes
+    /// against the estimated posterior (blended per
+    /// [`REFRESH_TARGET_BLEND`]) instead of the registered prior. Manual
+    /// refreshes always target the registered prior.
+    pub reoptimize_on_drift: bool,
+    /// Point queries that matched *no* stored matrix before the key is
+    /// marked coverage-stale and a refresh is scheduled. `0` disables the
+    /// query-shape trigger.
+    pub coverage_miss_threshold: u64,
+    /// Global bound on resident bytes (Ω matrices + warm-start seeds +
+    /// ingest accumulators) across all keys. When exceeded, idle keys are
+    /// evicted in least-recently-touched order. `None` disables eviction.
+    pub memory_budget_bytes: Option<u64>,
+    /// Idle time after which a key's resident state is evicted (checked on
+    /// `Sync` and whenever the budget is enforced). `None` disables TTL.
+    pub key_ttl: Option<Duration>,
+    /// Base path for persistence. When set: `Sync` and `Shutdown` write a
+    /// full [`ServiceSnapshot`] here, and every eviction writes the
+    /// victim's [`KeySnapshot`] to a per-key sidecar
+    /// (`<path>.key-<fingerprint>.json`) from which the next query
+    /// re-warms it bitwise-identically.
+    pub snapshot_path: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +162,11 @@ impl Default for ServiceConfig {
             iterative: IterativeConfig::default(),
             drift_mse_threshold: 1e-3,
             refresh_on_drift: true,
+            reoptimize_on_drift: true,
+            coverage_miss_threshold: 8,
+            memory_budget_bytes: None,
+            key_ttl: None,
+            snapshot_path: None,
         }
     }
 }
@@ -133,10 +193,33 @@ impl ServiceConfig {
             ..Self::default()
         }
     }
+
+    /// An even smaller budget for multi-tenant tests and the `--smoke`
+    /// load generator: dozens of keys warm up in well under a second.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            base: OptrrConfig {
+                engine: emoo::EngineConfig {
+                    population_size: 8,
+                    archive_size: 4,
+                    generations: 8,
+                    mutation_rate: 0.5,
+                    density_k: 1,
+                },
+                omega_slots: 64,
+                ..OptrrConfig::fast(0.75, seed)
+            },
+            default_slots: 64,
+            num_shards: 2,
+            workers: 2,
+            ..Self::default()
+        }
+    }
 }
 
 /// One key's persisted state: enough to re-register it and refill its
-/// warm store without an engine run.
+/// warm store — and resume its in-flight estimation stream — without an
+/// engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KeySnapshot {
     /// The registered prior's probabilities.
@@ -148,10 +231,23 @@ pub struct KeySnapshot {
     /// Engine runs completed before the snapshot (restored so refresh
     /// seeds continue the sequence).
     pub engine_runs: u64,
+    /// Drift events observed before the snapshot (restored so `Stats`
+    /// keeps reporting the stream's history across restarts). Optional so
+    /// older snapshots still decode.
+    pub drift_events: Option<u64>,
     /// Aliases bound to the key, sorted.
     pub names: Vec<String>,
     /// The merged warm Ω.
     pub omega: OmegaSet,
+    /// The warm-start seed set (the last run's archive), so a refresh
+    /// after restore warm-starts exactly like a refresh on the live
+    /// service would have. Optional so snapshots written before this
+    /// field existed still decode.
+    pub warm_seeds: Option<Vec<rr::RrMatrix>>,
+    /// The streaming pipeline (pinned channel, merged accumulators,
+    /// posterior), when one was pinned. Absent in snapshots written
+    /// before pipeline persistence phase 2.
+    pub pipeline: Option<PipelineSnapshot>,
 }
 
 /// A whole-service snapshot: every registered key in ascending key order.
@@ -161,13 +257,17 @@ pub struct ServiceSnapshot {
     pub keys: Vec<KeySnapshot>,
 }
 
-/// Opens a warm latch when dropped, covering both the error-return and
-/// panic exits of a refresh run.
-struct OpenOnDrop<'a>(&'a crate::worker::Latch);
+/// Resolves one run's `finish_run` on every exit path — error return and
+/// panic alike — so a failing engine run can never wedge the state machine
+/// in `Warming`/`Refreshing`.
+struct RunGuard<'a> {
+    cell: &'a crate::lifecycle::StateCell,
+    landed: bool,
+}
 
-impl Drop for OpenOnDrop<'_> {
+impl Drop for RunGuard<'_> {
     fn drop(&mut self) {
-        self.0.open();
+        self.cell.finish_run(self.landed);
     }
 }
 
@@ -177,8 +277,10 @@ pub struct Service {
     config: ServiceConfig,
     registry: Registry,
     pool: WorkerPool,
+    started: Instant,
     queries: AtomicU64,
     warm_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Service {
@@ -189,8 +291,10 @@ impl Service {
             config,
             registry: Registry::new(),
             pool,
+            started: Instant::now(),
             queries: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -202,6 +306,11 @@ impl Service {
     /// Borrow the registry (tests and the bench inspect counters).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Milliseconds since this service started — the LRU/TTL clock.
+    pub fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     /// Validates and normalizes a weight vector into a prior.
@@ -237,41 +346,152 @@ impl Service {
         }
     }
 
+    /// The optimization target of one refresh run. Drift- and
+    /// coverage-stale keys re-optimize against the estimated posterior
+    /// (when one exists and re-optimization is enabled); warm-ups, manual
+    /// refreshes, and re-warms target the registered prior.
+    fn refresh_target(&self, entry: &KeyEntry, from: KeyState) -> Option<Categorical> {
+        if !self.config.reoptimize_on_drift {
+            return None;
+        }
+        match from.stale_reason() {
+            Some(StaleReason::Drift) | Some(StaleReason::Coverage) => entry
+                .pipeline()
+                .and_then(|p| p.posterior())
+                .map(|posterior| rr::estimate::handoff_posterior(&posterior, REFRESH_TARGET_BLEND)),
+            _ => None,
+        }
+    }
+
     /// Executes one engine run for a key and lands the result in its warm
     /// store. Runs on a pool worker (or inline for batch registration).
-    fn run_refresh(&self, entry: &KeyEntry) {
+    fn run_refresh(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
+        let from = entry.lifecycle().begin_run();
+        let mut guard = RunGuard {
+            cell: entry.lifecycle(),
+            landed: false,
+        };
+        if from == KeyState::Evicted {
+            // The key was evicted between this job's scheduling and its
+            // execution (an explicit Refresh after an Evict, or a budget
+            // eviction racing a queued drift refresh). Restore the
+            // resident state first, so this run *improves* on the
+            // pre-eviction Ω and warm-starts from the restored seed chain
+            // instead of cold-running into a wiped store.
+            self.restore_resident(entry);
+            entry.count_rewarm();
+        }
         let run_index = entry.claim_run_index();
-        // The latch must open no matter how the run ends — Err return or
-        // panic alike — or every blocking query on this key would wedge;
-        // the guard opens it on every exit path (opening twice is fine).
-        let _open_guard = OpenOnDrop(entry.warm_latch());
         let config = self.run_config(entry, run_index);
         let warm_seeds = entry.take_warm_seeds();
+        let target = self.refresh_target(entry, from);
         let result = Optimizer::new(config).and_then(|optimizer| {
-            optimizer.optimize_distribution_seeded(entry.prior(), warm_seeds)
+            optimizer.optimize_refresh(entry.prior(), target.as_ref(), warm_seeds)
         });
         match result {
             Ok(outcome) => {
                 entry.store().absorb(&outcome.omega);
                 entry.put_warm_seeds(outcome.warm_seeds());
                 entry.put_statistics(outcome.statistics);
-                entry.clear_stale();
+                guard.landed = true;
             }
             Err(error) => {
                 // Registration validates priors and deltas, so a failure
-                // here is exceptional; the latch still opens (queries see
-                // an empty store and answer NoMatch) instead of wedging.
+                // here is exceptional; the state still resolves (queries
+                // see an empty store and answer NoMatch) instead of
+                // wedging, and a failed refresh keeps its staleness debt.
                 eprintln!(
                     "optrr-serve: refresh of key {:x} failed: {error}",
                     entry.key()
                 );
             }
         }
+        // Enforce the budget before the run resolves, so a waiter woken by
+        // this run never observes the accounting above budget.
+        self.enforce_memory(entry.key());
+        drop(guard);
+    }
+
+    /// Restores an evicted key's resident state (store, seeds, pipeline):
+    /// from its eviction sidecar when persistence is configured
+    /// (bitwise-identical restore), by deterministically replaying its
+    /// engine-run sequence otherwise (bitwise-identical for
+    /// prior-targeted run histories — a replay cannot recover the
+    /// posterior a dropped pipeline once held). Touches only resident
+    /// structures, never the state machine; callers hold a run claim.
+    fn restore_resident(self: &Arc<Self>, entry: &Arc<KeyEntry>) -> bool {
+        if self.restore_from_sidecar(entry) {
+            return true;
+        }
+        let runs = entry.engine_runs().max(1);
+        let mut seeds = Vec::new();
+        let mut replayed = true;
+        for run_index in 0..runs {
+            let config = self.run_config(entry, run_index);
+            match Optimizer::new(config)
+                .and_then(|o| o.optimize_distribution_seeded(entry.prior(), seeds))
+            {
+                Ok(outcome) => {
+                    entry.store().absorb(&outcome.omega);
+                    seeds = outcome.warm_seeds();
+                    entry.put_statistics(outcome.statistics);
+                }
+                Err(error) => {
+                    eprintln!(
+                        "optrr-serve: re-warm of key {:x} failed at run {run_index}: {error}",
+                        entry.key()
+                    );
+                    replayed = false;
+                    seeds = Vec::new();
+                    break;
+                }
+            }
+        }
+        entry.put_warm_seeds(seeds);
+        replayed
+    }
+
+    /// Re-warms an evicted key on a pool worker (the query path's
+    /// transparent restore; see [`Service::restore_resident`]).
+    fn run_rewarm(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
+        entry.lifecycle().begin_run();
+        let mut guard = RunGuard {
+            cell: entry.lifecycle(),
+            landed: false,
+        };
+        guard.landed = self.restore_resident(entry);
+        entry.count_rewarm();
+        entry.touch(self.now_ms());
+        // As in run_refresh: budget holds before any waiter wakes.
+        self.enforce_memory(entry.key());
+        drop(guard);
+    }
+
+    /// Blocks until the entry can answer queries, claiming and scheduling
+    /// a re-warm when it finds the key evicted. The re-warm claim is a
+    /// compare-exchange, so any number of concurrent queries on an evicted
+    /// key schedule exactly one re-warm between them.
+    pub fn ensure_live(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
+        loop {
+            let state = entry.state();
+            if state.has_warm_data() {
+                return;
+            }
+            if state == KeyState::Evicted {
+                if entry.lifecycle().claim_rewarm() {
+                    let service = Arc::clone(self);
+                    let job = Arc::clone(entry);
+                    self.pool.submit(move || service.run_rewarm(&job));
+                }
+                continue;
+            }
+            entry.lifecycle().wait_while_warming();
+        }
     }
 
     /// Registers one prior under a privacy bound, returning its entry.
     /// Newly created keys get a warm-up run scheduled on the worker pool;
-    /// with `block_until_warm` the call waits for the warm latch.
+    /// with `block_until_warm` the call waits for warm data.
     pub fn register(
         self: &Arc<Self>,
         name: Option<&str>,
@@ -285,19 +505,23 @@ impl Service {
         let num_slots = slots
             .unwrap_or(self.config.default_slots)
             .clamp(1, MAX_OMEGA_SLOTS);
-        let (entry, created) =
+        let (entry, _created) =
             self.registry
                 .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
         if let Some(name) = name {
             self.registry.bind_name(name, entry.key());
         }
-        if created {
+        // The warm-up claim is the exactly-once gate: whichever concurrent
+        // registration wins the Cold → Warming compare-exchange schedules
+        // the single warm-up run.
+        if entry.lifecycle().claim_warmup() {
             let service = Arc::clone(self);
             let job_entry = Arc::clone(&entry);
             self.pool.submit(move || service.run_refresh(&job_entry));
         }
+        entry.touch(self.now_ms());
         if block_until_warm {
-            entry.warm_latch().wait();
+            self.ensure_live(&entry);
         }
         Ok(entry)
     }
@@ -321,19 +545,21 @@ impl Service {
         let num_slots = slots
             .unwrap_or(self.config.default_slots)
             .clamp(1, MAX_OMEGA_SLOTS);
+        let now = self.now_ms();
         let mut entries = Vec::with_capacity(priors.len());
         let mut cold: Vec<(usize, Categorical)> = Vec::new();
         for (index, weights) in priors.iter().enumerate() {
             let prior = Self::prior_from_weights(weights)?;
-            let (entry, created) =
+            let (entry, _) =
                 self.registry
                     .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
             if let Some(name) = names.and_then(|n| n.get(index)) {
                 self.registry.bind_name(name, entry.key());
             }
-            if created {
+            if entry.lifecycle().claim_warmup() {
                 cold.push((index, prior));
             }
+            entry.touch(now);
             entries.push(entry);
         }
         if !cold.is_empty() {
@@ -347,26 +573,29 @@ impl Service {
                 Ok(outcomes) => {
                     for ((index, _), outcome) in cold.iter().zip(outcomes) {
                         let entry = &entries[*index];
+                        entry.lifecycle().begin_run();
                         entry.claim_run_index();
                         entry.store().absorb(&outcome.omega);
                         entry.put_warm_seeds(outcome.warm_seeds());
                         entry.put_statistics(outcome.statistics);
-                        entry.warm_latch().open();
+                        entry.lifecycle().finish_run(true);
                     }
                 }
                 Err(error) => {
                     // The cold entries are already in the registry; mirror
-                    // a failed solo warm-up (run counted, latch opened) so
-                    // they answer NoMatch instead of wedging every later
-                    // query and re-registration.
+                    // a failed solo warm-up (run counted, state resolved
+                    // warm-and-empty) so they answer NoMatch instead of
+                    // wedging every later query and re-registration.
                     for (index, _) in &cold {
                         let entry = &entries[*index];
+                        entry.lifecycle().begin_run();
                         entry.claim_run_index();
-                        entry.warm_latch().open();
+                        entry.lifecycle().finish_run(false);
                     }
                     return Err(error.into());
                 }
             }
+            self.enforce_memory(u64::MAX);
         }
         Ok((entries, cold.len()))
     }
@@ -383,35 +612,63 @@ impl Service {
     }
 
     /// Counts one query against an entry, noting whether it was served
-    /// without waiting (warm hit) or had to wait for warm-up.
-    fn count_query(&self, entry: &KeyEntry) {
+    /// without waiting (warm hit) or had to wait for warm-up/re-warm.
+    fn count_query(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
         let was_warm = entry.is_warm();
-        entry.warm_latch().wait();
+        self.ensure_live(entry);
         entry.count_query();
+        entry.touch(self.now_ms());
         self.queries.fetch_add(1, Ordering::SeqCst);
         if was_warm {
             self.warm_hits.fetch_add(1, Ordering::SeqCst);
         }
     }
 
+    /// Counts a coverage miss — a point query no stored matrix satisfied —
+    /// and past the configured threshold marks the key coverage-stale and
+    /// schedules one refresh (the query-shape staleness trigger).
+    fn note_coverage_miss(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
+        let misses = entry.count_coverage_miss();
+        let threshold = self.config.coverage_miss_threshold;
+        if threshold > 0
+            && misses >= threshold
+            && entry.lifecycle().try_mark_stale(StaleReason::Coverage)
+        {
+            // A won claim starts a new episode: the count begins again,
+            // so a floor the refresh still cannot cover costs one engine
+            // run per `threshold` misses, not one per miss.
+            entry.reset_coverage_misses();
+            self.schedule_runs(entry, 1);
+        }
+    }
+
     /// Point query: best stored matrix with privacy ≥ `min_privacy`.
+    /// Misses feed the coverage-staleness telemetry.
     pub fn best_for_privacy(
-        &self,
-        entry: &KeyEntry,
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
         min_privacy: f64,
     ) -> Option<optrr::OmegaEntry> {
         self.count_query(entry);
-        entry.store().best_for_privacy_at_least(min_privacy)
+        let found = entry.store().best_for_privacy_at_least(min_privacy);
+        if found.is_none() {
+            self.note_coverage_miss(entry);
+        }
+        found
     }
 
     /// Point query: best stored matrix with MSE ≤ `max_mse`.
-    pub fn best_for_mse(&self, entry: &KeyEntry, max_mse: f64) -> Option<optrr::OmegaEntry> {
+    pub fn best_for_mse(
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
+        max_mse: f64,
+    ) -> Option<optrr::OmegaEntry> {
         self.count_query(entry);
         entry.store().best_for_mse_at_most(max_mse)
     }
 
     /// Front query: the warm store's non-dominated (privacy, MSE) points.
-    pub fn front(&self, entry: &KeyEntry) -> Vec<optrr::FrontPoint> {
+    pub fn front(self: &Arc<Self>, entry: &Arc<KeyEntry>) -> Vec<optrr::FrontPoint> {
         self.count_query(entry);
         let merged = entry.store().merge();
         merged
@@ -421,17 +678,136 @@ impl Service {
             .collect()
     }
 
-    /// Marks a key stale and schedules `runs` refresh engine runs on the
-    /// worker pool. Returns the number scheduled.
-    pub fn refresh(self: &Arc<Self>, entry: &Arc<KeyEntry>, runs: usize) -> usize {
-        let runs = runs.clamp(1, MAX_REFRESH_RUNS);
-        entry.mark_stale();
+    /// Submits `runs` refresh jobs for an entry.
+    pub(crate) fn schedule_runs(self: &Arc<Self>, entry: &Arc<KeyEntry>, runs: usize) {
         for _ in 0..runs {
             let service = Arc::clone(self);
             let job_entry = Arc::clone(entry);
             self.pool.submit(move || service.run_refresh(&job_entry));
         }
+    }
+
+    /// Marks a key manually stale and schedules `runs` refresh engine runs
+    /// on the worker pool. Returns the number scheduled.
+    pub fn refresh(self: &Arc<Self>, entry: &Arc<KeyEntry>, runs: usize) -> usize {
+        let runs = runs.clamp(1, MAX_REFRESH_RUNS);
+        // A drift- or coverage-stale key keeps its recorded reason (the
+        // compare-exchange fails); the scheduled runs execute either way.
+        entry.lifecycle().try_mark_stale(StaleReason::Manual);
+        self.schedule_runs(entry, runs);
         runs
+    }
+
+    /// Evicts a key's resident state (Ω matrices, warm-start seeds, pinned
+    /// pipeline) if it is idle, writing its eviction sidecar first when
+    /// persistence is configured. Returns the bytes freed, or `None` when
+    /// the key was not evictable (cold, warming, already evicted, or a run
+    /// in flight).
+    pub fn evict_key(&self, entry: &Arc<KeyEntry>) -> Option<u64> {
+        // The claim parks the key in `Evicting`: queries, re-warm claims,
+        // and queued runs wait until `finish_evict`, so the sidecar write
+        // and the drop below are atomic to every observer — a concurrent
+        // re-warm can neither read a half-dropped store nor land a fresh
+        // one for this eviction to wipe.
+        if !entry.lifecycle().try_evict() {
+            return None;
+        }
+        if let Some(base) = &self.config.snapshot_path {
+            let snapshot = self.key_snapshot(entry);
+            let path = Self::sidecar_path(base, entry.key());
+            let encoded = serde_json::to_string(&snapshot).expect("snapshots serialize");
+            if let Err(error) = std::fs::write(&path, encoded + "\n") {
+                eprintln!("optrr-serve: eviction sidecar {path:?} failed: {error}");
+            }
+        }
+        let freed = entry.drop_resident_state();
+        self.evictions.fetch_add(1, Ordering::SeqCst);
+        entry.lifecycle().finish_evict();
+        Some(freed)
+    }
+
+    /// The per-key eviction sidecar next to the configured snapshot path.
+    fn sidecar_path(base: &str, key: u64) -> String {
+        format!("{base}.key-{key:016x}.json")
+    }
+
+    /// Restores an evicted key from its eviction sidecar, when persistence
+    /// is configured and the sidecar decodes. Returns whether it did.
+    fn restore_from_sidecar(self: &Arc<Self>, entry: &Arc<KeyEntry>) -> bool {
+        let Some(base) = &self.config.snapshot_path else {
+            return false;
+        };
+        let path = Self::sidecar_path(base, entry.key());
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return false;
+        };
+        let Ok(snapshot) = serde_json::from_str::<KeySnapshot>(text.trim()) else {
+            eprintln!("optrr-serve: eviction sidecar {path:?} did not decode; replaying runs");
+            return false;
+        };
+        if snapshot.omega.num_slots() != entry.num_slots() {
+            return false;
+        }
+        entry.store().absorb(&snapshot.omega);
+        if let Some(seeds) = &snapshot.warm_seeds {
+            if !seeds.is_empty() {
+                entry.put_warm_seeds(seeds.clone());
+            }
+        }
+        if let Some(pipeline) = &snapshot.pipeline {
+            match crate::pipeline::KeyPipeline::restore(pipeline, self.config.num_shards) {
+                Ok(restored) => {
+                    entry.install_pipeline(restored);
+                }
+                Err(reason) => {
+                    eprintln!(
+                        "optrr-serve: sidecar pipeline of key {:x} skipped: {reason}",
+                        entry.key()
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Evicts expired keys (TTL) and then least-recently-touched keys
+    /// until resident bytes fit the budget. `protect` is never evicted
+    /// (the key that just grew — evicting it immediately would thrash).
+    fn enforce_memory(&self, protect: u64) {
+        self.sweep_ttl();
+        let Some(budget) = self.config.memory_budget_bytes else {
+            return;
+        };
+        // One registry-wide byte sum, then subtract what each eviction
+        // frees — not a recount per victim, which would make a budget
+        // squeeze quadratic in the key count.
+        let mut resident = self.registry.resident_bytes();
+        while resident > budget {
+            let Some(victim) = self.registry.lru_evictable(protect) else {
+                break;
+            };
+            match self.evict_key(&victim) {
+                Some(freed) => resident = resident.saturating_sub(freed),
+                None => break,
+            }
+        }
+    }
+
+    /// Evicts every idle key untouched for longer than the configured TTL.
+    fn sweep_ttl(&self) {
+        let Some(ttl) = self.config.key_ttl else {
+            return;
+        };
+        let ttl_ms = ttl.as_millis() as u64;
+        let now = self.now_ms();
+        for entry in self.registry.entries() {
+            if entry.state().has_warm_data()
+                && entry.lifecycle().inflight() == 0
+                && now.saturating_sub(entry.last_touch_ms()) > ttl_ms
+            {
+                self.evict_key(&entry);
+            }
+        }
     }
 
     /// Blocks until all scheduled engine runs have finished.
@@ -456,6 +832,12 @@ impl Service {
             num_slots: entry.num_slots(),
             engine_runs: entry.engine_runs(),
             queries: entry.queries(),
+            state: entry.state().to_string(),
+            resident_bytes: entry.resident_bytes(),
+            drift_events: entry.drift_events(),
+            coverage_misses: entry.coverage_misses(),
+            evictions: entry.evictions(),
+            rewarms: entry.rewarms(),
             privacy_lo: range.map(|(lo, _)| lo),
             privacy_hi: range.map(|(_, hi)| hi),
             fitness_pairs_reused,
@@ -479,10 +861,35 @@ impl Service {
         )
     }
 
+    /// Memory-policy counters:
+    /// `(resident_bytes, budget_bytes, evictions)`.
+    pub fn memory_stats(&self) -> (u64, Option<u64>, u64) {
+        (
+            self.registry.resident_bytes(),
+            self.config.memory_budget_bytes,
+            self.evictions.load(Ordering::SeqCst),
+        )
+    }
+
+    /// One key's snapshot, including its pinned pipeline when any.
+    fn key_snapshot(&self, entry: &KeyEntry) -> KeySnapshot {
+        KeySnapshot {
+            prior: entry.prior().probs().to_vec(),
+            delta: entry.delta(),
+            slots: entry.num_slots(),
+            engine_runs: entry.engine_runs(),
+            drift_events: Some(entry.drift_events()),
+            names: self.registry.names_of(entry.key()),
+            omega: entry.store().merge(),
+            warm_seeds: Some(entry.take_warm_seeds()),
+            pipeline: entry.pipeline().map(|p| p.snapshot()),
+        }
+    }
+
     /// Serializable snapshot of the whole registry: every key's
-    /// registration metadata, run counter, aliases, and merged warm Ω, in
-    /// ascending key order. Scheduled engine runs are drained first so the
-    /// snapshot is consistent.
+    /// registration metadata, run counter, aliases, merged warm Ω, and
+    /// pinned pipeline, in ascending key order. Scheduled engine runs are
+    /// drained first so the snapshot is consistent.
     pub fn snapshot(&self) -> ServiceSnapshot {
         self.wait_idle();
         let mut entries = self.registry.entries();
@@ -496,8 +903,11 @@ impl Service {
                     delta: entry.delta(),
                     slots: entry.num_slots(),
                     engine_runs: entry.engine_runs(),
+                    drift_events: Some(entry.drift_events()),
                     names: names.remove(&entry.key()).unwrap_or_default(),
                     omega: entry.store().merge(),
+                    warm_seeds: Some(entry.take_warm_seeds()),
+                    pipeline: entry.pipeline().map(|p| p.snapshot()),
                 })
                 .collect(),
         }
@@ -514,10 +924,24 @@ impl Service {
         Ok(snapshot.keys.len())
     }
 
+    /// Writes the configured snapshot automatically (on `Sync`, shutdown,
+    /// and library callers that want the same behavior). A failure is
+    /// reported on stderr, never escalated — an autosave must not take the
+    /// serving loop down.
+    pub fn autosave(&self) {
+        let Some(path) = self.config.snapshot_path.clone() else {
+            return;
+        };
+        if let Err(error) = self.save_snapshot(&path) {
+            eprintln!("optrr-serve: autosave to {path:?} failed: {error}");
+        }
+    }
+
     /// Loads a snapshot file into the registry: missing keys are created
     /// *warm* (no engine run — the whole point of persistence), existing
     /// keys absorb the snapshot's Ω, which only ever improves them.
-    /// Returns `(created, merged)`.
+    /// Pipeline snapshots resume in-flight estimation streams on keys that
+    /// have none pinned yet. Returns `(created, merged)`.
     pub fn load_snapshot(self: &Arc<Self>, path: &str) -> Result<(usize, usize)> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::Snapshot(format!("read {path:?} failed: {e}")))?;
@@ -525,6 +949,7 @@ impl Service {
             .map_err(|e| ServeError::Snapshot(format!("decode {path:?} failed: {e}")))?;
         let mut created_count = 0usize;
         let mut merged_count = 0usize;
+        let now = self.now_ms();
         for key in &snapshot.keys {
             Self::validate_delta(key.delta)?;
             let prior = Self::prior_from_weights(&key.prior)?;
@@ -549,23 +974,85 @@ impl Service {
                     prior.num_categories()
                 )));
             }
+            if let Some(pipeline) = &key.pipeline {
+                if pipeline.matrix.num_categories() != prior.num_categories() {
+                    return Err(ServeError::Snapshot(format!(
+                        "key pipeline pins a {}-category matrix for a {}-category prior",
+                        pipeline.matrix.num_categories(),
+                        prior.num_categories()
+                    )));
+                }
+            }
             let (entry, created) =
                 self.registry
                     .insert_or_get(&prior, key.delta, slots, self.config.num_shards);
-            entry.store().absorb(&key.omega);
             for name in &key.names {
                 self.registry.bind_name(name, entry.key());
             }
+            // A key persisted with engine runs behind it but an *empty* Ω
+            // was evicted before the snapshot was written; restoring it
+            // "warm" would pin it empty forever (warm keys never re-warm).
+            // Restore it evicted instead: the next query re-warms it from
+            // its eviction sidecar or by engine replay.
+            let persisted_evicted = key.omega.is_empty() && key.engine_runs > 0;
+            if persisted_evicted {
+                if created {
+                    entry.restore_engine_runs(key.engine_runs);
+                    entry.restore_drift_events(key.drift_events.unwrap_or(0));
+                    entry.lifecycle().restore_evicted();
+                }
+                entry.touch(now);
+            } else {
+                // Hold a run claim while the snapshot lands: a concurrent
+                // budget/TTL eviction cannot interleave with the absorb
+                // (try_evict refuses keys with runs in flight), and the
+                // claim itself waits out any eviction already mid-drop —
+                // then resolves the key Warm with the loaded data.
+                entry.lifecycle().begin_run();
+                entry.store().absorb(&key.omega);
+                // Seeds restore only where none are held: a live
+                // service's own (newer) archive wins over the snapshot's.
+                if let Some(seeds) = &key.warm_seeds {
+                    if !seeds.is_empty() && entry.take_warm_seeds().is_empty() {
+                        entry.put_warm_seeds(seeds.clone());
+                    }
+                }
+                let pipeline_restore = match &key.pipeline {
+                    Some(pipeline) if entry.pipeline().is_none() => {
+                        crate::pipeline::KeyPipeline::restore(pipeline, self.config.num_shards)
+                            .map(Some)
+                    }
+                    _ => Ok(None),
+                };
+                match &pipeline_restore {
+                    Ok(Some(_)) | Ok(None) => {}
+                    Err(_) => {
+                        // Release the claim before surfacing the error,
+                        // or the key would hang in Warming forever.
+                        entry.lifecycle().finish_run(false);
+                    }
+                }
+                if let Some(restored) = pipeline_restore.map_err(ServeError::Snapshot)? {
+                    entry.install_pipeline(restored);
+                }
+                if created {
+                    entry.restore_engine_runs(key.engine_runs);
+                }
+                if let Some(drift_events) = key.drift_events {
+                    if drift_events > entry.drift_events() {
+                        entry.restore_drift_events(drift_events);
+                    }
+                }
+                entry.touch(now);
+                entry.lifecycle().finish_run(true);
+            }
             if created {
-                // Restore the run counter, then open the latch: the loaded
-                // store answers queries with zero warm-up runs.
-                entry.restore_engine_runs(key.engine_runs);
-                entry.warm_latch().open();
                 created_count += 1;
             } else {
                 merged_count += 1;
             }
         }
+        self.enforce_memory(u64::MAX);
         Ok((created_count, merged_count))
     }
 
@@ -748,18 +1235,42 @@ impl Service {
                     runs: scheduled,
                 }
             }
+            Request::Evict { key, name } => {
+                let entry = self.resolve(key, name.as_deref())?;
+                match self.evict_key(&entry) {
+                    Some(bytes_freed) => Response::Evicted {
+                        key: entry.key(),
+                        evicted: true,
+                        bytes_freed,
+                    },
+                    None => Response::Evicted {
+                        key: entry.key(),
+                        evicted: false,
+                        bytes_freed: 0,
+                    },
+                }
+            }
             Request::Sync => {
                 self.wait_idle();
+                // Autosave before the TTL sweep: the full snapshot then
+                // carries the expiring keys' complete state (a sweep-first
+                // order would persist them as already-empty).
+                self.autosave();
+                self.sweep_ttl();
                 Response::Synced
             }
             Request::Stats { key, name } => {
                 if key.is_none() && name.is_none() {
                     let (keys, engine_runs, queries, warm_hits) = self.service_stats();
+                    let (resident_bytes, budget_bytes, evictions) = self.memory_stats();
                     Response::ServiceStats {
                         keys,
                         engine_runs,
                         queries,
                         warm_hits,
+                        resident_bytes,
+                        budget_bytes,
+                        evictions,
                     }
                 } else {
                     let entry = self.resolve(key, name.as_deref())?;
@@ -768,7 +1279,11 @@ impl Service {
                     }
                 }
             }
-            Request::Shutdown => Response::Bye,
+            Request::Shutdown => {
+                self.wait_idle();
+                self.autosave();
+                Response::Bye
+            }
         })
     }
 
@@ -819,6 +1334,7 @@ mod tests {
             .register(Some("demo"), &PRIOR, 0.8, None, true)
             .unwrap();
         assert!(entry.is_warm());
+        assert_eq!(entry.state(), KeyState::Warm);
         assert_eq!(entry.engine_runs(), 1);
         assert!(!entry.store().is_empty());
 
@@ -836,6 +1352,7 @@ mod tests {
         }
         assert_eq!(entry.engine_runs(), 1);
         assert_eq!(entry.queries(), 10);
+        assert_eq!(entry.coverage_misses(), 0);
         let (_, runs, queries, warm_hits) = service.service_stats();
         assert_eq!(runs, 1);
         assert_eq!(queries, 10);
@@ -907,6 +1424,7 @@ mod tests {
         service.wait_idle();
         assert_eq!(entry.engine_runs(), 3);
         assert!(!entry.is_stale());
+        assert_eq!(entry.state(), KeyState::Warm);
         // Ω only ever improves: no filled slot is lost, improvements grow.
         assert!(entry.store().len() >= filled_before);
         assert!(entry.store().improvements() >= improvements_before);
@@ -1029,5 +1547,214 @@ mod tests {
         for line in lines {
             assert!(crate::protocol::decode_response(line).is_ok());
         }
+    }
+
+    #[test]
+    fn manual_eviction_drops_resident_state_and_queries_rewarm_bitwise() {
+        let service = smoke_service();
+        let entry = service
+            .register(Some("evictee"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        let warm_merge = entry.store().merge();
+        let resident_before = entry.resident_bytes();
+
+        let freed = service.evict_key(&entry).expect("idle key evicts");
+        assert_eq!(freed, resident_before);
+        assert_eq!(entry.state(), KeyState::Evicted);
+        assert!(!entry.is_warm());
+        assert!(entry.store().is_empty());
+        assert_eq!(entry.evictions(), 1);
+        // Double eviction is refused by the state machine.
+        assert!(service.evict_key(&entry).is_none());
+
+        // The next query transparently re-warms: without persistence the
+        // engine-run sequence is replayed deterministically, so the store
+        // comes back bitwise-identical and the run counter stays put.
+        let found = service.best_for_privacy(&entry, 0.0);
+        assert!(found.is_some());
+        assert_eq!(entry.state(), KeyState::Warm);
+        assert_eq!(entry.store().merge(), warm_merge);
+        assert_eq!(entry.engine_runs(), 1);
+        assert_eq!(entry.rewarms(), 1);
+        let (_, _, evictions) = service.memory_stats();
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn refresh_on_an_evicted_key_restores_the_store_before_refreshing() {
+        let service = smoke_service();
+        let entry = service
+            .register(Some("er"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        service.evict_key(&entry).expect("idle key evicts");
+        // A refresh scheduled against the evicted key must not cold-run
+        // into the wiped store: the job restores the resident state first
+        // and then refreshes on top of it.
+        service.refresh(&entry, 1);
+        service.wait_idle();
+        assert_eq!(entry.state(), KeyState::Warm);
+        assert_eq!(entry.engine_runs(), 2, "restore replays, refresh claims");
+        assert_eq!(entry.rewarms(), 1);
+
+        // Bitwise-identical (slot for slot) to a never-evicted service
+        // doing the same register + refresh.
+        let control = smoke_service();
+        let control_entry = control.register(None, &PRIOR, 0.8, None, true).unwrap();
+        control.refresh(&control_entry, 1);
+        control.wait_idle();
+        let evicted_path = entry.store().merge();
+        let control_path = control_entry.store().merge();
+        for slot in 0..evicted_path.num_slots() {
+            assert_eq!(
+                evicted_path.entry(slot).map(|e| e.evaluation.mse.to_bits()),
+                control_path.entry(slot).map(|e| e.evaluation.mse.to_bits()),
+                "slot {slot} differs from the never-evicted run"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_keys_and_stays_under_budget() {
+        let priors = [
+            vec![0.4, 0.3, 0.2, 0.1],
+            vec![0.5, 0.25, 0.15, 0.1],
+            vec![0.6, 0.2, 0.12, 0.08],
+            vec![0.7, 0.15, 0.1, 0.05],
+        ];
+        // Probe the exact 4-key load on an unbudgeted twin, then allow
+        // only ~60% of it — so the budgeted service must evict, while any
+        // single key comfortably fits.
+        let probe = Arc::new(Service::new(ServiceConfig::tiny(9)));
+        for prior in &priors {
+            probe.register(None, prior, 0.8, None, true).unwrap();
+        }
+        let (full_load, _, _) = probe.memory_stats();
+        assert!(full_load > 0);
+        let budget = full_load * 3 / 5;
+
+        let mut config = ServiceConfig::tiny(9);
+        config.memory_budget_bytes = Some(budget);
+        let service = Arc::new(Service::new(config));
+        let mut entries = Vec::new();
+        for prior in &priors {
+            entries.push(service.register(None, prior, 0.8, None, true).unwrap());
+        }
+        service.wait_idle();
+        let (resident, reported_budget, evictions) = service.memory_stats();
+        assert_eq!(reported_budget, Some(budget));
+        assert!(resident <= budget, "{resident} > {budget}");
+        assert!(evictions > 0, "a 4-key load must evict under this budget");
+        assert!(entries.iter().any(|e| e.state() == KeyState::Evicted));
+        // Evicted keys still answer (re-warm on demand), and the budget
+        // holds afterwards too.
+        for entry in &entries {
+            assert!(service.best_for_privacy(entry, 0.0).is_some());
+        }
+        service.wait_idle();
+        let (resident, _, _) = service.memory_stats();
+        assert!(resident <= budget, "{resident} > {budget}");
+    }
+
+    #[test]
+    fn ttl_expires_idle_keys_on_sync() {
+        let mut config = ServiceConfig::tiny(11);
+        config.key_ttl = Some(Duration::from_millis(0));
+        let service = Arc::new(Service::new(config));
+        let entry = service
+            .register(Some("idle"), &[0.5, 0.3, 0.2], 0.8, None, true)
+            .unwrap();
+        assert!(entry.is_warm());
+        // Everything idle for longer than the zero TTL is swept on Sync.
+        std::thread::sleep(Duration::from_millis(5));
+        let mut output = Vec::new();
+        service
+            .run_loop(&b"\"Sync\"\n\"Shutdown\"\n"[..], &mut output)
+            .unwrap();
+        assert_eq!(entry.state(), KeyState::Evicted);
+        assert_eq!(entry.evictions(), 1);
+    }
+
+    #[test]
+    fn coverage_misses_mark_the_key_stale_and_schedule_one_refresh() {
+        let mut config = ServiceConfig::smoke(13);
+        config.coverage_miss_threshold = 3;
+        // Keep the scheduled refresh visible: do not let it land yet.
+        let service = Arc::new(Service::new(config));
+        let entry = service
+            .register(Some("uncovered"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        assert_eq!(entry.engine_runs(), 1);
+        // Two misses: under threshold, nothing scheduled.
+        for _ in 0..2 {
+            assert!(service.best_for_privacy(&entry, 0.9999).is_none());
+        }
+        assert_eq!(entry.coverage_misses(), 2);
+        assert!(!entry.is_stale());
+        // Third miss trips the threshold: coverage-stale, one refresh.
+        assert!(service.best_for_privacy(&entry, 0.9999).is_none());
+        assert!(entry.is_stale() || entry.engine_runs() > 1);
+        service.wait_idle();
+        assert_eq!(entry.engine_runs(), 2);
+        assert!(!entry.is_stale());
+        // A disabled threshold never trips.
+        let mut off = ServiceConfig::smoke(13);
+        off.coverage_miss_threshold = 0;
+        let quiet = Arc::new(Service::new(off));
+        let q = quiet.register(None, &PRIOR, 0.8, None, true).unwrap();
+        for _ in 0..5 {
+            assert!(quiet.best_for_privacy(&q, 0.9999).is_none());
+        }
+        quiet.wait_idle();
+        assert_eq!(q.engine_runs(), 1);
+    }
+
+    #[test]
+    fn evict_verb_and_stats_fields_round_trip_through_the_protocol() {
+        let dir = std::env::temp_dir().join("optrr_serve_autosave_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("autosave.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+
+        let mut config = ServiceConfig::smoke(21);
+        config.snapshot_path = Some(path_str.clone());
+        let service = Arc::new(Service::new(config));
+        let session = [
+            r#"{"Register":{"name":"demo","prior":[0.35,0.25,0.2,0.12,0.08],"delta":0.8}}"#
+                .to_string(),
+            r#"{"Evict":{"name":"demo"}}"#.to_string(),
+            r#"{"Evict":{"name":"demo"}}"#.to_string(),
+            r#"{"Stats":{"name":"demo"}}"#.to_string(),
+            r#"{"Stats":{}}"#.to_string(),
+            r#""Sync""#.to_string(),
+            r#""Shutdown""#.to_string(),
+        ]
+        .join("\n");
+        let mut output = Vec::new();
+        service.run_loop(session.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[1].contains(r#""evicted":true"#), "got {}", lines[1]);
+        assert!(lines[2].contains(r#""evicted":false"#), "got {}", lines[2]);
+        assert!(
+            lines[3].contains(r#""state":"evicted""#),
+            "got {}",
+            lines[3]
+        );
+        assert!(lines[4].contains(r#""evictions":1"#), "got {}", lines[4]);
+        // Sync auto-saved the configured snapshot; the eviction wrote a
+        // per-key sidecar next to it.
+        assert!(path.exists(), "autosave file missing");
+        let entry = service.resolve(None, Some("demo")).unwrap();
+        let sidecar = Service::sidecar_path(&path_str, entry.key());
+        assert!(std::path::Path::new(&sidecar).exists(), "sidecar missing");
+        // The sidecar re-warms the evicted key bitwise (no engine run).
+        let before_runs = entry.engine_runs();
+        assert!(service.best_for_privacy(&entry, 0.0).is_some());
+        assert_eq!(entry.engine_runs(), before_runs);
+        assert_eq!(entry.rewarms(), 1);
+        let _ = std::fs::remove_file(&sidecar);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -117,6 +117,23 @@ impl ShardedOmega {
         merged
     }
 
+    /// Empties every shard (keeping resolution and shard count) — the
+    /// eviction primitive mirroring [`OmegaSet::clear`].
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").clear();
+        }
+    }
+
+    /// Approximate resident heap bytes across all shards (each shard holds
+    /// a full-width slot vector of which only its own range fills).
+    pub fn approx_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").approx_bytes())
+            .sum()
+    }
+
     /// Total improvements across all shards.
     pub fn improvements(&self) -> u64 {
         self.shards
@@ -279,6 +296,22 @@ mod tests {
             }
         ));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_every_shard_and_bytes_track_it() {
+        let store = ShardedOmega::new(100, 4);
+        let empty_bytes = store.approx_bytes();
+        let m = matrix();
+        store.offer(&m, &eval(0.2, 1e-4));
+        store.offer(&m, &eval(0.8, 2e-4));
+        assert!(store.approx_bytes() > empty_bytes);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.improvements(), 0);
+        assert_eq!(store.approx_bytes(), empty_bytes);
+        // A cleared store accepts offers again.
+        assert!(store.offer(&m, &eval(0.5, 1e-4)));
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! A small fixed-size worker pool for refresh jobs.
 //!
 //! The service schedules engine runs (cold-key warm-ups, stale-key
-//! refreshes) as jobs on this pool so the front door stays responsive
-//! while optimizations execute in the background. The pool is a classic
-//! shared-queue design: `workers` OS threads pop boxed closures from one
-//! queue; `wait_idle` blocks until every submitted job has finished, which
-//! is what the protocol's `Sync` request and the deterministic tests use
-//! as a barrier.
+//! refreshes, post-eviction re-warms) as jobs on this pool so the front
+//! door stays responsive while optimizations execute in the background.
+//! The pool is a classic shared-queue design: `workers` OS threads pop
+//! boxed closures from one queue; `wait_idle` blocks until every submitted
+//! job has finished, which is what the protocol's `Sync` request and the
+//! deterministic tests use as a barrier. Which run a job performs — and
+//! whether exactly one was scheduled — is decided by the per-key state
+//! machine in [`crate::lifecycle`]; the pool itself is oblivious.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -141,42 +143,6 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
-/// A one-way boolean latch: starts closed, opens once, and every waiter is
-/// released. Used to signal "this key's Ω is warm".
-#[derive(Debug, Default)]
-pub struct Latch {
-    state: Mutex<bool>,
-    opened: Condvar,
-}
-
-impl Latch {
-    /// Creates a closed latch.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Whether the latch has been opened.
-    pub fn is_open(&self) -> bool {
-        *self.state.lock().expect("latch lock")
-    }
-
-    /// Opens the latch, releasing all current and future waiters.
-    pub fn open(&self) {
-        let mut open = self.state.lock().expect("latch lock");
-        *open = true;
-        drop(open);
-        self.opened.notify_all();
-    }
-
-    /// Blocks until the latch is open.
-    pub fn wait(&self) {
-        let mut open = self.state.lock().expect("latch lock");
-        while !*open {
-            open = self.opened.wait(open).expect("latch lock");
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,27 +205,5 @@ mod tests {
             pool.wait_idle();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 16);
-    }
-
-    #[test]
-    fn latch_opens_once_for_all_waiters() {
-        let latch = Arc::new(Latch::new());
-        assert!(!latch.is_open());
-        let waiters: Vec<_> = (0..4)
-            .map(|_| {
-                let latch = Arc::clone(&latch);
-                std::thread::spawn(move || {
-                    latch.wait();
-                    true
-                })
-            })
-            .collect();
-        latch.open();
-        for w in waiters {
-            assert!(w.join().unwrap());
-        }
-        assert!(latch.is_open());
-        // Waiting on an open latch returns immediately.
-        latch.wait();
     }
 }
