@@ -4,16 +4,27 @@
 //! Simulates the engine's steady state: a combined population of `n`
 //! individuals where a `survival` fraction (the archive, ≥ 50% here)
 //! carries over between generations and the rest are fresh offspring. Each
-//! generation is fitness-assigned twice — once from scratch
-//! ([`emoo::assign_fitness`]) and once through a persistent
-//! [`emoo::FitnessKernel`] (serial and forced-parallel fill) — with the
-//! results asserted bitwise equal before the timings are trusted. Results
-//! land in `BENCH_fitness.json` at the workspace root.
+//! generation is fitness-assigned four ways — from scratch
+//! ([`emoo::assign_fitness`]), and through a persistent
+//! [`emoo::FitnessKernel`] in serial, forced-parallel, and calibrated
+//! (production-default) configurations — with the results asserted bitwise
+//! equal before the timings are trusted. The first generations of every
+//! series are untimed warm-up, and speedups compare medians, not means.
+//!
+//! The calibrated series is the one the engines actually run:
+//! [`FitnessKernel::new`] reads the threshold installed by
+//! [`optrr::tuning`] (startup probe, or the `OPTRR_TUNE` override) and
+//! switches between the serial and parallel fill per generation. The run
+//! asserts that this chosen path is never more than 10% slower (p50) than
+//! the better of the two fixed paths at any benched `n` — the guard
+//! against the old regression where the reported "parallel" series forced
+//! the fan-out at sizes it could not pay for. Results land in
+//! `BENCH_fitness.json` at the workspace root.
 //!
 //! Usage: `cargo run -p optrr-bench --release --bin bench_fitness
 //!  [-- --generations G --survival-percent P | --smoke]`
 
-use bench_support::arg_value;
+use bench_support::{arg_value, summarize_ns, TimingSummary, DEFAULT_WARMUP_ITERS};
 use emoo::kernel::FitnessKernel;
 use emoo::{assign_fitness, Individual, Objectives};
 use rand::rngs::StdRng;
@@ -26,27 +37,49 @@ use std::time::Instant;
 struct Entry {
     name: String,
     mean_ns: u64,
+    p50_ns: u64,
     min_ns: u64,
     max_ns: u64,
     iterations: u64,
 }
 
+impl Entry {
+    fn new(name: String, timing: TimingSummary) -> Self {
+        Self {
+            name,
+            mean_ns: timing.mean_ns,
+            p50_ns: timing.p50_ns,
+            min_ns: timing.min_ns,
+            max_ns: timing.max_ns,
+            iterations: timing.iterations,
+        }
+    }
+}
+
 /// The emitted baseline: per-series rows plus the headline speedups the
-/// acceptance criteria read.
+/// acceptance criteria read. All speedups are p50-over-p50.
 #[derive(Serialize)]
 struct FitnessBaseline {
     generations: usize,
+    warmup_generations: usize,
     survival: f64,
+    /// The kernel threshold the calibrated series ran with.
+    calibrated_min_pairs: usize,
     entries: Vec<Entry>,
-    /// Mean from-scratch time over mean incremental (serial) time, per n.
     speedup_incremental: Vec<SpeedupEntry>,
 }
 
 #[derive(Serialize)]
 struct SpeedupEntry {
     n: usize,
+    /// Scratch p50 over serial-kernel p50.
     scratch_over_incremental: f64,
+    /// Scratch p50 over the calibrated (production-default) kernel p50 —
+    /// the path the engines actually take.
     scratch_over_incremental_parallel: f64,
+    /// Scratch p50 over the forced-parallel (threshold 0) kernel p50, the
+    /// diagnostic that documents why the threshold exists.
+    scratch_over_forced_parallel: f64,
 }
 
 /// A synthetic two-objective point cloud shaped like the engine's: mostly
@@ -57,23 +90,14 @@ fn random_point(rng: &mut StdRng) -> Objectives {
     Objectives::pair(t + noise, (1.0 - t) + noise)
 }
 
-fn summarize(name: String, samples: &[u64]) -> Entry {
-    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
-    Entry {
-        name,
-        mean_ns: mean,
-        min_ns: *samples.iter().min().expect("non-empty"),
-        max_ns: *samples.iter().max().expect("non-empty"),
-        iterations: samples.len() as u64,
-    }
-}
-
-/// Drives `generations` steps of one population of size `n` with the given
-/// survivor count, timing the supplied assignment closure per generation
-/// and asserting it reproduces the from-scratch fitness bitwise.
+/// Drives `warmup + generations` steps of one population of size `n` with
+/// the given survivor count, timing the supplied assignment closure per
+/// generation, asserting it reproduces the from-scratch fitness bitwise,
+/// and discarding the warm-up samples.
 fn run_series(
     n: usize,
     survivors: usize,
+    warmup: usize,
     generations: usize,
     density_k: usize,
     seed: u64,
@@ -83,8 +107,8 @@ fn run_series(
     let mut next_id = 0u64;
     let mut members: Vec<Individual<u64>> = Vec::new();
     let mut ids: Vec<u64> = Vec::new();
-    let mut samples = Vec::with_capacity(generations);
-    for _ in 0..generations {
+    let mut samples = Vec::with_capacity(warmup + generations);
+    for _ in 0..(warmup + generations) {
         // Survivors keep their ids; the rest of the population is fresh.
         members.truncate(survivors.min(members.len()));
         ids.truncate(members.len());
@@ -110,15 +134,24 @@ fn run_series(
             );
         }
     }
-    samples
+    samples.split_off(warmup)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let generations = arg_value("--generations").unwrap_or(if smoke { 6 } else { 40 });
+    let warmup = DEFAULT_WARMUP_ITERS;
     let survival_percent = arg_value("--survival-percent").unwrap_or(50).min(95);
     let density_k = 1usize;
     let sizes = [50usize, 100, 200];
+
+    // Install the startup-calibrated kernel threshold (or the OPTRR_TUNE
+    // override) before any FitnessKernel::new() below reads it.
+    let tuning = optrr::tuning();
+    println!(
+        "tuning: kernel_min_pairs={} batch_min_work={} calibrated={}",
+        tuning.kernel_min_pairs, tuning.batch_min_work, tuning.calibrated
+    );
 
     let mut entries = Vec::new();
     let mut speedups = Vec::new();
@@ -126,46 +159,86 @@ fn main() {
         let survivors = n * survival_percent / 100;
 
         // From scratch: the pre-kernel O(n²) path, every generation.
-        let scratch = run_series(n, survivors, generations, density_k, 7, |members, _ids| {
-            let started = Instant::now();
-            assign_fitness(members, density_k);
-            started.elapsed().as_nanos() as u64
-        });
-
-        // Incremental: one kernel persists across the series. The serial
-        // variant never crosses the parallel threshold at these sizes; the
-        // parallel variant always does (threshold 0).
-        let timed_kernel = |threshold: usize| {
-            let mut kernel = FitnessKernel::with_parallel_threshold(threshold);
-            run_series(n, survivors, generations, density_k, 7, |members, ids| {
+        let scratch = run_series(
+            n,
+            survivors,
+            warmup,
+            generations,
+            density_k,
+            7,
+            |members, _ids| {
                 let started = Instant::now();
-                kernel.assign_fitness(members, ids, density_k);
+                assign_fitness(members, density_k);
                 started.elapsed().as_nanos() as u64
-            })
-        };
-        let incremental = timed_kernel(usize::MAX);
-        let incremental_parallel = timed_kernel(0);
-
-        let scratch_row = summarize(format!("fitness_scratch/n{n}"), &scratch);
-        let serial_row = summarize(format!("fitness_incremental_serial/n{n}"), &incremental);
-        let parallel_row = summarize(
-            format!("fitness_incremental_parallel/n{n}"),
-            &incremental_parallel,
+            },
         );
-        let speedup = scratch_row.mean_ns as f64 / serial_row.mean_ns.max(1) as f64;
-        let speedup_parallel = scratch_row.mean_ns as f64 / parallel_row.mean_ns.max(1) as f64;
+
+        // Incremental: one kernel persists across each series. Serial
+        // never crosses the parallel threshold, forced always does, and
+        // the calibrated kernel (the engines' configuration) decides per
+        // generation from the installed threshold.
+        let timed_kernel = |mut kernel: FitnessKernel| {
+            run_series(
+                n,
+                survivors,
+                warmup,
+                generations,
+                density_k,
+                7,
+                move |members, ids| {
+                    let started = Instant::now();
+                    kernel.assign_fitness(members, ids, density_k);
+                    started.elapsed().as_nanos() as u64
+                },
+            )
+        };
+        let serial = summarize_ns(&timed_kernel(FitnessKernel::with_parallel_threshold(
+            usize::MAX,
+        )));
+        let forced = summarize_ns(&timed_kernel(FitnessKernel::with_parallel_threshold(0)));
+        let calibrated = summarize_ns(&timed_kernel(FitnessKernel::new()));
+        let scratch = summarize_ns(&scratch);
+
+        // The production path must track the better fixed path: >10%
+        // slower than either at any benched n is the benchmark regression
+        // this guard exists for.
+        let best_fixed = serial.p50_ns.min(forced.p50_ns);
+        assert!(
+            calibrated.p50_ns as f64 <= best_fixed as f64 * 1.10,
+            "calibrated kernel path is >10% slower than the best fixed path at n={n}: \
+             calibrated p50 {} ns vs best fixed p50 {} ns (serial {}, forced-parallel {})",
+            calibrated.p50_ns,
+            best_fixed,
+            serial.p50_ns,
+            forced.p50_ns,
+        );
+
+        let speedup = scratch.p50_ns as f64 / serial.p50_ns.max(1) as f64;
+        let speedup_calibrated = scratch.p50_ns as f64 / calibrated.p50_ns.max(1) as f64;
+        let speedup_forced = scratch.p50_ns as f64 / forced.p50_ns.max(1) as f64;
         println!(
-            "n={n:<4} survivors={survivors:<4} scratch {:>9} ns  incremental {:>9} ns ({speedup:.2}x)  parallel {:>9} ns ({speedup_parallel:.2}x)",
-            scratch_row.mean_ns, serial_row.mean_ns, parallel_row.mean_ns
+            "n={n:<4} survivors={survivors:<4} scratch {:>9} ns  serial {:>9} ns ({speedup:.2}x)  calibrated {:>9} ns ({speedup_calibrated:.2}x)  forced-parallel {:>9} ns ({speedup_forced:.2}x)",
+            scratch.p50_ns, serial.p50_ns, calibrated.p50_ns, forced.p50_ns
         );
         speedups.push(SpeedupEntry {
             n,
             scratch_over_incremental: speedup,
-            scratch_over_incremental_parallel: speedup_parallel,
+            scratch_over_incremental_parallel: speedup_calibrated,
+            scratch_over_forced_parallel: speedup_forced,
         });
-        entries.push(scratch_row);
-        entries.push(serial_row);
-        entries.push(parallel_row);
+        entries.push(Entry::new(format!("fitness_scratch/n{n}"), scratch));
+        entries.push(Entry::new(
+            format!("fitness_incremental_serial/n{n}"),
+            serial,
+        ));
+        entries.push(Entry::new(
+            format!("fitness_incremental_parallel/n{n}"),
+            calibrated,
+        ));
+        entries.push(Entry::new(
+            format!("fitness_incremental_forced_parallel/n{n}"),
+            forced,
+        ));
     }
 
     if smoke {
@@ -174,7 +247,9 @@ fn main() {
     }
     let baseline = FitnessBaseline {
         generations,
+        warmup_generations: warmup,
         survival: survival_percent as f64 / 100.0,
+        calibrated_min_pairs: emoo::kernel::default_parallel_min_pairs(),
         entries,
         speedup_incremental: speedups,
     };

@@ -33,6 +33,8 @@
 //! * [`front`] — Pareto fronts in the paper's (privacy, MSE) convention
 //!   and their quantitative comparison.
 //! * [`search_space`] — Fact 1's search-space counting.
+//! * [`tune`] — one-shot startup calibration of the parallel thresholds
+//!   (`OPTRR_TUNE` overrides it for deterministic CI).
 //! * [`report`] — experiment report formatting (tables / CSV / JSON).
 //!
 //! ## Quick example
@@ -67,6 +69,7 @@ pub mod optimizer;
 pub mod problem;
 pub mod report;
 pub mod search_space;
+pub mod tune;
 
 pub use baselines::{baseline_sweep, BaselinePoint, BaselineSweep, PAPER_SWEEP_STEPS};
 pub use config::OptrrConfig;
@@ -76,6 +79,7 @@ pub use omega::{fnv1a_64, omega_fingerprint, slot_index, OmegaEntry, OmegaSet};
 pub use optimizer::{Optimizer, OptrrOutcome, RunStatistics};
 pub use problem::{Evaluation, OptrrProblem};
 pub use report::ExperimentReport;
+pub use tune::{tuning, Tuning};
 
 // Re-export the scheme kinds so downstream code does not need to name the
 // rr crate for the common baseline sweep call.

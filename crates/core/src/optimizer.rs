@@ -85,9 +85,13 @@ pub struct Optimizer {
 }
 
 impl Optimizer {
-    /// Creates an optimizer after validating the configuration.
+    /// Creates an optimizer after validating the configuration. The first
+    /// optimizer constructed in a process also runs the one-shot parallel
+    /// threshold calibration (see [`crate::tune::tuning`]), so the engine
+    /// kernels and batch evaluation start with tuned crossovers.
     pub fn new(config: OptrrConfig) -> Result<Self> {
         config.validate()?;
+        let _ = crate::tune::tuning();
         Ok(Self { config })
     }
 
@@ -271,11 +275,35 @@ impl Optimizer {
     /// input order. The first failing prior aborts the batch with its
     /// error.
     pub fn optimize_many(&self, priors: &[Categorical]) -> Result<Vec<OptrrOutcome>> {
-        use rayon::prelude::*;
-        let outcomes: Vec<Result<OptrrOutcome>> = priors
-            .par_iter()
-            .map(|prior| self.optimize_distribution(prior))
-            .collect();
+        // Fan out only when the estimated total evaluation work
+        // (generations × population × n³ per prior) clears the calibrated
+        // batch threshold; tiny multi-prior batches (a handful of fast
+        // smoke runs) stay serial and skip the thread spawn. Each run is
+        // self-contained, so the gate changes wall-clock only.
+        let generations = self.config.engine.generations.max(1);
+        let population = self.config.engine.population_size.max(1);
+        let total_work = priors
+            .iter()
+            .map(|p| {
+                let n = p.num_categories();
+                generations
+                    .saturating_mul(population)
+                    .saturating_mul(n.saturating_mul(n).saturating_mul(n))
+            })
+            .fold(0usize, usize::saturating_add);
+        let fan_out = priors.len() > 1 && total_work >= crate::tune::tuning().batch_min_work;
+        let outcomes: Vec<Result<OptrrOutcome>> = if fan_out {
+            use rayon::prelude::*;
+            priors
+                .par_iter()
+                .map(|prior| self.optimize_distribution(prior))
+                .collect()
+        } else {
+            priors
+                .iter()
+                .map(|prior| self.optimize_distribution(prior))
+                .collect()
+        };
         outcomes.into_iter().collect()
     }
 }

@@ -18,23 +18,40 @@ pub enum DominanceRelation {
     NonDominated,
 }
 
-/// Compares two objective vectors under minimization.
-pub fn compare(a: &Objectives, b: &Objectives) -> DominanceRelation {
+/// Branch-free accumulation of the strictly-better flags over two raw
+/// objective slices: `(a strictly better somewhere, b strictly better
+/// somewhere)`.
+///
+/// The loop ORs the comparison masks instead of branching per dimension —
+/// there is no early exit, so the compiler can unroll and vectorize it,
+/// and the O(m·n) kernel fills that funnel through here stay branch-free.
+/// NaN compares false on both sides, which leaves both flags unset — the
+/// same "incomparable" outcome the branchy seed loop produced.
+#[inline]
+pub(crate) fn strict_better_flags(a: &[f64], b: &[f64]) -> (bool, bool) {
     debug_assert_eq!(a.len(), b.len(), "objective dimension mismatch");
-    let mut a_better = false;
-    let mut b_better = false;
-    for (x, y) in a.values().iter().zip(b.values().iter()) {
-        if x < y {
-            a_better = true;
-        } else if y < x {
-            b_better = true;
-        }
+    let mut a_better = 0u8;
+    let mut b_better = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        a_better |= u8::from(x < y);
+        b_better |= u8::from(y < x);
     }
-    match (a_better, b_better) {
+    (a_better != 0, b_better != 0)
+}
+
+/// Maps the strictly-better flag pair to the dominance relation.
+#[inline]
+pub(crate) fn relation_from_flags(flags: (bool, bool)) -> DominanceRelation {
+    match flags {
         (true, false) => DominanceRelation::Dominates,
         (false, true) => DominanceRelation::DominatedBy,
         _ => DominanceRelation::NonDominated,
     }
+}
+
+/// Compares two objective vectors under minimization.
+pub fn compare(a: &Objectives, b: &Objectives) -> DominanceRelation {
+    relation_from_flags(strict_better_flags(a.values(), b.values()))
 }
 
 /// True when `a` dominates `b`.
@@ -42,19 +59,35 @@ pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
     compare(a, b) == DominanceRelation::Dominates
 }
 
+/// Visits every dominating ordered pair of `points` exactly once, as
+/// `visit(winner, loser)`.
+///
+/// This is the single pairwise call site behind [`non_dominated_indices`],
+/// [`strength_values`], and [`raw_fitness`]: one branch-free [`compare`]
+/// per unordered pair (half the compares of the textbook `i != j` double
+/// loops it replaced), dispatching both orientations through the callback.
+pub fn for_each_dominating_pair(points: &[Objectives], mut visit: impl FnMut(usize, usize)) {
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            match compare(&points[i], &points[j]) {
+                DominanceRelation::Dominates => visit(i, j),
+                DominanceRelation::DominatedBy => visit(j, i),
+                DominanceRelation::NonDominated => {}
+            }
+        }
+    }
+}
+
 /// Returns the indices of the non-dominated members of `points`
 /// (the Pareto front of the set). Duplicate objective vectors are all kept.
 pub fn non_dominated_indices(points: &[Objectives]) -> Vec<usize> {
-    let mut result = Vec::new();
-    'outer: for (i, a) in points.iter().enumerate() {
-        for (j, b) in points.iter().enumerate() {
-            if i != j && dominates(b, a) {
-                continue 'outer;
-            }
-        }
-        result.push(i);
-    }
-    result
+    let mut dominated = vec![false; points.len()];
+    for_each_dominating_pair(points, |_, loser| dominated[loser] = true);
+    dominated
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, d)| (!d).then_some(i))
+        .collect()
 }
 
 /// Extracts the non-dominated objective vectors themselves.
@@ -68,30 +101,34 @@ pub fn pareto_front(points: &[Objectives]) -> Vec<Objectives> {
 /// Counts, for each point, how many other points it dominates — the SPEA2
 /// "strength" value `S(i)`.
 pub fn strength_values(points: &[Objectives]) -> Vec<usize> {
-    let n = points.len();
-    let mut strength = vec![0usize; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && dominates(&points[i], &points[j]) {
-                strength[i] += 1;
-            }
-        }
-    }
+    let mut strength = vec![0usize; points.len()];
+    for_each_dominating_pair(points, |winner, _| strength[winner] += 1);
     strength
 }
 
 /// SPEA2 raw fitness `R(i)`: the sum of the strengths of every point that
 /// dominates point `i`. Non-dominated points have raw fitness 0.
+///
+/// One pairwise pass records the dominating pairs; the strengths and the
+/// strength sums are then both read off that record, instead of running the
+/// O(n²) comparisons twice. The summation order per point is unchanged
+/// (ascending winner index), so the result is bitwise equal to the seed's
+/// double loop.
 pub fn raw_fitness(points: &[Objectives]) -> Vec<f64> {
-    let strength = strength_values(points);
     let n = points.len();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut strength = vec![0usize; n];
+    for_each_dominating_pair(points, |winner, loser| {
+        strength[winner] += 1;
+        pairs.push((winner, loser));
+    });
+    // `raw[i]` must accumulate the strengths of its dominators in ascending
+    // winner order (the seed loop's `j` order); pairs arrive ordered by the
+    // unordered-pair sweep, so sort by (loser, winner) before summing.
+    pairs.sort_unstable_by_key(|&(winner, loser)| (loser, winner));
     let mut raw = vec![0.0; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && dominates(&points[j], &points[i]) {
-                raw[i] += strength[j] as f64;
-            }
-        }
+    for (winner, loser) in pairs {
+        raw[loser] += strength[winner] as f64;
     }
     raw
 }

@@ -42,10 +42,10 @@
 //! members are filled across cores. Each pair's value is deterministic, so
 //! the parallel path is bitwise identical to the serial one.
 
-use crate::dominance::{compare, DominanceRelation};
+use crate::dominance::{relation_from_flags, strict_better_flags, DominanceRelation};
 use crate::individual::Individual;
-use crate::objectives::Objectives;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `dom[i·n + j]`: member `i` dominates member `j`.
 const DOMINATES: i8 = 1;
@@ -54,10 +54,30 @@ const DOMINATED_BY: i8 = -1;
 /// `dom[i·n + j]`: neither dominates the other.
 const NO_DOMINANCE: i8 = 0;
 
-/// Default minimum number of *fresh* pairs before a fill goes
+/// Baked-in minimum number of *fresh* pairs before a fill goes
 /// rayon-parallel. Below this, spawn overhead exceeds the comparison work
-/// (one pair is a handful of float compares).
+/// (one pair is a handful of float compares). This is only the fallback:
+/// the process-wide default that [`FitnessKernel::new`] actually reads is
+/// settable via [`set_default_parallel_min_pairs`], which `optrr-core`'s
+/// startup calibration (`core::tune`) installs after probing the machine.
 pub const DEFAULT_PARALLEL_MIN_PAIRS: usize = 1 << 15;
+
+/// Process-wide default for [`FitnessKernel::new`]'s parallel threshold.
+static DEFAULT_MIN_PAIRS: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_MIN_PAIRS);
+
+/// Installs a new process-wide default parallel-fill threshold, returned by
+/// [`default_parallel_min_pairs`] and read by every subsequent
+/// [`FitnessKernel::new`]. The threshold only moves the serial/parallel
+/// crossover — both paths are bitwise identical — so installing a measured
+/// value never changes results, only wall-clock time.
+pub fn set_default_parallel_min_pairs(min_fresh_pairs: usize) {
+    DEFAULT_MIN_PAIRS.store(min_fresh_pairs, Ordering::Relaxed);
+}
+
+/// The current process-wide default parallel-fill threshold.
+pub fn default_parallel_min_pairs() -> usize {
+    DEFAULT_MIN_PAIRS.load(Ordering::Relaxed)
+}
 
 /// Cumulative counters of the kernel's work, exposed through
 /// [`EngineOutcome`](crate::EngineOutcome) and `core::RunStatistics` so
@@ -97,6 +117,12 @@ pub struct FitnessKernel {
     strength_buf: Vec<usize>,
     raw_buf: Vec<f64>,
     scratch: Vec<f64>,
+    /// Flattened objective store: member `i`'s objective vector is the
+    /// contiguous slice `obj_flat[i·obj_dim .. (i+1)·obj_dim]`. Rebuilt per
+    /// update (O(n·m)) so the O(m·n) fresh-pair fills read straight-line
+    /// memory instead of chasing one heap `Vec` per individual.
+    obj_flat: Vec<f64>,
+    obj_dim: usize,
     parallel_min_pairs: usize,
     stats: KernelStats,
 }
@@ -118,9 +144,10 @@ fn encode(relation: DominanceRelation) -> i8 {
 }
 
 impl FitnessKernel {
-    /// Creates an empty kernel with the default parallel-fill threshold.
+    /// Creates an empty kernel with the process-wide default parallel-fill
+    /// threshold (see [`set_default_parallel_min_pairs`]).
     pub fn new() -> Self {
-        Self::with_parallel_threshold(DEFAULT_PARALLEL_MIN_PAIRS)
+        Self::with_parallel_threshold(default_parallel_min_pairs())
     }
 
     /// Creates an empty kernel that fills its matrices in parallel once a
@@ -139,6 +166,8 @@ impl FitnessKernel {
             strength_buf: Vec::new(),
             raw_buf: Vec::new(),
             scratch: Vec::new(),
+            obj_flat: Vec::new(),
+            obj_dim: 0,
             parallel_min_pairs: min_fresh_pairs,
             stats: KernelStats::default(),
         }
@@ -379,7 +408,17 @@ impl FitnessKernel {
             }
         }
 
-        let points: Vec<&Objectives> = members.iter().map(|m| &m.objectives).collect();
+        // Refresh the flattened objective store (SoA view of the member
+        // set): one contiguous buffer the pair fills below index into.
+        self.obj_dim = members.first().map_or(0, |m| m.objectives.len());
+        self.obj_flat.clear();
+        self.obj_flat.reserve(n * self.obj_dim);
+        for m in members {
+            debug_assert_eq!(m.objectives.len(), self.obj_dim, "mixed objective dims");
+            self.obj_flat.extend_from_slice(m.objectives.values());
+        }
+        let obj = &self.obj_flat;
+        let dim = self.obj_dim;
 
         // 1. Branchless copy of the surviving block, row by row.
         for &(i, pi) in &survivors {
@@ -401,7 +440,7 @@ impl FitnessKernel {
         if need_dist && !dist_reusable {
             for (a, &(i, _)) in survivors.iter().enumerate() {
                 for &(j, _) in &survivors[a + 1..] {
-                    let d = points[i].distance(points[j]);
+                    let d = euclidean(obj, dim, i, j);
                     dist[i * n + j] = d;
                     dist[j * n + i] = d;
                 }
@@ -421,11 +460,11 @@ impl FitnessKernel {
                 .map(|&b| {
                     let mut row = Vec::with_capacity(s + fresh_members.len());
                     for &(a, _) in &survivors {
-                        row.push(pair_entry(&points, a, b, need_dist));
+                        row.push(pair_entry(obj, dim, a, b, need_dist));
                     }
                     for &a in &fresh_members {
                         if a < b {
-                            row.push(pair_entry(&points, a, b, need_dist));
+                            row.push(pair_entry(obj, dim, a, b, need_dist));
                         }
                     }
                     row
@@ -444,7 +483,7 @@ impl FitnessKernel {
         } else {
             for &b in &fresh_members {
                 for &(a, _) in &survivors {
-                    let (a, rel, d) = pair_entry(&points, a, b, need_dist);
+                    let (a, rel, d) = pair_entry(obj, dim, a, b, need_dist);
                     dom[a * n + b] = rel;
                     dom[b * n + a] = -rel;
                     if need_dist {
@@ -454,7 +493,7 @@ impl FitnessKernel {
                 }
                 for &a in &fresh_members {
                     if a < b {
-                        let (a, rel, d) = pair_entry(&points, a, b, need_dist);
+                        let (a, rel, d) = pair_entry(obj, dim, a, b, need_dist);
                         dom[a * n + b] = rel;
                         dom[b * n + a] = -rel;
                         if need_dist {
@@ -479,13 +518,33 @@ impl FitnessKernel {
     }
 }
 
-/// Computes one fresh pair `(a, b)`: the dominance relation seen from `a`,
-/// and the distance when requested.
+/// Euclidean distance between the flattened objective rows `a` and `b`,
+/// with the exact summation order of [`Objectives::distance`]
+/// (ascending dimension, then sqrt) so the fill stays bitwise equal to the
+/// from-scratch path.
+///
+/// [`Objectives::distance`]: crate::objectives::Objectives::distance
 #[inline]
-fn pair_entry(points: &[&Objectives], a: usize, b: usize, need_dist: bool) -> (usize, i8, f64) {
-    let rel = encode(compare(points[a], points[b]));
+fn euclidean(obj: &[f64], dim: usize, a: usize, b: usize) -> f64 {
+    let ra = &obj[a * dim..(a + 1) * dim];
+    let rb = &obj[b * dim..(b + 1) * dim];
+    ra.iter()
+        .zip(rb.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Computes one fresh pair `(a, b)` off the flattened objective store: the
+/// dominance relation seen from `a` (via the branch-free flag accumulation
+/// in [`crate::dominance`]) and the distance when requested.
+#[inline]
+fn pair_entry(obj: &[f64], dim: usize, a: usize, b: usize, need_dist: bool) -> (usize, i8, f64) {
+    let ra = &obj[a * dim..(a + 1) * dim];
+    let rb = &obj[b * dim..(b + 1) * dim];
+    let rel = encode(relation_from_flags(strict_better_flags(ra, rb)));
     let d = if need_dist {
-        points[a].distance(points[b])
+        euclidean(obj, dim, a, b)
     } else {
         0.0
     };
@@ -496,6 +555,7 @@ fn pair_entry(points: &[&Objectives], a: usize, b: usize, need_dist: bool) -> (u
 mod tests {
     use super::*;
     use crate::nsga2::non_dominated_sort;
+    use crate::objectives::Objectives;
     use crate::spea2::assign_fitness;
 
     fn ind(a: f64, b: f64) -> Individual<u32> {

@@ -46,13 +46,14 @@
 pub mod error;
 pub mod lu;
 pub mod matrix;
+pub mod reference;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
 pub use lu::{
     condition_number_1, determinant, invert, solve, LuDecomposition, SINGULARITY_TOLERANCE,
 };
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MUL_BLOCK};
 pub use vector::Vector;
 
 #[cfg(test)]
@@ -149,6 +150,75 @@ mod proptests {
             let proj = p.project_to_simplex();
             prop_assert!(proj.approx_eq(&proj.project_to_simplex(), 1e-12));
             prop_assert!(proj.is_probability(1e-9));
+        }
+
+        /// The blocked product is gated on **bitwise** equality with the
+        /// naive reference loop, on shapes that span several blocks so the
+        /// tiling edges are exercised.
+        #[test]
+        fn blocked_mul_matrix_is_bitwise_equal_to_naive(
+            dims in (1usize..=70, 1usize..=70, 1usize..=70),
+            seed in 0u64..10_000,
+        ) {
+            let (ni, nk, nj) = dims;
+            // Deterministic pseudo-random entries, including exact zeros so
+            // the zero-skip path is hit on both sides.
+            let fill = |rows: usize, cols: usize, salt: u64| {
+                let mut m = Matrix::zeros(rows, cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let t = ((seed.wrapping_mul(31) + salt) as f64
+                            + (i * cols + j) as f64).sin();
+                        m[(i, j)] = if t.abs() < 0.05 { 0.0 } else { t };
+                    }
+                }
+                m
+            };
+            let a = fill(ni, nk, 1);
+            let b = fill(nk, nj, 2);
+            let blocked = a.mul_matrix(&b).unwrap();
+            let naive = reference::mul_matrix_naive(&a, &b).unwrap();
+            let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&blocked), bits(&naive));
+        }
+
+        /// The slice-based LU is gated on bitwise equality with the naive
+        /// indexed elimination: same packed factors, same permutation, same
+        /// sign — on well-conditioned (diagonally emphasized) matrices.
+        #[test]
+        fn slice_lu_is_bitwise_equal_to_naive(m in column_stochastic_matrix()) {
+            let fast = LuDecomposition::new(&m).unwrap();
+            let (lu, perm, sign) = reference::lu_factor_naive(&m).unwrap();
+            let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(fast.packed()), bits(&lu));
+            prop_assert_eq!(fast.permutation(), &perm[..]);
+            // Same permutation sign: the determinants carry it.
+            let naive_det: f64 = sign * (0..m.rows()).map(|i| lu[(i, i)]).product::<f64>();
+            prop_assert_eq!(fast.determinant().to_bits(), naive_det.to_bits());
+        }
+
+        /// `solve_matrix`'s scratch-reusing path must match per-column
+        /// `solve` bitwise (identical arithmetic, no per-column allocation).
+        #[test]
+        fn solve_matrix_is_bitwise_equal_to_columnwise_solve(
+            m in column_stochastic_matrix(),
+            seed in 0u64..1000,
+        ) {
+            let n = m.rows();
+            let mut b = Matrix::zeros(n, 3);
+            for i in 0..n {
+                for j in 0..3 {
+                    b[(i, j)] = ((seed as f64 + 1.0) * ((i * 3 + j) as f64 + 1.0)).sin();
+                }
+            }
+            let lu = LuDecomposition::new(&m).unwrap();
+            let x = lu.solve_matrix(&b).unwrap();
+            for j in 0..3 {
+                let col = lu.solve(&b.column(j).unwrap()).unwrap();
+                for i in 0..n {
+                    prop_assert_eq!(x[(i, j)].to_bits(), col[i].to_bits());
+                }
+            }
         }
 
         #[test]

@@ -58,12 +58,19 @@ impl LuDecomposition {
         let scale = lu.max_abs().max(1.0);
         let tol = SINGULARITY_TOLERANCE * scale;
 
+        // The elimination runs on the raw row-major buffer: `k` stays the
+        // outermost loop (the same elimination order as the textbook
+        // reference in `crate::reference::lu_factor_naive`, so the factors
+        // are bitwise equal), but each trailing-row update is a contiguous
+        // slice AXPY `row_i[k+1..] -= factor * row_k[k+1..]` the compiler
+        // can vectorize, instead of per-element checked indexing.
+        let data = lu.as_mut_slice();
         for k in 0..n {
             // Find the pivot row: the largest |entry| in column k at or below row k.
             let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
+            let mut pivot_val = data[k * n + k].abs();
             for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
+                let v = data[i * n + k].abs();
                 if v > pivot_val {
                     pivot_val = v;
                     pivot_row = i;
@@ -73,17 +80,22 @@ impl LuDecomposition {
                 return Err(LinalgError::Singular { pivot: k });
             }
             if pivot_row != k {
-                lu.swap_rows(k, pivot_row)?;
+                for j in 0..n {
+                    data.swap(k * n + j, pivot_row * n + j);
+                }
                 perm.swap(k, pivot_row);
                 perm_sign = -perm_sign;
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let upd = lu[(k, j)];
-                    lu[(i, j)] -= factor * upd;
+            // Split the buffer at the end of row k: `head` ends with the
+            // pivot row, `tail` holds the rows to eliminate.
+            let (head, tail) = data.split_at_mut((k + 1) * n);
+            let row_k = &head[k * n..];
+            let pivot = row_k[k];
+            for row_i in tail.chunks_exact_mut(n) {
+                let factor = row_i[k] / pivot;
+                row_i[k] = factor;
+                for (x, &u) in row_i[k + 1..].iter_mut().zip(&row_k[k + 1..]) {
+                    *x -= factor * u;
                 }
             }
         }
@@ -92,6 +104,18 @@ impl LuDecomposition {
             perm,
             perm_sign,
         })
+    }
+
+    /// Borrow the packed factors (`L` strictly below the diagonal, `U` on
+    /// and above) — exposed so tests and benches can compare against the
+    /// naive reference factorization bitwise.
+    pub fn packed(&self) -> &Matrix {
+        &self.lu
+    }
+
+    /// Borrow the row permutation.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
     }
 
     /// Dimension of the factored matrix.
@@ -124,26 +148,37 @@ impl LuDecomposition {
         for i in 0..n {
             x[i] = b[self.perm[i]];
         }
+        self.solve_in_place(x.as_mut_slice());
+        Ok(x)
+    }
+
+    /// Forward/back substitution on a permuted right-hand side held in `x`.
+    /// The dot products walk contiguous row slices of the packed factors.
+    fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        let lu = self.lu.as_slice();
         // Forward substitution with unit lower-triangular L.
         for i in 1..n {
+            let row = &lu[i * n..i * n + i];
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                acc -= l * xj;
             }
             x[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
+            let row = &lu[i * n..(i + 1) * n];
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (u, &xj) in row[i + 1..].iter().zip(x[i + 1..].iter()) {
+                acc -= u * xj;
             }
-            x[i] = acc / self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
-        Ok(x)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A X = B` column by column, reusing one scratch column across
+    /// all right-hand sides instead of allocating per column.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
@@ -153,11 +188,19 @@ impl LuDecomposition {
                 rhs: b.shape(),
             });
         }
-        let mut columns = Vec::with_capacity(b.cols());
-        for j in 0..b.cols() {
-            columns.push(self.solve(&b.column(j)?)?);
+        let cols = b.cols();
+        let mut out = Matrix::zeros(n, cols);
+        let mut scratch = vec![0.0f64; n];
+        for j in 0..cols {
+            for (i, s) in scratch.iter_mut().enumerate() {
+                *s = b[(self.perm[i], j)];
+            }
+            self.solve_in_place(&mut scratch);
+            for (i, &s) in scratch.iter().enumerate() {
+                out[(i, j)] = s;
+            }
         }
-        Matrix::from_columns(&columns)
+        Ok(out)
     }
 
     /// Computes `A⁻¹`.

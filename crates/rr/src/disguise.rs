@@ -8,6 +8,7 @@
 
 use crate::error::{Result, RrError};
 use crate::matrix::RrMatrix;
+use crate::sample::ColumnSamplers;
 use datagen::CategoricalDataset;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -33,12 +34,7 @@ impl DisguiseOutcome {
     }
 }
 
-/// Disguises every record of `original` using the RR matrix `m`.
-pub fn disguise_dataset<R: Rng + ?Sized>(
-    m: &RrMatrix,
-    original: &CategoricalDataset,
-    rng: &mut R,
-) -> Result<DisguiseOutcome> {
+fn validate_disguise_input(m: &RrMatrix, original: &CategoricalDataset) -> Result<()> {
     if original.num_categories() != m.num_categories() {
         return Err(RrError::DimensionMismatch {
             matrix: m.num_categories(),
@@ -48,7 +44,60 @@ pub fn disguise_dataset<R: Rng + ?Sized>(
     if original.is_empty() {
         return Err(RrError::EmptyData);
     }
-    // Pre-build the per-column samplers once; sampling is then O(log n) per record.
+    Ok(())
+}
+
+fn collect_outcome(
+    original: &CategoricalDataset,
+    disguised: Vec<usize>,
+    retained: usize,
+) -> Result<DisguiseOutcome> {
+    let disguised = CategoricalDataset::new(original.num_categories(), disguised)?;
+    Ok(DisguiseOutcome {
+        disguised,
+        retained,
+    })
+}
+
+/// Disguises every record of `original` using the RR matrix `m`.
+///
+/// The per-column [`crate::sample::AliasTable`]s are built once (O(n²) for
+/// the whole matrix), then each record costs O(1): one uniform draw per
+/// record, exactly the draw budget of the inverse-CDF reference path in
+/// [`disguise_dataset_reference`].
+pub fn disguise_dataset<R: Rng + ?Sized>(
+    m: &RrMatrix,
+    original: &CategoricalDataset,
+    rng: &mut R,
+) -> Result<DisguiseOutcome> {
+    validate_disguise_input(m, original)?;
+    let samplers = ColumnSamplers::new(m)?;
+    let mut disguised = Vec::with_capacity(original.len());
+    let mut retained = 0usize;
+    for &x in original.records() {
+        let y = samplers.disguise_record(x, rng)?;
+        if y == x {
+            retained += 1;
+        }
+        disguised.push(y);
+    }
+    collect_outcome(original, disguised, retained)
+}
+
+/// The seed implementation kept as the distributional reference: per-column
+/// cached-CDF samplers with an O(log n) binary search per record.
+///
+/// Kept `pub` (not `#[cfg(test)]`) so `bench_kernels` can measure the
+/// naive-vs-alias throughput delta; production callers go through
+/// [`disguise_dataset`]. The two paths draw different streams for the same
+/// seed but the same *number* of RNG values, and both match `M·P`
+/// distributionally (see the equivalence tests below).
+pub fn disguise_dataset_reference<R: Rng + ?Sized>(
+    m: &RrMatrix,
+    original: &CategoricalDataset,
+    rng: &mut R,
+) -> Result<DisguiseOutcome> {
+    validate_disguise_input(m, original)?;
     let columns: Vec<_> = (0..m.num_categories())
         .map(|i| m.randomization_distribution(i))
         .collect::<Result<_>>()?;
@@ -61,11 +110,7 @@ pub fn disguise_dataset<R: Rng + ?Sized>(
         }
         disguised.push(y);
     }
-    let disguised = CategoricalDataset::new(original.num_categories(), disguised)?;
-    Ok(DisguiseOutcome {
-        disguised,
-        retained,
-    })
+    collect_outcome(original, disguised, retained)
 }
 
 /// Disguises a data set and returns the original/disguised record pairs —
@@ -183,6 +228,51 @@ mod tests {
         assert_eq!(a, b);
         let c = disguise_dataset(&m, &d, &mut StdRng::seed_from_u64(12)).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn alias_and_reference_paths_agree_distributionally() {
+        // The alias path replaced the inverse-CDF path on the hot route;
+        // they draw different streams for a seed but must land on the same
+        // disguised distribution and retention rate.
+        let m = warner(3, 0.6).unwrap();
+        let d = dataset();
+        let alias = disguise_dataset(&m, &d, &mut StdRng::seed_from_u64(21)).unwrap();
+        let reference = disguise_dataset_reference(&m, &d, &mut StdRng::seed_from_u64(21)).unwrap();
+        assert_eq!(alias.disguised.len(), reference.disguised.len());
+        assert!(
+            (alias.retention_rate() - reference.retention_rate()).abs() < 0.03,
+            "retention alias {} vs reference {}",
+            alias.retention_rate(),
+            reference.retention_rate()
+        );
+        let oa = alias.disguised.empirical_distribution().unwrap();
+        let ob = reference.disguised.empirical_distribution().unwrap();
+        for i in 0..3 {
+            assert!(
+                (oa.prob(i) - ob.prob(i)).abs() < 0.03,
+                "category {i}: alias {} vs reference {}",
+                oa.prob(i),
+                ob.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn reference_path_validates_like_the_alias_path() {
+        let m = warner(4, 0.8).unwrap();
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            disguise_dataset_reference(&m, &d, &mut rng),
+            Err(RrError::DimensionMismatch { .. })
+        ));
+        let empty = CategoricalDataset::new(3, vec![]).unwrap();
+        let m3 = warner(3, 0.8).unwrap();
+        assert!(matches!(
+            disguise_dataset_reference(&m3, &empty, &mut rng),
+            Err(RrError::EmptyData)
+        ));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   Warner parameter sweep used as the experimental baseline.
 //! * [`disguise`] — the per-record disguise operator applied to whole data
 //!   sets.
+//! * [`sample`] — the Walker/Vose alias tables behind the disguise hot
+//!   path: O(n) build per matrix column, O(1) per disguised record.
 //! * [`estimate`] — distribution reconstruction by matrix inversion
 //!   (Theorem 1) and by the iterative EM-style procedure (Equation 3).
 //! * [`metrics`] — the privacy metric (MAP-adversary accuracy, Theorems 3–5
@@ -45,13 +47,17 @@ pub mod error;
 pub mod estimate;
 pub mod matrix;
 pub mod metrics;
+pub mod sample;
 pub mod schemes;
 
-pub use disguise::{disguise_dataset, disguise_paired, DisguiseOutcome};
+pub use disguise::{
+    disguise_dataset, disguise_dataset_reference, disguise_paired, DisguiseOutcome,
+};
 pub use error::{Result, RrError};
 pub use matrix::{RrMatrix, STOCHASTIC_TOLERANCE};
 pub use metrics::privacy::PrivacyAnalysis;
 pub use metrics::utility::UtilityAnalysis;
+pub use sample::{AliasTable, ColumnSamplers};
 
 #[cfg(test)]
 mod proptests {

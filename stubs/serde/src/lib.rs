@@ -130,6 +130,21 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
 }
 
+// Value round-trips through itself, as in real serde_json — this is what
+// lets callers parse arbitrary JSON with `from_str::<Value>` and walk it
+// with the accessor methods.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // ---- primitive impls -------------------------------------------------------
 
 macro_rules! impl_serde_unsigned {

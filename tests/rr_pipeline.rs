@@ -63,8 +63,11 @@ fn closed_form_privacy_matches_simulated_map_adversary() {
     let pairs = disguise_paired(&m, &workload.dataset, &mut rng).unwrap();
     let empirical = privacy::empirical_adversary_accuracy(&m, &prior, &pairs).unwrap();
 
+    // 10,000 disguised records at accuracy ≈ 0.63 put the binomial std of
+    // the simulated estimate near 0.005, so the tolerance must be ≈ 3σ —
+    // a 2σ bound fails for an unlucky but perfectly healthy RNG stream.
     assert!(
-        (empirical - analysis.adversary_accuracy).abs() < 0.01,
+        (empirical - analysis.adversary_accuracy).abs() < 0.015,
         "closed-form accuracy {} vs simulated {}",
         analysis.adversary_accuracy,
         empirical
