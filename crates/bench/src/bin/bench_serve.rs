@@ -16,6 +16,11 @@
 //! after its transparent re-warm. Results land in
 //! `BENCH_serve_tenants.json`.
 //!
+//! Both modes also measure the observability cost: the same query mix
+//! driven with the metrics registry recording and disabled, reported as
+//! a `metrics_overhead` row (the budget is < 5% of query throughput;
+//! responses are bitwise-identical either way).
+//!
 //! Usage: `cargo run -p optrr-bench --release --bin bench_serve
 //!         [-- --streams N --queries M | --smoke [--tenants K]]`
 
@@ -40,6 +45,81 @@ struct ServeBaseline {
     registered_keys: usize,
     engine_runs_warmup: u64,
     engine_runs_after_load: u64,
+    metrics_overhead: MetricsOverhead,
+}
+
+/// The observability cost row: the same single-threaded query mix driven
+/// against two identically-seeded services, one with the metrics
+/// registry and event trace recording and one with them disabled. The
+/// responses are bitwise-identical either way (the invisibility
+/// invariant); this row bounds what the *recording* costs the hot path.
+#[derive(Serialize)]
+struct MetricsOverhead {
+    queries_per_side: usize,
+    metrics_on_qps: f64,
+    metrics_off_qps: f64,
+    overhead_percent: f64,
+}
+
+/// Measures the metrics-on vs metrics-off query throughput on the warm
+/// hot path. Best-of-3 per side to shed scheduler noise.
+fn measure_metrics_overhead(queries: usize) -> MetricsOverhead {
+    let side = |metrics: bool| -> f64 {
+        let service = Arc::new(Service::new(ServiceConfig {
+            metrics,
+            ..ServiceConfig::smoke(2008)
+        }));
+        let priors: Vec<Vec<f64>> = vec![
+            vec![0.35, 0.25, 0.2, 0.12, 0.08],
+            vec![0.5, 0.2, 0.12, 0.1, 0.08],
+            vec![0.25, 0.2, 0.2, 0.2, 0.15],
+        ];
+        let (entries, _) = service
+            .register_batch(None, &priors, 0.8, None)
+            .expect("batch registration succeeds");
+        let ranges: Vec<(f64, f64)> = entries
+            .iter()
+            .map(|e| e.store().privacy_range().expect("warm store is non-empty"))
+            .collect();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let started = Instant::now();
+            for step in 0..queries {
+                let which = step % entries.len();
+                let entry = &entries[which];
+                let (lo, hi) = ranges[which];
+                let t = ((step * 7919) % 1000) as f64 / 999.0;
+                if step % 2 == 0 {
+                    let found = service.best_for_privacy(entry, lo + (hi - lo) * t);
+                    assert!(found.is_some());
+                } else {
+                    let found = service.best_for_mse(entry, f64::INFINITY);
+                    assert!(found.is_some());
+                }
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        queries as f64 / best.max(1e-9)
+    };
+    let metrics_on_qps = side(true);
+    let metrics_off_qps = side(false);
+    let overhead = MetricsOverhead {
+        queries_per_side: queries,
+        metrics_on_qps,
+        metrics_off_qps,
+        overhead_percent: (1.0 - metrics_on_qps / metrics_off_qps.max(1e-9)) * 100.0,
+    };
+    println!(
+        "metrics overhead: on {:.0} q/s vs off {:.0} q/s ({:+.2}%)",
+        overhead.metrics_on_qps, overhead.metrics_off_qps, overhead.overhead_percent
+    );
+    if overhead.overhead_percent >= 5.0 {
+        eprintln!(
+            "warning: metrics recording costs {:.2}% query throughput (budget is 5%)",
+            overhead.overhead_percent
+        );
+    }
+    overhead
 }
 
 #[derive(Serialize)]
@@ -55,6 +135,7 @@ struct TenantBaseline {
     rewarms_total: u64,
     register_seconds: f64,
     query_seconds: f64,
+    metrics_overhead: MetricsOverhead,
 }
 
 /// The multi-tenant lifecycle smoke: many keys, small budget.
@@ -149,6 +230,7 @@ fn run_tenant_smoke() {
         rewarms_total,
         register_seconds,
         query_seconds,
+        metrics_overhead: measure_metrics_overhead(20_000),
     };
     println!(
         "all {tenants} tenants answered; {rewarms_total} re-warms, {evictions_total} evictions \
@@ -267,6 +349,7 @@ fn main() {
         registered_keys,
         engine_runs_warmup,
         engine_runs_after_load,
+        metrics_overhead: measure_metrics_overhead(20_000),
     };
 
     println!(

@@ -76,7 +76,9 @@ pub use config::OptrrConfig;
 pub use error::{OptrrError, Result};
 pub use front::{FrontComparison, FrontPoint, ParetoFront};
 pub use omega::{fnv1a_64, omega_fingerprint, slot_index, OmegaEntry, OmegaSet};
-pub use optimizer::{Optimizer, OptrrOutcome, RunStatistics};
+pub use optimizer::{
+    GenerationObservation, GenerationObserver, Optimizer, OptrrOutcome, RunStatistics,
+};
 pub use problem::{Evaluation, OptrrProblem};
 pub use report::ExperimentReport;
 pub use tune::{tuning, Tuning};

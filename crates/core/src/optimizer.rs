@@ -17,6 +17,32 @@ use rand::SeedableRng;
 use rr::RrMatrix;
 use serde::{Deserialize, Serialize};
 use stats::Categorical;
+use std::sync::Arc;
+
+/// A per-generation observation forwarded to an attached
+/// [`GenerationObserver`] — a plain-data echo of the engine's
+/// [`emoo::GenerationSnapshot`] plus whether the generation improved Ω.
+///
+/// Observers are recording-only: they see each generation after Ω has
+/// absorbed it and cannot influence the run (the stagnation decision is
+/// made from Ω improvement alone, before the observer fires), so an
+/// attached observer never changes the optimization result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationObservation {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Elite-set size after environmental selection.
+    pub archive_size: usize,
+    /// Non-elite individuals evaluated this generation.
+    pub population_size: usize,
+    /// Cumulative objective evaluations so far.
+    pub evaluations: usize,
+    /// Whether any individual of this generation improved Ω.
+    pub omega_improved: bool,
+}
+
+/// A recording-only callback invoked once per engine generation.
+pub type GenerationObserver = Arc<dyn Fn(&GenerationObservation) + Send + Sync>;
 
 /// Summary statistics of one optimization run (serialized into experiment
 /// reports).
@@ -79,9 +105,19 @@ impl OptrrOutcome {
 }
 
 /// The OptRR optimizer.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Optimizer {
     config: OptrrConfig,
+    generation_observer: Option<GenerationObserver>,
+}
+
+impl std::fmt::Debug for Optimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Optimizer")
+            .field("config", &self.config)
+            .field("generation_observer", &self.generation_observer.is_some())
+            .finish()
+    }
 }
 
 impl Optimizer {
@@ -92,7 +128,20 @@ impl Optimizer {
     pub fn new(config: OptrrConfig) -> Result<Self> {
         config.validate()?;
         let _ = crate::tune::tuning();
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            generation_observer: None,
+        })
+    }
+
+    /// Attaches a recording-only per-generation observer (a serving layer
+    /// forwards these into its event trace during refresh runs). The
+    /// observer cannot influence the run: it fires after Ω absorbs each
+    /// generation and its return is ignored, so results with and without
+    /// an observer are bit-identical.
+    pub fn with_generation_observer(mut self, observer: GenerationObserver) -> Self {
+        self.generation_observer = Some(observer);
+        self
     }
 
     /// Borrow the configuration.
@@ -168,6 +217,15 @@ impl Optimizer {
                 generations_without_improvement = 0;
             } else {
                 generations_without_improvement += 1;
+            }
+            if let Some(hook) = &self.generation_observer {
+                hook(&GenerationObservation {
+                    generation: snapshot.generation,
+                    archive_size: snapshot.archive.len(),
+                    population_size: snapshot.population.len(),
+                    evaluations: snapshot.evaluations,
+                    omega_improved: improved,
+                });
             }
             match stagnation_limit {
                 Some(limit) => generations_without_improvement < limit,

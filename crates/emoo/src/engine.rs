@@ -6,8 +6,12 @@
 //! repair, and (batched) evaluation; an [`Engine`] runs the evolutionary
 //! loop and reports each generation through a [`GenerationSnapshot`] whose
 //! individuals carry their already-computed objective vectors, so observers
-//! (like the optimal-set Ω maintenance in `optrr-core`) never need to
-//! re-evaluate anything. [`Spea2`](crate::Spea2) and
+//! (like the optimal-set Ω maintenance in `optrr-core`, which also
+//! forwards each snapshot to the serve stack's event trace during refresh
+//! runs) never need to re-evaluate anything. Beyond its continue/stop
+//! return value, an observer is a read-only tap: it can report a
+//! generation anywhere (counters, traces) without perturbing the engine's
+//! RNG stream or the evolved front. [`Spea2`](crate::Spea2) and
 //! [`Nsga2`](crate::nsga2::Nsga2) both implement [`Engine`] over one shared
 //! [`EngineConfig`], and [`run_engine`] dispatches on [`EngineKind`] so
 //! callers select the backend purely by configuration.

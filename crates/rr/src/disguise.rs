@@ -72,6 +72,38 @@ pub fn disguise_dataset<R: Rng + ?Sized>(
 ) -> Result<DisguiseOutcome> {
     validate_disguise_input(m, original)?;
     let samplers = ColumnSamplers::new(m)?;
+    disguise_with_samplers(&samplers, original, rng)
+}
+
+/// Disguises every record of `original` through pre-built alias tables.
+///
+/// Building [`ColumnSamplers`] is the O(n²) part of a disguise call and is
+/// a pure function of the matrix — it consumes no randomness — so a caller
+/// that pins one matrix (a serving pipeline) builds the tables once and
+/// streams every batch through this entry point. For the same RNG state
+/// the output is bit-identical to [`disguise_dataset`] on the same matrix.
+pub fn disguise_dataset_with<R: Rng + ?Sized>(
+    samplers: &ColumnSamplers,
+    original: &CategoricalDataset,
+    rng: &mut R,
+) -> Result<DisguiseOutcome> {
+    if original.num_categories() != samplers.num_categories() {
+        return Err(RrError::DimensionMismatch {
+            matrix: samplers.num_categories(),
+            data: original.num_categories(),
+        });
+    }
+    if original.is_empty() {
+        return Err(RrError::EmptyData);
+    }
+    disguise_with_samplers(samplers, original, rng)
+}
+
+fn disguise_with_samplers<R: Rng + ?Sized>(
+    samplers: &ColumnSamplers,
+    original: &CategoricalDataset,
+    rng: &mut R,
+) -> Result<DisguiseOutcome> {
     let mut disguised = Vec::with_capacity(original.len());
     let mut retained = 0usize;
     for &x in original.records() {
@@ -228,6 +260,27 @@ mod tests {
         assert_eq!(a, b);
         let c = disguise_dataset(&m, &d, &mut StdRng::seed_from_u64(12)).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_samplers_match_the_per_call_build_bitwise() {
+        let m = warner(3, 0.55).unwrap();
+        let d = dataset();
+        let samplers = ColumnSamplers::new(&m).unwrap();
+        let fresh = disguise_dataset(&m, &d, &mut StdRng::seed_from_u64(31)).unwrap();
+        let cached = disguise_dataset_with(&samplers, &d, &mut StdRng::seed_from_u64(31)).unwrap();
+        assert_eq!(fresh, cached, "table construction consumes no randomness");
+        // The cached path validates like the building path.
+        let wrong = CategoricalDataset::new(4, vec![0, 1, 2, 3]).unwrap();
+        assert!(matches!(
+            disguise_dataset_with(&samplers, &wrong, &mut StdRng::seed_from_u64(31)),
+            Err(RrError::DimensionMismatch { .. })
+        ));
+        let empty = CategoricalDataset::new(3, vec![]).unwrap();
+        assert!(matches!(
+            disguise_dataset_with(&samplers, &empty, &mut StdRng::seed_from_u64(31)),
+            Err(RrError::EmptyData)
+        ));
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub mod sample;
 pub mod schemes;
 
 pub use disguise::{
-    disguise_dataset, disguise_dataset_reference, disguise_paired, DisguiseOutcome,
+    disguise_dataset, disguise_dataset_reference, disguise_dataset_with, disguise_paired,
+    DisguiseOutcome,
 };
 pub use error::{Result, RrError};
 pub use matrix::{RrMatrix, STOCHASTIC_TOLERANCE};

@@ -7,7 +7,10 @@
 //! the streaming pipeline verbs — `Ingest`, `Disguise`, `Estimate`,
 //! `EstimateAll` — the persistence verbs `Save`/`Load` (plus automatic
 //! snapshots on `Sync`/shutdown when `OPTRR_SERVE_SNAPSHOT` is set), and
-//! the multi-tenant lifecycle verbs `Evict`/`Stats`. The engine budget
+//! the multi-tenant lifecycle verbs `Evict`/`Stats`, and the
+//! observability verbs `Metrics`/`Trace` (per-verb latency histograms,
+//! lifecycle counters, and the structured event trace — pure readouts
+//! that never influence serving). The engine budget
 //! defaults to the smoke profile so offline smoke sessions warm up in
 //! well under a second; `--standard` selects the full default budget.
 //!
@@ -23,6 +26,8 @@
 //! #   OPTRR_SERVE_BUDGET_BYTES  resident-memory budget    (default unbounded)
 //! #   OPTRR_SERVE_TTL_SECS      idle-key TTL              (default none)
 //! #   OPTRR_SERVE_SNAPSHOT      snapshot/autosave path    (default none)
+//! #   OPTRR_SERVE_METRICS       metrics + trace recording (default on; 0/false/off disables)
+//! #   OPTRR_SERVE_TRACE_CAP     event-trace ring capacity (default 1024, 0 disables the ring)
 //! ```
 
 use serve::Service;

@@ -19,6 +19,8 @@
 //! | `OPTRR_SERVE_BUDGET_BYTES` | u64 ≥ 1               | resident-memory budget |
 //! | `OPTRR_SERVE_TTL_SECS`     | finite float > 0      | idle-key TTL |
 //! | `OPTRR_SERVE_SNAPSHOT`     | non-empty path        | snapshot/autosave path |
+//! | `OPTRR_SERVE_METRICS`      | `0/1/true/false/on/off` | metrics + event trace recording |
+//! | `OPTRR_SERVE_TRACE_CAP`    | u64 (0 disables)      | event-trace ring capacity |
 
 use crate::service::ServiceConfig;
 use std::time::Duration;
@@ -82,6 +84,24 @@ pub fn env_positive_f64(name: &'static str) -> Result<Option<f64>, EnvError> {
     Ok(Some(value))
 }
 
+/// Reads one boolean variable. Accepted spellings (case-insensitive):
+/// `1`/`0`, `true`/`false`, `on`/`off` — anything else is a startup
+/// error, so `OPTRR_SERVE_METRICS=yes` fails loudly instead of silently
+/// picking a default.
+pub fn env_bool(name: &'static str) -> Result<Option<bool>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Ok(Some(true)),
+        "0" | "false" | "off" => Ok(Some(false)),
+        _ => Err(reject(
+            name,
+            format!("{raw:?} is not one of 1/0, true/false, on/off"),
+        )),
+    }
+}
+
 /// Reads one non-empty string variable (an empty value is an error — it
 /// is always a quoting accident, never a meaningful path).
 pub fn env_nonempty(name: &'static str) -> Result<Option<String>, EnvError> {
@@ -128,6 +148,12 @@ pub fn config_from_env(standard: bool) -> Result<ServiceConfig, EnvError> {
     if let Some(path) = env_nonempty("OPTRR_SERVE_SNAPSHOT")? {
         config.snapshot_path = Some(path);
     }
+    if let Some(metrics) = env_bool("OPTRR_SERVE_METRICS")? {
+        config.metrics = metrics;
+    }
+    if let Some(cap) = env_u64("OPTRR_SERVE_TRACE_CAP", 0)? {
+        config.trace_cap = cap as usize;
+    }
     Ok(config)
 }
 
@@ -153,6 +179,8 @@ mod tests {
         std::env::set_var("OPTRR_SERVE_BUDGET_BYTES", "1048576");
         std::env::set_var("OPTRR_SERVE_TTL_SECS", "2.5");
         std::env::set_var("OPTRR_SERVE_SNAPSHOT", "warm.json");
+        std::env::set_var("OPTRR_SERVE_METRICS", "Off");
+        std::env::set_var("OPTRR_SERVE_TRACE_CAP", "256");
         let config = config_from_env(false).expect("all values valid");
         assert_eq!(config.drift_mse_threshold, 5e-2);
         assert_eq!(config.workers, 3);
@@ -162,6 +190,8 @@ mod tests {
         assert_eq!(config.memory_budget_bytes, Some(1_048_576));
         assert_eq!(config.key_ttl, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(config.snapshot_path.as_deref(), Some("warm.json"));
+        assert!(!config.metrics);
+        assert_eq!(config.trace_cap, 256);
         // The standard profile applies the same overrides on the full
         // engine budget.
         let standard = config_from_env(true).expect("all values valid");
@@ -186,6 +216,10 @@ mod tests {
             ("OPTRR_SERVE_TTL_SECS", "-5"),
             ("OPTRR_SERVE_TTL_SECS", "soon"),
             ("OPTRR_SERVE_SNAPSHOT", "   "),
+            ("OPTRR_SERVE_METRICS", "yes"),
+            ("OPTRR_SERVE_METRICS", "2"),
+            ("OPTRR_SERVE_TRACE_CAP", "-1"),
+            ("OPTRR_SERVE_TRACE_CAP", "lots"),
         ] {
             std::env::set_var(name, bad);
             let error =
@@ -196,6 +230,8 @@ mod tests {
             match name {
                 "OPTRR_SERVE_DRIFT" => std::env::set_var(name, "5e-2"),
                 "OPTRR_SERVE_SNAPSHOT" => std::env::set_var(name, "warm.json"),
+                "OPTRR_SERVE_METRICS" => std::env::set_var(name, "off"),
+                "OPTRR_SERVE_TRACE_CAP" => std::env::set_var(name, "256"),
                 "OPTRR_SERVE_TTL_SECS" => std::env::set_var(name, "2.5"),
                 "OPTRR_SERVE_BUDGET_BYTES" => std::env::set_var(name, "1048576"),
                 "OPTRR_SERVE_COVERAGE" => std::env::set_var(name, "0"),
@@ -212,6 +248,8 @@ mod tests {
             "OPTRR_SERVE_BUDGET_BYTES",
             "OPTRR_SERVE_TTL_SECS",
             "OPTRR_SERVE_SNAPSHOT",
+            "OPTRR_SERVE_METRICS",
+            "OPTRR_SERVE_TRACE_CAP",
         ] {
             std::env::remove_var(name);
         }
@@ -220,5 +258,7 @@ mod tests {
         assert_eq!(config.memory_budget_bytes, None);
         assert_eq!(config.key_ttl, None);
         assert_eq!(config.snapshot_path, None);
+        assert!(config.metrics);
+        assert_eq!(config.trace_cap, crate::telemetry::DEFAULT_TRACE_CAP);
     }
 }

@@ -45,6 +45,14 @@
 //!   privacy ranges — mark the key stale, and the scheduled refresh
 //!   re-optimizes against the *estimated* posterior instead of the
 //!   registered prior.
+//! * [`telemetry`] — [`ServeObs`]: the service-wide observability hub
+//!   built on `optrr-obs` — per-verb latency histograms, lifecycle
+//!   counters, and a bounded ring of structured [`ServeEvent`]s
+//!   (transitions, refresh runs, engine generations, drift/coverage
+//!   trips, evictions, ingest batches, snapshot I/O), exposed through
+//!   the `Metrics`/`Trace` protocol verbs and a Prometheus-style text
+//!   rendering. Recording-only by construction: responses, Ω, and
+//!   posteriors are bitwise-identical with metrics on or off.
 //! * [`env`] — validated `OPTRR_SERVE_*` environment configuration for
 //!   the binary (bad values abort startup instead of silently
 //!   defaulting).
@@ -83,6 +91,7 @@ pub mod protocol;
 pub mod registry;
 pub mod service;
 pub mod shard;
+pub mod telemetry;
 pub mod worker;
 
 pub use counts::ShardedCounts;
@@ -97,4 +106,5 @@ pub use service::{
     MAX_REFRESH_RUNS, REFRESH_TARGET_BLEND,
 };
 pub use shard::ShardedOmega;
+pub use telemetry::{ServeEvent, ServeObs, DEFAULT_TRACE_CAP};
 pub use worker::WorkerPool;

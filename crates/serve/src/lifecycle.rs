@@ -179,10 +179,17 @@ impl std::fmt::Display for KeyState {
     }
 }
 
+/// A recording-only callback observing every successful state transition
+/// `(from, to)` of one key's [`StateCell`] — the hook the service's event
+/// trace attaches at registration. The sink fires *after* the
+/// compare-exchange lands, sees only the two states, and returns nothing,
+/// so it can never influence a transition: lifecycles with and without a
+/// sink behave bit-identically.
+pub type TransitionSink = Arc<dyn Fn(KeyState, KeyState) + Send + Sync>;
+
 /// The compare-exchange-guarded state cell: one packed atomic word plus a
 /// condvar for waiters. All legal transitions are methods; anything else
 /// simply fails the compare-exchange and returns `false`.
-#[derive(Debug)]
 pub struct StateCell {
     bits: AtomicU8,
     /// Engine runs currently executing for this key (a refresh request may
@@ -191,6 +198,17 @@ pub struct StateCell {
     inflight: AtomicU64,
     gate: Mutex<()>,
     changed: Condvar,
+    sink: Option<TransitionSink>,
+}
+
+impl std::fmt::Debug for StateCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateCell")
+            .field("state", &self.state())
+            .field("inflight", &self.inflight())
+            .field("observed", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Default for StateCell {
@@ -202,15 +220,28 @@ impl Default for StateCell {
 impl StateCell {
     /// A fresh cell in [`KeyState::Cold`].
     pub fn new() -> Self {
+        Self::with_sink(None)
+    }
+
+    /// A fresh cold cell whose successful transitions are reported to
+    /// `sink` (see [`TransitionSink`]).
+    pub fn with_sink(sink: Option<TransitionSink>) -> Self {
         Self {
             bits: AtomicU8::new(KeyState::Cold.encode()),
             inflight: AtomicU64::new(0),
             gate: Mutex::new(()),
             changed: Condvar::new(),
+            sink,
         }
     }
 
     /// The current state.
+    ///
+    /// This load keeps acquire (SeqCst) semantics on purpose — unlike the
+    /// pure-telemetry counters below, it guards data: a reader that
+    /// observes `has_warm_data()` goes on to read the warm store and seed
+    /// set the finishing run populated *before* its release CAS to `Warm`,
+    /// so the load must synchronize-with that CAS.
     pub fn state(&self) -> KeyState {
         KeyState::decode(self.bits.load(Ordering::SeqCst))
     }
@@ -231,6 +262,13 @@ impl StateCell {
             )
             .is_ok();
         if swapped {
+            // Sink before notify: a waiter woken by this transition may
+            // immediately emit its own trace events, so the transition
+            // must reach the trace first to keep the ring causally
+            // ordered.
+            if let Some(sink) = &self.sink {
+                sink(from, to);
+            }
             self.notify();
         }
         swapped
@@ -439,20 +477,30 @@ pub struct KeyLifecycle {
     rewarms: AtomicU64,
 }
 
+// The per-key telemetry counters (queries, touch stamp, coverage misses,
+// drift events, evictions, re-warms) are accessed with `Ordering::Relaxed`
+// throughout: they guard nothing and order nothing — every exactly-once
+// guarantee in this module (one scheduled refresh per coverage episode,
+// one eviction claim, one re-warm) comes from a `StateCell` CAS, never
+// from a counter value. The counters only need each increment to land,
+// which `fetch_add` guarantees at any ordering. The exceptions that stay
+// SeqCst: the `StateCell` word itself (see `StateCell::state`) and
+// `engine_runs`, whose value seeds deterministic refresh runs.
 impl KeyLifecycle {
-    pub(crate) fn new(
+    pub(crate) fn with_sink(
         key: u64,
         prior: Categorical,
         delta: f64,
         num_slots: usize,
         num_shards: usize,
+        sink: Option<TransitionSink>,
     ) -> Self {
         Self {
             key,
             prior,
             delta,
             num_slots,
-            state: StateCell::new(),
+            state: StateCell::with_sink(sink),
             store: ShardedOmega::new(num_slots, num_shards),
             engine_runs: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -535,12 +583,12 @@ impl KeyLifecycle {
 
     /// Number of point/front queries served from this entry.
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::SeqCst)
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Counts one served query.
     pub fn count_query(&self) {
-        self.queries.fetch_add(1, Ordering::SeqCst);
+        self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The warm-start seed set: the previous run's archive matrices.
@@ -585,62 +633,66 @@ impl KeyLifecycle {
 
     /// Stamps the LRU clock.
     pub fn touch(&self, now_ms: u64) {
-        self.last_touch_ms.store(now_ms, Ordering::SeqCst);
+        self.last_touch_ms.store(now_ms, Ordering::Relaxed);
     }
 
     /// Milliseconds of the last touch on the owning service's clock.
     pub fn last_touch_ms(&self) -> u64 {
-        self.last_touch_ms.load(Ordering::SeqCst)
+        self.last_touch_ms.load(Ordering::Relaxed)
     }
 
     /// Counts one coverage miss (a point query no stored matrix could
-    /// satisfy) and returns the new total.
+    /// satisfy) and returns the new total. Relaxed is enough even for the
+    /// threshold comparison built on this return value: `fetch_add` is
+    /// atomic at any ordering, so every miss observes a distinct total,
+    /// and the exactly-once refresh claim is the `try_mark_stale` CAS,
+    /// not the count.
     pub fn count_coverage_miss(&self) -> u64 {
-        self.coverage_misses.fetch_add(1, Ordering::SeqCst) + 1
+        self.coverage_misses.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Point queries that matched nothing in the current coverage
     /// episode (reset when a coverage-stale claim wins, so each episode
     /// schedules exactly one refresh instead of one per further miss).
     pub fn coverage_misses(&self) -> u64 {
-        self.coverage_misses.load(Ordering::SeqCst)
+        self.coverage_misses.load(Ordering::Relaxed)
     }
 
     /// Starts a new coverage episode (the miss count begins again).
     pub fn reset_coverage_misses(&self) {
-        self.coverage_misses.store(0, Ordering::SeqCst);
+        self.coverage_misses.store(0, Ordering::Relaxed);
     }
 
     /// Counts one drift event (an estimate beyond the MSE threshold).
     pub fn count_drift_event(&self) {
-        self.drift_events.fetch_add(1, Ordering::SeqCst);
+        self.drift_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drift events observed for this key. Unlike the pinned pipeline's
     /// per-stream counter this one survives eviction, and snapshots
     /// persist it so `Stats` keeps the history across restarts.
     pub fn drift_events(&self) -> u64 {
-        self.drift_events.load(Ordering::SeqCst)
+        self.drift_events.load(Ordering::Relaxed)
     }
 
     /// Restores the drift-event history from a snapshot.
     pub fn restore_drift_events(&self, events: u64) {
-        self.drift_events.store(events, Ordering::SeqCst);
+        self.drift_events.store(events, Ordering::Relaxed);
     }
 
     /// Times this key's resident state was evicted.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::SeqCst)
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Times this key was re-warmed after an eviction.
     pub fn rewarms(&self) -> u64 {
-        self.rewarms.load(Ordering::SeqCst)
+        self.rewarms.load(Ordering::Relaxed)
     }
 
     /// Counts one completed re-warm.
     pub fn count_rewarm(&self) {
-        self.rewarms.fetch_add(1, Ordering::SeqCst);
+        self.rewarms.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Approximate resident heap bytes of this key: the sharded Ω, the
@@ -665,7 +717,7 @@ impl KeyLifecycle {
         self.store.clear();
         self.warm_seeds.lock().expect("seed lock").clear();
         *self.pipeline.lock().expect("pipeline lock") = None;
-        self.evictions.fetch_add(1, Ordering::SeqCst);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
         freed
     }
 }
@@ -882,6 +934,40 @@ mod tests {
     }
 
     #[test]
+    fn transition_sink_sees_every_won_cas_and_no_lost_one() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink: TransitionSink = {
+            let log = Arc::clone(&log);
+            Arc::new(move |from, to| log.lock().unwrap().push((from, to)))
+        };
+        let cell = StateCell::with_sink(Some(sink));
+        assert!(cell.claim_warmup());
+        cell.begin_run();
+        cell.finish_run(true);
+        assert!(cell.try_mark_stale(StaleReason::Drift));
+        assert!(
+            !cell.try_mark_stale(StaleReason::Manual),
+            "a lost claim emits nothing"
+        );
+        cell.begin_run();
+        cell.finish_run(true);
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            vec![
+                (KeyState::Cold, KeyState::Warming),
+                (KeyState::Warming, KeyState::Warm),
+                (KeyState::Warm, KeyState::Stale(StaleReason::Drift)),
+                (
+                    KeyState::Stale(StaleReason::Drift),
+                    KeyState::Refreshing(StaleReason::Drift)
+                ),
+                (KeyState::Refreshing(StaleReason::Drift), KeyState::Warm),
+            ]
+        );
+    }
+
+    #[test]
     fn state_display_names_are_stable() {
         assert_eq!(KeyState::Cold.to_string(), "cold");
         assert_eq!(KeyState::Warming.to_string(), "warming");
@@ -925,7 +1011,7 @@ mod tests {
     #[test]
     fn lifecycle_owns_counters_and_drops_resident_state_on_eviction() {
         let prior = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
-        let entry = KeyLifecycle::new(7, prior, 0.8, 100, 4);
+        let entry = KeyLifecycle::with_sink(7, prior, 0.8, 100, 4, None);
         assert_eq!(entry.key(), 7);
         assert_eq!(entry.state(), KeyState::Cold);
         assert_eq!(entry.resident_bytes(), entry.store().approx_bytes());

@@ -32,6 +32,7 @@ use crate::counts::ShardedCounts;
 use crate::lifecycle::StaleReason;
 use crate::registry::KeyEntry;
 use crate::service::{Result, ServeError, Service};
+use crate::telemetry::ServeEvent;
 use optrr::Evaluation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +40,7 @@ use rr::estimate::{
     estimate_from_disguised_frequencies, iterative_estimate_from_frequencies,
     iterative_estimate_warm,
 };
-use rr::RrMatrix;
+use rr::{ColumnSamplers, RrMatrix};
 use serde::{Deserialize, Serialize};
 use stats::divergence::mean_squared_error;
 use stats::{Categorical, CountSet};
@@ -52,6 +53,14 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct KeyPipeline {
     matrix: RrMatrix,
+    /// The pinned matrix's Walker/Vose alias tables, built once beside
+    /// the pin. Building them is the O(n²) part of a disguise call;
+    /// caching them here means a stream of small raw batches pays O(n²)
+    /// once per pin, not once per batch. The tables are a deterministic
+    /// function of the matrix and consume no RNG, so the cached path is
+    /// bitwise-identical to a per-batch rebuild (asserted in
+    /// `rr::disguise`).
+    samplers: ColumnSamplers,
     evaluation: Evaluation,
     min_privacy: f64,
     counts: ShardedCounts,
@@ -67,10 +76,13 @@ impl KeyPipeline {
         evaluation: Evaluation,
         min_privacy: f64,
         num_shards: usize,
-    ) -> Self {
+    ) -> std::result::Result<Self, String> {
         let num_categories = matrix.num_categories();
-        Self {
+        let samplers = ColumnSamplers::new(&matrix)
+            .map_err(|e| format!("pinned matrix rejected by the sampler build: {e}"))?;
+        Ok(Self {
             matrix,
+            samplers,
             evaluation,
             min_privacy,
             counts: ShardedCounts::new(num_categories, num_shards),
@@ -78,7 +90,7 @@ impl KeyPipeline {
             estimates: AtomicU64::new(0),
             drift_events: AtomicU64::new(0),
             posterior: Mutex::new(None),
-        }
+        })
     }
 
     /// The disguise matrix pinned at the first ingest. Every batch of the
@@ -86,6 +98,11 @@ impl KeyPipeline {
     /// invert a single known channel.
     pub fn matrix(&self) -> &RrMatrix {
         &self.matrix
+    }
+
+    /// The pinned matrix's cached alias tables (see the field docs).
+    pub fn samplers(&self) -> &ColumnSamplers {
+        &self.samplers
     }
 
     /// The pinned matrix's evaluation (privacy, closed-form MSE) at
@@ -169,7 +186,7 @@ impl KeyPipeline {
             snapshot.evaluation,
             snapshot.min_privacy,
             num_shards,
-        );
+        )?;
         if !snapshot.counts.is_empty() {
             pipeline
                 .counts
@@ -334,7 +351,10 @@ impl Service {
             found.evaluation,
             min_privacy,
             self.config().num_shards,
-        );
+        )
+        .map_err(ServeError::InvalidRequest)?;
+        self.obs()
+            .emit(ServeEvent::SamplerRebuild { key: entry.key() });
         // A concurrent first ingest may have won the race; install returns
         // the pipeline that ended up pinned either way.
         Ok(entry.install_pipeline(pipeline))
@@ -357,17 +377,21 @@ impl Service {
             ))
         })?;
         let (disguised, retained) =
-            self.disguise_batch(&found.matrix, entry.key(), records, seed)?;
+            self.disguise_batch(&found.matrix, None, entry.key(), records, seed)?;
         Ok((found.evaluation, disguised, retained))
     }
 
     /// The one disguise path shared by `disguise` and `ingest`: applies
     /// the matrix to one batch under the explicit seed or its
     /// payload-fingerprint default, returning the disguised records and
-    /// how many kept their original value.
+    /// how many kept their original value. `samplers` carries the pinned
+    /// pipeline's cached alias tables; the stateless `Disguise` verb has
+    /// no pipeline to cache in and passes `None`, paying the build per
+    /// call. The two paths are bitwise-identical for the same seed.
     fn disguise_batch(
         &self,
         matrix: &RrMatrix,
+        samplers: Option<&ColumnSamplers>,
         key: u64,
         records: &[usize],
         seed: Option<u64>,
@@ -381,8 +405,14 @@ impl Service {
             .map_err(|e| ServeError::InvalidRequest(format!("invalid records: {e}")))?;
         let seed = seed.unwrap_or_else(|| payload_seed(self.config().base.seed, key, records));
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = rr::disguise_dataset(matrix, &dataset, &mut rng)
-            .map_err(|e| ServeError::InvalidRequest(format!("disguise failed: {e}")))?;
+        let outcome = match samplers {
+            Some(samplers) => rr::disguise_dataset_with(samplers, &dataset, &mut rng),
+            None => {
+                self.obs().emit(ServeEvent::SamplerRebuild { key });
+                rr::disguise_dataset(matrix, &dataset, &mut rng)
+            }
+        }
+        .map_err(|e| ServeError::InvalidRequest(format!("disguise failed: {e}")))?;
         Ok((
             outcome.disguised.records().to_vec(),
             outcome.retained as u64,
@@ -431,8 +461,15 @@ impl Service {
         let pipeline = self.pipeline_for(entry, min_privacy.unwrap_or(0.0))?;
         let (accepted, retained) = match batch {
             Batch::Raw(records) => {
-                let (disguised, retained) =
-                    self.disguise_batch(pipeline.matrix(), entry.key(), records, seed)?;
+                // The cached alias tables make a small raw batch cost
+                // O(batch), not O(n²) + O(batch).
+                let (disguised, retained) = self.disguise_batch(
+                    pipeline.matrix(),
+                    Some(pipeline.samplers()),
+                    entry.key(),
+                    records,
+                    seed,
+                )?;
                 pipeline
                     .counts()
                     .ingest_records(&disguised)
@@ -451,11 +488,17 @@ impl Service {
             }
         };
         entry.touch(self.now_ms());
+        let total = pipeline.counts().total();
+        self.obs().emit(ServeEvent::Ingest {
+            key: entry.key(),
+            accepted,
+            total,
+        });
         Ok(IngestOutcome {
             key: entry.key(),
             accepted,
             retained,
-            total: pipeline.counts().total(),
+            total,
             batches: pipeline.counts().batches(),
             privacy: pipeline.evaluation().privacy,
         })
@@ -512,6 +555,10 @@ impl Service {
         if drifted {
             pipeline.drift_events.fetch_add(1, Ordering::SeqCst);
             entry.count_drift_event();
+            self.obs().emit(ServeEvent::Drift {
+                key: entry.key(),
+                mse: mse_vs_prior,
+            });
             // The population no longer follows the registered prior. The
             // lifecycle's compare-exchange makes concurrent drift
             // observations schedule exactly one refresh between them —
@@ -723,12 +770,9 @@ mod tests {
             RrMatrix::from_columns(&[shared.clone(), shared, distinct.clone(), distinct]).unwrap();
         assert!(!singular.is_invertible());
         let evaluation = service.best_for_privacy(&entry, 0.0).unwrap().evaluation;
-        entry.install_pipeline(KeyPipeline::new(
-            singular,
-            evaluation,
-            0.0,
-            service.config().num_shards,
-        ));
+        entry.install_pipeline(
+            KeyPipeline::new(singular, evaluation, 0.0, service.config().num_shards).unwrap(),
+        );
 
         // Counts proportional to M·q for q = (0.4, 0.3, 0.2, 0.1): an
         // exactly explainable disguised distribution, so the EM fixed

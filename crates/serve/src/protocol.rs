@@ -10,8 +10,19 @@
 //! {"BestForPrivacy":{"name":"demo","min_privacy":0.2}}
 //! {"Front":{"name":"demo"}}
 //! {"Stats":{}}
+//! "Metrics"
+//! {"Trace":{"limit":50}}
 //! "Shutdown"
 //! ```
+//!
+//! `Metrics` reads out every counter, gauge, and per-verb latency
+//! histogram (p50/p90/p99 in nanoseconds) plus a Prometheus-style text
+//! rendering; `Trace` returns the newest entries of the bounded
+//! structured event trace (lifecycle transitions, refresh runs, drift
+//! and coverage trips, evictions, ingest batches, snapshot I/O). Both
+//! are pure readouts: issuing them never changes how later requests are
+//! answered, and a service running metrics-off answers them with
+//! `enabled: false` and empty payloads.
 //!
 //! Every request that addresses a registered problem accepts either the
 //! canonical `key` fingerprint (returned by `Register`) or the `name`
@@ -163,8 +174,48 @@ pub enum Request {
         /// Alias supplied at registration.
         name: Option<String>,
     },
+    /// Point-in-time metrics readout: every counter and gauge, plus
+    /// per-verb latency histograms (p50/p90/p99 in nanoseconds) and a
+    /// Prometheus-style text rendering. Example line: `"Metrics"`.
+    /// Answers with zeroed payloads when the service runs metrics-off.
+    Metrics,
+    /// The newest entries of the structured event trace (lifecycle
+    /// transitions, refresh runs, drift and coverage trips, evictions,
+    /// ingest batches, snapshot I/O). Example lines: `"Trace"` reads the
+    /// whole ring, `{"Trace":{"limit":50}}` the newest 50 events.
+    Trace {
+        /// Cap on returned events (whole ring when omitted).
+        limit: Option<usize>,
+    },
     /// End the session.
     Shutdown,
+}
+
+impl Request {
+    /// The verb's stable lowercase name — the label of its per-verb
+    /// latency histogram (`serve_verb_<verb>_latency_ns`).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::RegisterBatch { .. } => "register_batch",
+            Request::BestForPrivacy { .. } => "best_for_privacy",
+            Request::BestForMse { .. } => "best_for_mse",
+            Request::Front { .. } => "front",
+            Request::Ingest { .. } => "ingest",
+            Request::Disguise { .. } => "disguise",
+            Request::Estimate { .. } => "estimate",
+            Request::EstimateAll => "estimate_all",
+            Request::Save { .. } => "save",
+            Request::Load { .. } => "load",
+            Request::Evict { .. } => "evict",
+            Request::Refresh { .. } => "refresh",
+            Request::Sync => "sync",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// A disguise matrix in transport form: column-major, one randomization
@@ -271,6 +322,52 @@ pub struct EstimateDto {
     pub drifted: bool,
     /// Whether the key is marked stale after this estimate.
     pub stale: bool,
+}
+
+/// One named counter or gauge value reported by `Metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricValueDto {
+    /// Registered metric name (e.g. `serve_queries_total`).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One latency histogram reported by `Metrics`. Quantiles are the upper
+/// bound of the log₂ bucket containing the rank, in nanoseconds, so they
+/// never understate the true latency by more than one bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramDto {
+    /// Registered histogram name (e.g. `serve_verb_estimate_latency_ns`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+/// One structured event reported by `Trace`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEventDto {
+    /// Position in the global event order (0-based, never reused — gaps
+    /// relative to `dropped` show what the ring discarded).
+    pub seq: u64,
+    /// Nanoseconds on the service's trace clock at record time.
+    pub at_ns: u64,
+    /// Event kind tag (`transition`, `refresh_run`, `drift`, ...).
+    pub kind: String,
+    /// The key the event concerns, when it concerns one.
+    pub key: Option<u64>,
+    /// One-line human-readable payload rendering.
+    pub detail: String,
 }
 
 /// A response line of the serving protocol.
@@ -422,6 +519,29 @@ pub enum Response {
         /// Evictions performed since start (budget, TTL, and manual).
         evictions: u64,
     },
+    /// Point-in-time metrics readout.
+    Metrics {
+        /// Whether the service records metrics at all (`false` means the
+        /// payloads below are empty, not zero-valued).
+        enabled: bool,
+        /// Every registered counter, name-sorted.
+        counters: Vec<MetricValueDto>,
+        /// Every registered gauge, name-sorted.
+        gauges: Vec<MetricValueDto>,
+        /// Every registered latency histogram, name-sorted.
+        histograms: Vec<HistogramDto>,
+        /// The same snapshot as Prometheus-style exposition text.
+        prometheus: String,
+    },
+    /// The newest structured trace events.
+    Trace {
+        /// Whether the service records a trace at all.
+        enabled: bool,
+        /// Events the bounded ring discarded before this readout.
+        dropped: u64,
+        /// The newest events, oldest first.
+        events: Vec<TraceEventDto>,
+    },
     /// The request could not be served.
     Error {
         /// Explanation.
@@ -534,6 +654,9 @@ mod tests {
                 key: None,
                 name: None,
             },
+            Request::Metrics,
+            Request::Trace { limit: Some(50) },
+            Request::Trace { limit: None },
             Request::Shutdown,
         ];
         for request in requests {
@@ -541,6 +664,27 @@ mod tests {
             assert!(!line.contains('\n'), "one frame per line: {line}");
             let back = decode_request(&line).unwrap();
             assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn every_verb_has_a_stable_histogram_label() {
+        let labeled = [
+            (Request::EstimateAll, "estimate_all"),
+            (Request::Sync, "sync"),
+            (Request::Metrics, "metrics"),
+            (Request::Trace { limit: None }, "trace"),
+            (Request::Shutdown, "shutdown"),
+            (
+                Request::Front {
+                    key: Some(1),
+                    name: None,
+                },
+                "front",
+            ),
+        ];
+        for (request, verb) in labeled {
+            assert_eq!(request.verb(), verb);
         }
     }
 
@@ -673,6 +817,38 @@ mod tests {
                 budget_bytes: Some(8_000_000),
                 evictions: 5,
             },
+            Response::Metrics {
+                enabled: true,
+                counters: vec![MetricValueDto {
+                    name: "serve_queries_total".into(),
+                    value: 100,
+                }],
+                gauges: vec![MetricValueDto {
+                    name: "serve_registered_keys".into(),
+                    value: 3,
+                }],
+                histograms: vec![HistogramDto {
+                    name: "serve_verb_estimate_latency_ns".into(),
+                    count: 12,
+                    sum: 48_000,
+                    max: 9_001,
+                    p50: 4_095,
+                    p90: 8_191,
+                    p99: 16_383,
+                }],
+                prometheus: "# TYPE serve_queries_total counter\nserve_queries_total 100\n".into(),
+            },
+            Response::Trace {
+                enabled: true,
+                dropped: 2,
+                events: vec![TraceEventDto {
+                    seq: 7,
+                    at_ns: 123_456,
+                    kind: "transition".into(),
+                    key: Some(9),
+                    detail: "cold -> warming".into(),
+                }],
+            },
             Response::Error {
                 reason: "unknown key".into(),
             },
@@ -713,6 +889,9 @@ mod tests {
             r#"{"Stats":{}}"#,
             r#"{"Evict":{"name":"demo"}}"#,
             r#""Sync""#,
+            r#""Metrics""#,
+            r#"{"Trace":{"limit":50}}"#,
+            r#"{"Trace":{}}"#,
             r#""Shutdown""#,
         ];
         for line in lines {

@@ -9,7 +9,7 @@
 //! fingerprint-keyed map over those entries: a read-mostly `RwLock` where
 //! queries take the read lock for the time it takes to clone one `Arc`.
 
-use crate::lifecycle::KeyLifecycle;
+use crate::lifecycle::{KeyLifecycle, TransitionSink};
 use optrr::omega_fingerprint;
 use stats::Categorical;
 use std::collections::HashMap;
@@ -43,6 +43,25 @@ impl Registry {
         num_slots: usize,
         num_shards: usize,
     ) -> (Arc<KeyEntry>, bool) {
+        self.insert_or_get_observed(prior, delta, num_slots, num_shards, |_| None)
+    }
+
+    /// [`insert_or_get`], attaching a lifecycle [`TransitionSink`] when
+    /// the entry is created. The sink factory receives the canonical
+    /// fingerprint (so it can bake the key into trace events) and runs
+    /// under the write lock *before* the entry is published, so no
+    /// transition — not even a racing first warm-up claim — can slip by
+    /// unobserved. The sink is recording-only; see [`TransitionSink`].
+    ///
+    /// [`insert_or_get`]: Registry::insert_or_get
+    pub fn insert_or_get_observed(
+        &self,
+        prior: &Categorical,
+        delta: f64,
+        num_slots: usize,
+        num_shards: usize,
+        sink_for: impl FnOnce(u64) -> Option<TransitionSink>,
+    ) -> (Arc<KeyEntry>, bool) {
         let key = omega_fingerprint(prior, delta, num_slots);
         if let Some(entry) = self.entries.read().expect("registry lock").get(&key) {
             return (Arc::clone(entry), false);
@@ -53,12 +72,13 @@ impl Registry {
         if let Some(entry) = entries.get(&key) {
             return (Arc::clone(entry), false);
         }
-        let entry = Arc::new(KeyEntry::new(
+        let entry = Arc::new(KeyEntry::with_sink(
             key,
             prior.clone(),
             delta,
             num_slots,
             num_shards,
+            sink_for(key),
         ));
         entries.insert(key, Arc::clone(&entry));
         (entry, true)

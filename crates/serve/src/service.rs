@@ -38,9 +38,14 @@
 
 use crate::lifecycle::{KeyState, StaleReason};
 use crate::pipeline::PipelineSnapshot;
-use crate::protocol::{EstimateDto, KeyStatsDto, MatrixDto, Request, Response};
+use crate::protocol::{
+    EstimateDto, HistogramDto, KeyStatsDto, MatrixDto, MetricValueDto, Request, Response,
+    TraceEventDto,
+};
 use crate::registry::{KeyEntry, Registry};
+use crate::telemetry::{ServeEvent, ServeObs, DEFAULT_TRACE_CAP};
 use crate::worker::WorkerPool;
+use obs::{Clock, MonotonicClock};
 use optrr::{OmegaSet, Optimizer, OptrrConfig, OptrrError};
 use rr::estimate::IterativeConfig;
 use serde::{Deserialize, Serialize};
@@ -146,6 +151,16 @@ pub struct ServiceConfig {
     /// (`<path>.key-<fingerprint>.json`) from which the next query
     /// re-warms it bitwise-identically.
     pub snapshot_path: Option<String>,
+    /// Whether the service records observability at all (counters,
+    /// per-verb latency histograms, the event trace). Recording is
+    /// one-way — no metric ever feeds back into request handling — so a
+    /// metrics-on and a metrics-off service answer every non-`Metrics`/
+    /// `Trace` request bitwise-identically (asserted end to end by the
+    /// invisibility test).
+    pub metrics: bool,
+    /// Bound on the structured event trace (events, not bytes); 0 keeps
+    /// metrics live but disables the trace.
+    pub trace_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +182,8 @@ impl Default for ServiceConfig {
             memory_budget_bytes: None,
             key_ttl: None,
             snapshot_path: None,
+            metrics: true,
+            trace_cap: DEFAULT_TRACE_CAP,
         }
     }
 }
@@ -281,12 +298,22 @@ pub struct Service {
     queries: AtomicU64,
     warm_hits: AtomicU64,
     evictions: AtomicU64,
+    obs: Arc<ServeObs>,
 }
 
 impl Service {
-    /// Builds a service and spawns its worker pool.
+    /// Builds a service and spawns its worker pool. Observability uses
+    /// the wall clock; tests that assert on trace timestamps use
+    /// [`Service::with_clock`].
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`Service::new`] with an injected observability clock, so event
+    /// traces are deterministic under test.
+    pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let pool = WorkerPool::new(config.workers);
+        let obs = Arc::new(ServeObs::new(config.metrics, config.trace_cap, clock));
         Self {
             config,
             registry: Registry::new(),
@@ -295,12 +322,19 @@ impl Service {
             queries: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            obs,
         }
     }
 
     /// Borrow the configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Borrow the observability hub (the `Metrics`/`Trace` verbs, the
+    /// bench, and tests read it; nothing in the service does).
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
     }
 
     /// Borrow the registry (tests and the bench inspect counters).
@@ -386,10 +420,28 @@ impl Service {
         let warm_seeds = entry.take_warm_seeds();
         let target = self.refresh_target(entry, from);
         let result = Optimizer::new(config).and_then(|optimizer| {
+            // Forward per-generation engine snapshots into the event
+            // trace. The hook is recording-only (the optimizer ignores
+            // it for every decision), so attaching it cannot perturb the
+            // run — `None` when metrics are off.
+            let optimizer = match self.obs.generation_observer(entry.key()) {
+                Some(hook) => optimizer.with_generation_observer(hook),
+                None => optimizer,
+            };
             optimizer.optimize_refresh(entry.prior(), target.as_ref(), warm_seeds)
         });
         match result {
             Ok(outcome) => {
+                let stats = &outcome.statistics;
+                self.obs.emit(ServeEvent::RefreshRun {
+                    key: entry.key(),
+                    run_index,
+                    generations: stats.generations_run as u64,
+                    evaluations: stats.evaluations as u64,
+                    pairs_reused: stats.fitness_pairs_reused,
+                    pairs_computed: stats.fitness_pairs_computed,
+                    landed: true,
+                });
                 entry.store().absorb(&outcome.omega);
                 entry.put_warm_seeds(outcome.warm_seeds());
                 entry.put_statistics(outcome.statistics);
@@ -400,6 +452,15 @@ impl Service {
                 // here is exceptional; the state still resolves (queries
                 // see an empty store and answer NoMatch) instead of
                 // wedging, and a failed refresh keeps its staleness debt.
+                self.obs.emit(ServeEvent::RefreshRun {
+                    key: entry.key(),
+                    run_index,
+                    generations: 0,
+                    evaluations: 0,
+                    pairs_reused: 0,
+                    pairs_computed: 0,
+                    landed: false,
+                });
                 eprintln!(
                     "optrr-serve: refresh of key {:x} failed: {error}",
                     entry.key()
@@ -461,6 +522,7 @@ impl Service {
         };
         guard.landed = self.restore_resident(entry);
         entry.count_rewarm();
+        self.obs.emit(ServeEvent::Rewarmed { key: entry.key() });
         entry.touch(self.now_ms());
         // As in run_refresh: budget holds before any waiter wakes.
         self.enforce_memory(entry.key());
@@ -505,9 +567,13 @@ impl Service {
         let num_slots = slots
             .unwrap_or(self.config.default_slots)
             .clamp(1, MAX_OMEGA_SLOTS);
-        let (entry, _created) =
-            self.registry
-                .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
+        let (entry, _created) = self.registry.insert_or_get_observed(
+            &prior,
+            delta,
+            num_slots,
+            self.config.num_shards,
+            |key| self.obs.transition_sink(key),
+        );
         if let Some(name) = name {
             self.registry.bind_name(name, entry.key());
         }
@@ -550,9 +616,13 @@ impl Service {
         let mut cold: Vec<(usize, Categorical)> = Vec::new();
         for (index, weights) in priors.iter().enumerate() {
             let prior = Self::prior_from_weights(weights)?;
-            let (entry, _) =
-                self.registry
-                    .insert_or_get(&prior, delta, num_slots, self.config.num_shards);
+            let (entry, _) = self.registry.insert_or_get_observed(
+                &prior,
+                delta,
+                num_slots,
+                self.config.num_shards,
+                |key| self.obs.transition_sink(key),
+            );
             if let Some(name) = names.and_then(|n| n.get(index)) {
                 self.registry.bind_name(name, entry.key());
             }
@@ -622,6 +692,9 @@ impl Service {
         if was_warm {
             self.warm_hits.fetch_add(1, Ordering::SeqCst);
         }
+        // The hottest instrumentation site: one branch plus at most two
+        // relaxed increments, no trace event, no timestamp.
+        self.obs.count_query(was_warm);
     }
 
     /// Counts a coverage miss — a point query no stored matrix satisfied —
@@ -629,11 +702,16 @@ impl Service {
     /// schedules one refresh (the query-shape staleness trigger).
     fn note_coverage_miss(self: &Arc<Self>, entry: &Arc<KeyEntry>) {
         let misses = entry.count_coverage_miss();
+        self.obs.count_coverage_miss();
         let threshold = self.config.coverage_miss_threshold;
         if threshold > 0
             && misses >= threshold
             && entry.lifecycle().try_mark_stale(StaleReason::Coverage)
         {
+            self.obs.emit(ServeEvent::CoverageTrip {
+                key: entry.key(),
+                misses,
+            });
             // A won claim starts a new episode: the count begins again,
             // so a floor the refresh still cannot cover costs one engine
             // run per `threshold` misses, not one per miss.
@@ -722,6 +800,10 @@ impl Service {
         }
         let freed = entry.drop_resident_state();
         self.evictions.fetch_add(1, Ordering::SeqCst);
+        self.obs.emit(ServeEvent::Evicted {
+            key: entry.key(),
+            bytes_freed: freed,
+        });
         entry.lifecycle().finish_evict();
         Some(freed)
     }
@@ -757,6 +839,8 @@ impl Service {
         if let Some(pipeline) = &snapshot.pipeline {
             match crate::pipeline::KeyPipeline::restore(pipeline, self.config.num_shards) {
                 Ok(restored) => {
+                    self.obs
+                        .emit(ServeEvent::SamplerRebuild { key: entry.key() });
                     entry.install_pipeline(restored);
                 }
                 Err(reason) => {
@@ -921,6 +1005,9 @@ impl Service {
             .map_err(|e| ServeError::Snapshot(format!("encode failed: {e}")))?;
         std::fs::write(path, encoded + "\n")
             .map_err(|e| ServeError::Snapshot(format!("write {path:?} failed: {e}")))?;
+        self.obs.emit(ServeEvent::SnapshotSaved {
+            keys: snapshot.keys.len() as u64,
+        });
         Ok(snapshot.keys.len())
     }
 
@@ -983,9 +1070,13 @@ impl Service {
                     )));
                 }
             }
-            let (entry, created) =
-                self.registry
-                    .insert_or_get(&prior, key.delta, slots, self.config.num_shards);
+            let (entry, created) = self.registry.insert_or_get_observed(
+                &prior,
+                key.delta,
+                slots,
+                self.config.num_shards,
+                |key| self.obs.transition_sink(key),
+            );
             for name in &key.names {
                 self.registry.bind_name(name, entry.key());
             }
@@ -1033,6 +1124,8 @@ impl Service {
                     }
                 }
                 if let Some(restored) = pipeline_restore.map_err(ServeError::Snapshot)? {
+                    self.obs
+                        .emit(ServeEvent::SamplerRebuild { key: entry.key() });
                     entry.install_pipeline(restored);
                 }
                 if created {
@@ -1053,6 +1146,10 @@ impl Service {
             }
         }
         self.enforce_memory(u64::MAX);
+        self.obs.emit(ServeEvent::SnapshotLoaded {
+            created: created_count as u64,
+            merged: merged_count as u64,
+        });
         Ok((created_count, merged_count))
     }
 
@@ -1279,12 +1376,67 @@ impl Service {
                     }
                 }
             }
+            Request::Metrics => self.metrics_response(),
+            Request::Trace { limit } => {
+                let (entries, dropped) = self.obs.trace_snapshot(limit);
+                Response::Trace {
+                    enabled: self.obs.enabled() && self.obs.trace_capacity() > 0,
+                    dropped,
+                    events: entries
+                        .into_iter()
+                        .map(|entry| TraceEventDto {
+                            seq: entry.seq,
+                            at_ns: entry.at_ns,
+                            kind: entry.event.kind().to_string(),
+                            key: entry.event.key(),
+                            detail: entry.event.detail(),
+                        })
+                        .collect(),
+                }
+            }
             Request::Shutdown => {
                 self.wait_idle();
                 self.autosave();
                 Response::Bye
             }
         })
+    }
+
+    /// Answers the `Metrics` verb: refreshes the point-in-time gauges
+    /// (registered keys, resident bytes, worker-pool totals), then ships
+    /// one snapshot as DTOs plus its Prometheus-style rendering.
+    fn metrics_response(&self) -> Response {
+        self.obs
+            .set_gauge("serve_registered_keys", self.registry.len() as u64);
+        self.obs
+            .set_gauge("serve_resident_bytes", self.registry.resident_bytes());
+        self.obs
+            .set_gauge("serve_worker_jobs_submitted", self.pool.jobs_submitted());
+        self.obs
+            .set_gauge("serve_worker_jobs_executed", self.pool.jobs_executed());
+        self.obs
+            .set_gauge("serve_worker_jobs_panicked", self.pool.jobs_panicked());
+        let snapshot = self.obs.metrics_snapshot();
+        let value_dto = |(name, value): (String, u64)| MetricValueDto { name, value };
+        Response::Metrics {
+            enabled: self.obs.enabled(),
+            counters: snapshot.counters.into_iter().map(value_dto).collect(),
+            gauges: snapshot.gauges.into_iter().map(value_dto).collect(),
+            histograms: snapshot
+                .histograms
+                .into_iter()
+                .map(|h| HistogramDto {
+                    name: h.name,
+                    count: h.count,
+                    sum: h.sum,
+                    max: h.max,
+                    p50: h.p50,
+                    p90: h.p90,
+                    p99: h.p99,
+                })
+                .collect(),
+            prometheus: self.obs.render_prometheus(),
+        }
     }
 
     /// Drives a whole framed-JSON session: one request per input line, one
@@ -1302,6 +1454,17 @@ impl Service {
                 continue;
             }
             let response = match crate::protocol::decode_request(trimmed) {
+                // Time every verb into its latency histogram. The timing
+                // wraps `handle` only when recording is on, so a
+                // metrics-off session takes zero clock reads per request.
+                Ok(request) if self.obs.enabled() => {
+                    let verb = request.verb();
+                    let start_ns = self.obs.now_ns();
+                    let response = self.handle(request);
+                    self.obs
+                        .record_verb(verb, self.obs.now_ns().saturating_sub(start_ns));
+                    response
+                }
                 Ok(request) => self.handle(request),
                 Err(error) => Response::Error {
                     reason: format!("bad request line: {error}"),

@@ -10,6 +10,7 @@
 //! whether exactly one was scheduled — is decided by the per-key state
 //! machine in [`crate::lifecycle`]; the pool itself is oblivious.
 
+use obs::Counter;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -29,6 +30,12 @@ struct PoolShared {
     work: Condvar,
     /// Signalled when `pending` drops to zero.
     idle: Condvar,
+    /// Telemetry: jobs submitted / finished / panicked over the pool's
+    /// lifetime. Recording-only (relaxed counters); the queue discipline
+    /// above never reads them.
+    jobs_submitted: Counter,
+    jobs_executed: Counter,
+    jobs_panicked: Counter,
 }
 
 /// A fixed pool of worker threads executing submitted jobs.
@@ -60,6 +67,9 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
+            jobs_submitted: Counter::new(),
+            jobs_executed: Counter::new(),
+            jobs_panicked: Counter::new(),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -90,7 +100,24 @@ impl WorkerPool {
         state.queue.push_back(Box::new(job));
         state.pending += 1;
         drop(state);
+        self.shared.jobs_submitted.inc();
         self.shared.work.notify_one();
+    }
+
+    /// Jobs submitted over the pool's lifetime.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.shared.jobs_submitted.get()
+    }
+
+    /// Jobs that finished executing (panicked ones included).
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.jobs_executed.get()
+    }
+
+    /// Jobs whose closure panicked (the panic is contained; see
+    /// `worker_loop`).
+    pub fn jobs_panicked(&self) -> u64 {
+        self.shared.jobs_panicked.get()
     }
 
     /// Blocks until every submitted job has finished.
@@ -132,7 +159,9 @@ fn worker_loop(shared: &PoolShared) {
         // A panicking job must not wedge `wait_idle`, so the panic is
         // contained and the pending count still drops.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.jobs_executed.inc();
         if outcome.is_err() {
+            shared.jobs_panicked.inc();
             eprintln!("optrr-serve: a refresh job panicked; continuing");
         }
         let mut state = shared.state.lock().expect("pool lock");
@@ -162,6 +191,9 @@ mod tests {
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.jobs_submitted(), 64);
+        assert_eq!(pool.jobs_executed(), 64);
+        assert_eq!(pool.jobs_panicked(), 0);
     }
 
     #[test]
@@ -188,6 +220,8 @@ mod tests {
         });
         pool.wait_idle();
         assert_eq!(ok.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.jobs_executed(), 2);
+        assert_eq!(pool.jobs_panicked(), 1);
     }
 
     #[test]
