@@ -28,6 +28,10 @@
 //! #   OPTRR_SERVE_SNAPSHOT      snapshot/autosave path    (default none)
 //! #   OPTRR_SERVE_METRICS       metrics + trace recording (default on; 0/false/off disables)
 //! #   OPTRR_SERVE_TRACE_CAP     event-trace ring capacity (default 1024, 0 disables the ring)
+//! #   OPTRR_SERVE_FAULTS        deterministic fault plan  (default none; see serve::faults)
+//! #   OPTRR_SERVE_FAIL_BUDGET   failures before Degraded  (default 3)
+//! #   OPTRR_SERVE_RETRY_BASE_MS first retry backoff delay (default 25)
+//! #   OPTRR_SERVE_RETRY_MAX_MS  backoff delay ceiling     (default 1000)
 //! ```
 
 use serve::Service;

@@ -21,6 +21,10 @@
 //! | `OPTRR_SERVE_SNAPSHOT`     | non-empty path        | snapshot/autosave path |
 //! | `OPTRR_SERVE_METRICS`      | `0/1/true/false/on/off` | metrics + event trace recording |
 //! | `OPTRR_SERVE_TRACE_CAP`    | u64 (0 disables)      | event-trace ring capacity |
+//! | `OPTRR_SERVE_FAULTS`       | fault-plan grammar    | deterministic fault injection ([`crate::faults`]) |
+//! | `OPTRR_SERVE_FAIL_BUDGET`  | integer ≥ 1           | consecutive refresh failures before Degraded |
+//! | `OPTRR_SERVE_RETRY_BASE_MS`| u64 ≥ 1               | first retry backoff delay |
+//! | `OPTRR_SERVE_RETRY_MAX_MS` | u64 ≥ 1               | backoff delay ceiling |
 
 use crate::service::ServiceConfig;
 use std::time::Duration;
@@ -154,6 +158,20 @@ pub fn config_from_env(standard: bool) -> Result<ServiceConfig, EnvError> {
     if let Some(cap) = env_u64("OPTRR_SERVE_TRACE_CAP", 0)? {
         config.trace_cap = cap as usize;
     }
+    if let Some(spec) = env_nonempty("OPTRR_SERVE_FAULTS")? {
+        let plan = crate::faults::FaultPlan::parse(&spec)
+            .map_err(|reason| reject("OPTRR_SERVE_FAULTS", reason))?;
+        config.faults = Some(plan);
+    }
+    if let Some(budget) = env_u64("OPTRR_SERVE_FAIL_BUDGET", 1)? {
+        config.fail_budget = budget;
+    }
+    if let Some(base) = env_u64("OPTRR_SERVE_RETRY_BASE_MS", 1)? {
+        config.retry_base_ms = base;
+    }
+    if let Some(max) = env_u64("OPTRR_SERVE_RETRY_MAX_MS", 1)? {
+        config.retry_max_ms = max;
+    }
     Ok(config)
 }
 
@@ -181,6 +199,10 @@ mod tests {
         std::env::set_var("OPTRR_SERVE_SNAPSHOT", "warm.json");
         std::env::set_var("OPTRR_SERVE_METRICS", "Off");
         std::env::set_var("OPTRR_SERVE_TRACE_CAP", "256");
+        std::env::set_var("OPTRR_SERVE_FAULTS", "seed=7,refresh_panic=0.5,budget=2");
+        std::env::set_var("OPTRR_SERVE_FAIL_BUDGET", "2");
+        std::env::set_var("OPTRR_SERVE_RETRY_BASE_MS", "5");
+        std::env::set_var("OPTRR_SERVE_RETRY_MAX_MS", "40");
         let config = config_from_env(false).expect("all values valid");
         assert_eq!(config.drift_mse_threshold, 5e-2);
         assert_eq!(config.workers, 3);
@@ -192,6 +214,13 @@ mod tests {
         assert_eq!(config.snapshot_path.as_deref(), Some("warm.json"));
         assert!(!config.metrics);
         assert_eq!(config.trace_cap, 256);
+        let plan = config.faults.as_ref().expect("fault plan parsed");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.refresh_panic, 0.5);
+        assert_eq!(plan.budget, Some(2));
+        assert_eq!(config.fail_budget, 2);
+        assert_eq!(config.retry_base_ms, 5);
+        assert_eq!(config.retry_max_ms, 40);
         // The standard profile applies the same overrides on the full
         // engine budget.
         let standard = config_from_env(true).expect("all values valid");
@@ -220,6 +249,13 @@ mod tests {
             ("OPTRR_SERVE_METRICS", "2"),
             ("OPTRR_SERVE_TRACE_CAP", "-1"),
             ("OPTRR_SERVE_TRACE_CAP", "lots"),
+            ("OPTRR_SERVE_FAULTS", "bogus=1"),
+            ("OPTRR_SERVE_FAULTS", "refresh_panic=1.5"),
+            ("OPTRR_SERVE_FAULTS", "refresh_panic"),
+            ("OPTRR_SERVE_FAIL_BUDGET", "0"),
+            ("OPTRR_SERVE_FAIL_BUDGET", "lots"),
+            ("OPTRR_SERVE_RETRY_BASE_MS", "0"),
+            ("OPTRR_SERVE_RETRY_MAX_MS", "soonish"),
         ] {
             std::env::set_var(name, bad);
             let error =
@@ -235,6 +271,9 @@ mod tests {
                 "OPTRR_SERVE_TTL_SECS" => std::env::set_var(name, "2.5"),
                 "OPTRR_SERVE_BUDGET_BYTES" => std::env::set_var(name, "1048576"),
                 "OPTRR_SERVE_COVERAGE" => std::env::set_var(name, "0"),
+                "OPTRR_SERVE_FAULTS" => {
+                    std::env::set_var(name, "seed=7,refresh_panic=0.5,budget=2");
+                }
                 _ => std::env::set_var(name, "3"),
             }
         }
@@ -250,6 +289,10 @@ mod tests {
             "OPTRR_SERVE_SNAPSHOT",
             "OPTRR_SERVE_METRICS",
             "OPTRR_SERVE_TRACE_CAP",
+            "OPTRR_SERVE_FAULTS",
+            "OPTRR_SERVE_FAIL_BUDGET",
+            "OPTRR_SERVE_RETRY_BASE_MS",
+            "OPTRR_SERVE_RETRY_MAX_MS",
         ] {
             std::env::remove_var(name);
         }
@@ -260,5 +303,9 @@ mod tests {
         assert_eq!(config.snapshot_path, None);
         assert!(config.metrics);
         assert_eq!(config.trace_cap, crate::telemetry::DEFAULT_TRACE_CAP);
+        assert_eq!(config.faults, None, "no plan means no injector at all");
+        assert_eq!(config.fail_budget, 3);
+        assert_eq!(config.retry_base_ms, 25);
+        assert_eq!(config.retry_max_ms, 1000);
     }
 }

@@ -7,7 +7,8 @@
 //! long-lived service:
 //!
 //! * [`lifecycle`] — the per-key tenant state machine
-//!   (`Cold → Warming → Warm → Stale(reason) → Refreshing → Evicted`):
+//!   (`Cold → Warming → Warm → Stale(reason) → Refreshing → Evicted`,
+//!   plus `Degraded` for keys whose refreshes exhaust the fail budget):
 //!   every transition is a compare-exchange, so exactly-once warm-ups,
 //!   refresh claims, and re-warms are properties of the type. It owns all
 //!   per-key state — warm store, pinned pipeline, run counter, byte
@@ -56,6 +57,18 @@
 //! * [`env`] — validated `OPTRR_SERVE_*` environment configuration for
 //!   the binary (bad values abort startup instead of silently
 //!   defaulting).
+//! * [`faults`] — deterministic fault injection for chaos-testing the
+//!   stack: `OPTRR_SERVE_FAULTS` compiles into a seeded [`FaultInjector`]
+//!   that can fail or tear snapshot I/O, panic refresh runs, and stall
+//!   workers, every verdict a pure hash of the seed so chaos runs replay
+//!   bit-for-bit. The service absorbs those faults instead of dying:
+//!   snapshot writes are atomic (tmp → fsync → rename) under a
+//!   version+checksum header, corrupt or torn files fall back to the
+//!   previous generation or deterministic replay, failed refreshes retry
+//!   with bounded exponential backoff, and a key that exhausts
+//!   `OPTRR_SERVE_FAIL_BUDGET` consecutive failures degrades gracefully —
+//!   serving its last-good warm Ω flagged `degraded: true` until a later
+//!   refresh lands and restores it to `Warm`.
 //!
 //! Point queries never run the optimizer: after a key's warm-up they are
 //! answered from the warm store in O(slots) under per-shard locks, and the
@@ -85,6 +98,7 @@
 
 pub mod counts;
 pub mod env;
+pub mod faults;
 pub mod lifecycle;
 pub mod pipeline;
 pub mod protocol;
@@ -95,6 +109,7 @@ pub mod telemetry;
 pub mod worker;
 
 pub use counts::ShardedCounts;
+pub use faults::{FaultInjector, FaultPlan};
 pub use lifecycle::{KeyLifecycle, KeyState, StaleReason, StateCell};
 pub use pipeline::{
     payload_seed, EstimateMethod, EstimateOutcome, IngestOutcome, KeyPipeline, PipelineSnapshot,

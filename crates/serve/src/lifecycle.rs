@@ -14,11 +14,20 @@
 //!                            ▲                          │ ▲
 //!               claim_rewarm │          try_mark_stale  │ │ finish_run(landed)
 //!                            │                          ▼ │
-//!   Evicted ◀──── try_evict ─┴──── Warm|Stale     Stale(reason)
+//!   Evicted ◀─ try_evict ────┴─ Warm|Stale|Degraded  Stale(reason)
 //!      │                                                │
 //!      └◀─── try_evict ──── (idle only)    begin_run    ▼
 //!                                           Refreshing(reason)
+//!                                                       │
+//!                     fail budget exhausted             ▼
+//!   Warm ◀─── successful refresh ─────────── Degraded(reason)
 //! ```
+//!
+//! `Degraded(reason)` is the graceful-degradation terminal of a failed
+//! refresh episode: after the configured budget of consecutive refresh
+//! failures, the key stops retrying and keeps answering from its
+//! last-good warm Ω (responses carry a `degraded` flag) until a later
+//! successful run restores `Warm`.
 //!
 //! Every transition is a compare-exchange on one packed atomic word, so
 //! exactly-once claims (one warm-up per cold key, one scheduled refresh
@@ -107,6 +116,11 @@ pub enum KeyState {
     /// The key's resident state was evicted. The next query claims a
     /// re-warm and waits for it.
     Evicted,
+    /// The refresh fail budget was exhausted: the key's last refresh
+    /// episode (for the given reason) failed repeatedly, automatic
+    /// retries stopped, and the key serves its last-good warm Ω with a
+    /// `degraded` flag until a later successful run restores `Warm`.
+    Degraded(StaleReason),
 }
 
 impl KeyState {
@@ -117,6 +131,7 @@ impl KeyState {
     const REFRESHING: u8 = 4;
     const EVICTING: u8 = 5;
     const EVICTED: u8 = 6;
+    const DEGRADED: u8 = 7;
 
     fn encode(self) -> u8 {
         match self {
@@ -127,6 +142,7 @@ impl KeyState {
             KeyState::Refreshing(r) => Self::REFRESHING | (r.encode() << 4),
             KeyState::Evicting => Self::EVICTING,
             KeyState::Evicted => Self::EVICTED,
+            KeyState::Degraded(r) => Self::DEGRADED | (r.encode() << 4),
         }
     }
 
@@ -139,27 +155,39 @@ impl KeyState {
             Self::STALE => KeyState::Stale(reason),
             Self::REFRESHING => KeyState::Refreshing(reason),
             Self::EVICTING => KeyState::Evicting,
+            Self::DEGRADED => KeyState::Degraded(reason),
             _ => KeyState::Evicted,
         }
     }
 
     /// Whether warm data is resident (the old "latch is open" predicate).
+    /// Degraded keys keep their last-good warm store resident — that is
+    /// the whole point of the state — so they answer queries too.
     pub fn has_warm_data(self) -> bool {
         matches!(
             self,
-            KeyState::Warm | KeyState::Stale(_) | KeyState::Refreshing(_)
+            KeyState::Warm | KeyState::Stale(_) | KeyState::Refreshing(_) | KeyState::Degraded(_)
         )
     }
 
     /// Whether the key is due (or already being refreshed) for a reason.
+    /// A degraded key still owes a refresh — it just stopped retrying.
     pub fn is_stale(self) -> bool {
-        matches!(self, KeyState::Stale(_) | KeyState::Refreshing(_))
+        matches!(
+            self,
+            KeyState::Stale(_) | KeyState::Refreshing(_) | KeyState::Degraded(_)
+        )
+    }
+
+    /// Whether the key is serving degraded (last-good) data.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, KeyState::Degraded(_))
     }
 
     /// The staleness reason, when one applies.
     pub fn stale_reason(self) -> Option<StaleReason> {
         match self {
-            KeyState::Stale(r) | KeyState::Refreshing(r) => Some(r),
+            KeyState::Stale(r) | KeyState::Refreshing(r) | KeyState::Degraded(r) => Some(r),
             _ => None,
         }
     }
@@ -175,6 +203,7 @@ impl std::fmt::Display for KeyState {
             KeyState::Refreshing(r) => write!(f, "refreshing({r})"),
             KeyState::Evicting => write!(f, "evicting"),
             KeyState::Evicted => write!(f, "evicted"),
+            KeyState::Degraded(r) => write!(f, "degraded({r})"),
         }
     }
 }
@@ -274,8 +303,20 @@ impl StateCell {
         swapped
     }
 
+    // The gate mutex guards no data — it only sequences the condvar with
+    // the atomic state word — and every lock below recovers from
+    // poisoning instead of panicking: a thread that panicked while
+    // holding the gate cannot have left anything inconsistent behind (the
+    // state itself lives in the atomic), so a poisoned gate is safe to
+    // reuse and must not cascade the panic into every later waiter.
+    fn gate_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn notify(&self) {
-        let _guard = self.gate.lock().expect("state gate");
+        let _guard = self.gate_lock();
         self.changed.notify_all();
     }
 
@@ -304,7 +345,9 @@ impl StateCell {
     /// `Refreshing` (keeping the reason), keeps `Warming`/`Refreshing`
     /// (a second concurrent run), and re-opens `Cold`/`Evicted` as
     /// `Warming` (a queued job that raced an eviction re-warms the key).
-    /// A run arriving mid-eviction waits for the (brief) `Evicting` →
+    /// A recovery run for a `Degraded` key keeps the state — the key must
+    /// keep reporting degraded until the run actually lands. A run
+    /// arriving mid-eviction waits for the (brief) `Evicting` →
     /// `Evicted` transition first, so it can never interleave with the
     /// evictor's snapshot-and-drop. Returns the state the run started
     /// from, which tells the worker whether this is a warm-up or a
@@ -321,6 +364,7 @@ impl StateCell {
                 KeyState::Cold | KeyState::Warming | KeyState::Evicted => KeyState::Warming,
                 KeyState::Warm => KeyState::Refreshing(StaleReason::Manual),
                 KeyState::Stale(r) | KeyState::Refreshing(r) => KeyState::Refreshing(r),
+                KeyState::Degraded(r) => KeyState::Degraded(r),
             };
             if observed == next || self.cas(observed, next) {
                 return observed;
@@ -332,9 +376,12 @@ impl StateCell {
     /// resolves `Evicting` to `Evicted` in bounded time (a sidecar write
     /// plus a store clear), so this cannot wedge.
     fn wait_while_evicting(&self) {
-        let mut guard = self.gate.lock().expect("state gate");
+        let mut guard = self.gate_lock();
         while self.state() == KeyState::Evicting {
-            guard = self.changed.wait(guard).expect("state gate");
+            guard = self
+                .changed
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -344,6 +391,18 @@ impl StateCell {
     /// and queries answer `NoMatch` rather than wedging) while a refresh
     /// falls back to `Stale(reason)` so the debt stays visible.
     pub fn finish_run(&self, landed: bool) {
+        self.finish_run_outcome(landed, false);
+    }
+
+    /// [`finish_run`] with an explicit degradation verdict: when the last
+    /// in-flight run failed *and* the caller reports the refresh fail
+    /// budget exhausted (`degrade`), a `Refreshing(r)` key resolves to
+    /// `Degraded(r)` instead of `Stale(r)` — it keeps answering from the
+    /// last-good store but stops being retried automatically. A landed
+    /// run always restores `Warm`, including from `Degraded`.
+    ///
+    /// [`finish_run`]: StateCell::finish_run
+    pub fn finish_run_outcome(&self, landed: bool, degrade: bool) {
         let before = self.inflight.fetch_sub(1, Ordering::SeqCst);
         assert!(before > 0, "finish_run without a matching begin_run");
         if before != 1 {
@@ -356,8 +415,19 @@ impl StateCell {
                 KeyState::Refreshing(r) => {
                     if landed {
                         KeyState::Warm
+                    } else if degrade {
+                        KeyState::Degraded(r)
                     } else {
                         KeyState::Stale(r)
+                    }
+                }
+                // A recovery run restores Warm; a failed one keeps the
+                // degraded verdict (the fail budget stays exhausted).
+                KeyState::Degraded(r) => {
+                    if landed {
+                        KeyState::Warm
+                    } else {
+                        KeyState::Degraded(r)
                     }
                 }
                 // A concurrent begin_run already owns the state again, or
@@ -371,14 +441,16 @@ impl StateCell {
         }
     }
 
-    /// Claims the eviction of an idle key: `Warm | Stale → Evicting`,
-    /// only when no run is in flight. The winner snapshots and drops the
-    /// resident state, then resolves the claim with [`finish_evict`];
-    /// queries, re-warm claims, and queued runs all wait out the
-    /// `Evicting` window, so "snapshot, then drop" is atomic to every
-    /// observer. `Warming`/`Refreshing` keys are never evicted (their
-    /// runs are about to land bytes anyway), and `Cold`/`Evicted` keys
-    /// have nothing to evict.
+    /// Claims the eviction of an idle key: `Warm | Stale | Degraded →
+    /// Evicting`, only when no run is in flight. The winner snapshots and
+    /// drops the resident state, then resolves the claim with
+    /// [`finish_evict`]; queries, re-warm claims, and queued runs all
+    /// wait out the `Evicting` window, so "snapshot, then drop" is
+    /// atomic to every observer. `Warming`/`Refreshing` keys are never
+    /// evicted (their runs are about to land bytes anyway), and
+    /// `Cold`/`Evicted` keys have nothing to evict. Degraded keys *are*
+    /// evictable: the deterministic re-warm replay is fault-free, so an
+    /// eviction is actually a recovery path for them.
     ///
     /// [`finish_evict`]: StateCell::finish_evict
     pub fn try_evict(&self) -> bool {
@@ -388,7 +460,7 @@ impl StateCell {
         loop {
             let observed = self.state();
             match observed {
-                KeyState::Warm | KeyState::Stale(_) => {
+                KeyState::Warm | KeyState::Stale(_) | KeyState::Degraded(_) => {
                     if self.cas(observed, KeyState::Evicting) {
                         return true;
                     }
@@ -436,7 +508,7 @@ impl StateCell {
     /// through `Cold`/`Warming`/`Evicting`. Returns the state observed on
     /// wake-up; callers loop, handling `Evicted` by claiming a re-warm.
     pub fn wait_while_warming(&self) -> KeyState {
-        let mut guard = self.gate.lock().expect("state gate");
+        let mut guard = self.gate_lock();
         loop {
             let state = self.state();
             if !matches!(
@@ -445,7 +517,10 @@ impl StateCell {
             ) {
                 return state;
             }
-            guard = self.changed.wait(guard).expect("state gate");
+            guard = self
+                .changed
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -475,6 +550,15 @@ pub struct KeyLifecycle {
     drift_events: AtomicU64,
     evictions: AtomicU64,
     rewarms: AtomicU64,
+    /// Total failed (errored or panicked) refresh runs over this key's
+    /// lifetime.
+    refresh_failures: AtomicU64,
+    /// Total automatic retry attempts scheduled after refresh failures.
+    retries: AtomicU64,
+    /// Consecutive failures in the *current* refresh episode — compared
+    /// against the service fail budget to decide degradation; reset by
+    /// every landed run.
+    failure_streak: AtomicU64,
 }
 
 // The per-key telemetry counters (queries, touch stamp, coverage misses,
@@ -512,6 +596,9 @@ impl KeyLifecycle {
             drift_events: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rewarms: AtomicU64::new(0),
+            refresh_failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failure_streak: AtomicU64::new(0),
         }
     }
 
@@ -581,6 +668,21 @@ impl KeyLifecycle {
         self.engine_runs.store(runs, Ordering::SeqCst);
     }
 
+    /// Rolls back a claimed run index after the run failed to land
+    /// anything, so the automatic retry (or the next manual refresh)
+    /// re-runs the *same* deterministic seed instead of burning it —
+    /// this is what keeps a faulted-then-recovered key's warm store
+    /// bitwise-equal to a never-faulted run. The roll-back is a
+    /// compare-exchange: if a concurrent run already claimed a later
+    /// index the burned index stays claimed (nothing landed under it, so
+    /// determinism degrades to "replay also lands it on re-warm", which
+    /// is still a superset of the reference front).
+    pub fn unclaim_run_index(&self, index: u64) -> bool {
+        self.engine_runs
+            .compare_exchange(index + 1, index, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
     /// Number of point/front queries served from this entry.
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
@@ -591,36 +693,62 @@ impl KeyLifecycle {
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
+    // The seed/stats/pipeline locks below recover from poisoning
+    // (`unwrap_or_else(PoisonError::into_inner)`) instead of panicking:
+    // every write under them is a whole-value replacement (`*guard = …`
+    // or `guard.clear()`), never an in-place partial mutation, so a
+    // thread that panicked mid-critical-section cannot have left a
+    // half-updated value behind — the data is consistent and one
+    // panicked refresh must not cascade panics into every later query.
+
     /// The warm-start seed set: the previous run's archive matrices.
     pub fn take_warm_seeds(&self) -> Vec<RrMatrix> {
-        self.warm_seeds.lock().expect("seed lock").clone()
+        self.warm_seeds
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Replaces the warm-start seed set with a finished run's archive.
     pub fn put_warm_seeds(&self, seeds: Vec<RrMatrix>) {
-        *self.warm_seeds.lock().expect("seed lock") = seeds;
+        *self
+            .warm_seeds
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = seeds;
     }
 
     /// The statistics of the most recent finished run, when any.
     pub fn last_statistics(&self) -> Option<RunStatistics> {
-        self.last_statistics.lock().expect("stats lock").clone()
+        self.last_statistics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Records a finished run's statistics.
     pub fn put_statistics(&self, statistics: RunStatistics) {
-        *self.last_statistics.lock().expect("stats lock") = Some(statistics);
+        *self
+            .last_statistics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(statistics);
     }
 
     /// The streaming pipeline pinned to this key, when any batch has been
     /// ingested (or a first ingest is in flight).
     pub fn pipeline(&self) -> Option<Arc<KeyPipeline>> {
-        self.pipeline.lock().expect("pipeline lock").clone()
+        self.pipeline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Installs a freshly built pipeline unless a concurrent first ingest
     /// already pinned one; returns whichever pipeline ended up pinned.
     pub fn install_pipeline(&self, pipeline: KeyPipeline) -> Arc<KeyPipeline> {
-        let mut slot = self.pipeline.lock().expect("pipeline lock");
+        let mut slot = self
+            .pipeline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match slot.as_ref() {
             Some(existing) => Arc::clone(existing),
             None => {
@@ -695,12 +823,53 @@ impl KeyLifecycle {
         self.rewarms.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Total failed (errored or panicked) refresh runs for this key.
+    pub fn refresh_failures(&self) -> u64 {
+        self.refresh_failures.load(Ordering::Relaxed)
+    }
+
+    /// Counts one failed refresh run and returns the *consecutive*
+    /// failure count of the current episode (the value compared against
+    /// the fail budget). The streak uses SeqCst: its value decides the
+    /// Degraded transition, so racing failures must each observe a
+    /// distinct total.
+    pub fn count_refresh_failure(&self) -> u64 {
+        self.refresh_failures.fetch_add(1, Ordering::Relaxed);
+        self.failure_streak.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Ends the failure episode: a landed run clears the streak (the
+    /// lifetime total stays).
+    pub fn reset_failure_streak(&self) {
+        self.failure_streak.store(0, Ordering::SeqCst);
+    }
+
+    /// Consecutive failures in the current refresh episode.
+    pub fn failure_streak(&self) -> u64 {
+        self.failure_streak.load(Ordering::SeqCst)
+    }
+
+    /// Total automatic retries scheduled for this key.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Counts one scheduled retry.
+    pub fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Approximate resident heap bytes of this key: the sharded Ω, the
     /// warm-start seed set, and the pinned pipeline's accumulators. This
     /// is the quantity the service's memory budget bounds.
     pub fn resident_bytes(&self) -> u64 {
         let n = self.prior.num_categories() as u64;
-        let seeds = self.warm_seeds.lock().expect("seed lock").len() as u64 * (n * n * 8 + 64);
+        let seeds = self
+            .warm_seeds
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len() as u64
+            * (n * n * 8 + 64);
         let pipeline = self
             .pipeline()
             .map(|p| p.approx_bytes())
@@ -715,8 +884,14 @@ impl KeyLifecycle {
     pub fn drop_resident_state(&self) -> u64 {
         let freed = self.resident_bytes();
         self.store.clear();
-        self.warm_seeds.lock().expect("seed lock").clear();
-        *self.pipeline.lock().expect("pipeline lock") = None;
+        self.warm_seeds
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        *self
+            .pipeline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         self.evictions.fetch_add(1, Ordering::Relaxed);
         freed
     }
@@ -986,6 +1161,14 @@ mod tests {
             KeyState::Stale(StaleReason::Manual).to_string(),
             "stale(manual)"
         );
+        assert_eq!(
+            KeyState::Degraded(StaleReason::Manual).to_string(),
+            "degraded(manual)"
+        );
+        assert_eq!(
+            KeyState::Degraded(StaleReason::Drift).to_string(),
+            "degraded(drift)"
+        );
     }
 
     #[test]
@@ -1002,10 +1185,120 @@ mod tests {
             KeyState::Refreshing(StaleReason::Coverage),
             KeyState::Evicting,
             KeyState::Evicted,
+            KeyState::Degraded(StaleReason::Manual),
+            KeyState::Degraded(StaleReason::Drift),
+            KeyState::Degraded(StaleReason::Coverage),
         ];
         for state in states {
             assert_eq!(KeyState::decode(state.encode()), state);
         }
+    }
+
+    #[test]
+    fn exhausted_fail_budget_degrades_and_a_landed_run_recovers() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        assert!(cell.try_mark_stale(StaleReason::Drift));
+
+        // A failed refresh whose caller reports the budget exhausted
+        // resolves to Degraded with the original reason.
+        cell.begin_run();
+        cell.finish_run_outcome(false, true);
+        assert_eq!(cell.state(), KeyState::Degraded(StaleReason::Drift));
+        assert!(cell.state().has_warm_data(), "degraded keys still answer");
+        assert!(cell.state().is_stale(), "degraded keys still owe a refresh");
+        assert!(cell.state().is_degraded());
+        assert_eq!(cell.state().stale_reason(), Some(StaleReason::Drift));
+
+        // Degraded keys cannot be re-marked stale (they are already past
+        // stale), and a recovery run keeps the degraded verdict visible
+        // while it is in flight.
+        assert!(!cell.try_mark_stale(StaleReason::Manual));
+        assert_eq!(cell.begin_run(), KeyState::Degraded(StaleReason::Drift));
+        assert_eq!(cell.state(), KeyState::Degraded(StaleReason::Drift));
+
+        // A failed recovery keeps the key degraded; a landed one restores
+        // Warm and a fresh staleness episode can begin.
+        cell.finish_run_outcome(false, true);
+        assert_eq!(cell.state(), KeyState::Degraded(StaleReason::Drift));
+        cell.begin_run();
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+        assert!(cell.try_mark_stale(StaleReason::Coverage));
+    }
+
+    #[test]
+    fn degraded_keys_are_evictable_and_rewarm_like_any_other() {
+        let cell = StateCell::new();
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        cell.try_mark_stale(StaleReason::Manual);
+        cell.begin_run();
+        cell.finish_run_outcome(false, true);
+        assert_eq!(cell.state(), KeyState::Degraded(StaleReason::Manual));
+
+        // Eviction is a recovery path: the deterministic re-warm replay
+        // does not go through the faulty refresh.
+        assert!(cell.try_evict());
+        cell.finish_evict();
+        assert_eq!(cell.state(), KeyState::Evicted);
+        assert!(cell.claim_rewarm());
+        cell.begin_run();
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+    }
+
+    #[test]
+    fn failure_counters_track_streaks_and_run_indices_roll_back() {
+        let prior = Categorical::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let entry = KeyLifecycle::with_sink(9, prior, 0.8, 100, 4, None);
+        assert_eq!(entry.refresh_failures(), 0);
+        assert_eq!(entry.retries(), 0);
+        assert_eq!(entry.count_refresh_failure(), 1);
+        assert_eq!(entry.count_refresh_failure(), 2);
+        entry.count_retry();
+        assert_eq!(entry.refresh_failures(), 2);
+        assert_eq!(entry.failure_streak(), 2);
+        assert_eq!(entry.retries(), 1);
+        entry.reset_failure_streak();
+        assert_eq!(entry.failure_streak(), 0, "a landed run ends the episode");
+        assert_eq!(entry.refresh_failures(), 2, "the lifetime total stays");
+
+        // A failed run's claimed index rolls back so the retry re-runs
+        // the same deterministic seed…
+        assert_eq!(entry.claim_run_index(), 0);
+        assert!(entry.unclaim_run_index(0));
+        assert_eq!(entry.claim_run_index(), 0, "the retry reuses the index");
+        // …but never once a later claim exists.
+        assert_eq!(entry.claim_run_index(), 1);
+        assert!(!entry.unclaim_run_index(0));
+        assert_eq!(entry.engine_runs(), 2);
+    }
+
+    #[test]
+    fn poisoned_gate_does_not_cascade_panics_into_waiters() {
+        // Poison the gate mutex by panicking while holding it, then prove
+        // every later lifecycle operation still works: the gate guards no
+        // data (the state lives in the atomic word), so recovery is safe.
+        let cell = Arc::new(StateCell::new());
+        let poisoner = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let _guard = cell.gate.lock().unwrap();
+                panic!("poison the state gate");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(cell.gate.is_poisoned());
+
+        cell.claim_warmup();
+        cell.begin_run();
+        cell.finish_run(true);
+        assert_eq!(cell.state(), KeyState::Warm);
+        assert_eq!(cell.wait_while_warming(), KeyState::Warm);
     }
 
     #[test]

@@ -139,8 +139,16 @@ impl KeyPipeline {
     /// The previous estimate, used to warm-start the iterative estimator
     /// — and, under drift-driven re-optimization, as the refresh run's
     /// optimization target.
+    ///
+    /// Every write under this lock is a whole-value replacement
+    /// (`*guard = Some(..)`), so a holder that panicked mid-store cannot
+    /// have left a torn posterior behind — the lock recovers from
+    /// poisoning instead of cascading the panic into later estimates.
     pub fn posterior(&self) -> Option<Categorical> {
-        self.posterior.lock().expect("posterior lock").clone()
+        self.posterior
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Approximate resident heap bytes: the pinned matrix, the sharded
@@ -210,8 +218,12 @@ impl KeyPipeline {
                 ));
             }
             // The serialized Categorical restores its exact bit pattern,
-            // so warm-started re-estimates resume identically.
-            *pipeline.posterior.lock().expect("posterior lock") = Some(posterior.clone());
+            // so warm-started re-estimates resume identically. (Whole-value
+            // replacement: poison recovery is safe, see `posterior`.)
+            *pipeline
+                .posterior
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(posterior.clone());
         }
         Ok(pipeline)
     }
@@ -547,7 +559,11 @@ impl Service {
                     )
                 }
             };
-        *pipeline.posterior.lock().expect("posterior lock") = Some(distribution.clone());
+        // Whole-value replacement: poison recovery is safe, see `posterior`.
+        *pipeline
+            .posterior
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(distribution.clone());
         pipeline.estimates.fetch_add(1, Ordering::SeqCst);
         let mse_vs_prior = mean_squared_error(&distribution, entry.prior())
             .expect("estimate and prior share one domain");

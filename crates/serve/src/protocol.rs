@@ -296,6 +296,14 @@ pub struct KeyStatsDto {
     /// Pairwise fitness-kernel entries the most recent refresh run
     /// computed fresh.
     pub fitness_pairs_computed: u64,
+    /// Failed (errored or panicked) refresh runs over this key's
+    /// lifetime.
+    pub refresh_failures: u64,
+    /// Automatic backoff retries scheduled after refresh failures.
+    pub retries: u64,
+    /// Whether the key is currently serving degraded (last-good) data
+    /// because its refresh fail budget was exhausted.
+    pub degraded: bool,
 }
 
 /// One estimate reported by `Estimate`/`EstimateAll`.
@@ -322,6 +330,9 @@ pub struct EstimateDto {
     pub drifted: bool,
     /// Whether the key is marked stale after this estimate.
     pub stale: bool,
+    /// Whether the key was serving degraded (last-good) data when this
+    /// estimate was computed.
+    pub degraded: bool,
 }
 
 /// One named counter or gauge value reported by `Metrics`.
@@ -403,6 +414,10 @@ pub enum Response {
         max_posterior: f64,
         /// The disguise matrix itself.
         matrix: MatrixDto,
+        /// Whether the answer came from a degraded (last-good) store —
+        /// the key's refresh fail budget is exhausted and the matrix may
+        /// be older than the configured refresh policy intends.
+        degraded: bool,
     },
     /// A point query matched nothing in the warm store.
     NoMatch {
@@ -410,6 +425,8 @@ pub enum Response {
         key: u64,
         /// Why nothing qualified.
         reason: String,
+        /// Whether the (empty-handed) answer came from a degraded store.
+        degraded: bool,
     },
     /// The warm store's current Pareto front.
     Front {
@@ -417,6 +434,8 @@ pub enum Response {
         key: u64,
         /// Non-dominated (privacy, MSE) points in increasing privacy order.
         points: Vec<FrontPoint>,
+        /// Whether the front came from a degraded (last-good) store.
+        degraded: bool,
     },
     /// An ingest batch landed.
     Ingested {
@@ -518,6 +537,12 @@ pub enum Response {
         budget_bytes: Option<u64>,
         /// Evictions performed since start (budget, TTL, and manual).
         evictions: u64,
+        /// Failed (errored or panicked) refresh runs across all keys.
+        refresh_failures: u64,
+        /// Automatic backoff retries scheduled across all keys.
+        retries: u64,
+        /// Keys currently serving degraded (last-good) data.
+        degraded: usize,
     },
     /// Point-in-time metrics readout.
     Metrics {
@@ -546,6 +571,10 @@ pub enum Response {
     Error {
         /// Explanation.
         reason: String,
+        /// Stable machine-readable error code (see [`crate::service::ServeError`]):
+        /// `invalid_request`, `optimizer`, `snapshot_io`, or
+        /// `snapshot_corrupt`.
+        code: String,
     },
     /// Session end acknowledgement.
     Bye,
@@ -708,10 +737,12 @@ mod tests {
                 mse: 3.5e-5,
                 max_posterior: 0.77,
                 matrix,
+                degraded: false,
             },
             Response::NoMatch {
                 key: 9,
                 reason: "no entry with privacy >= 0.99".into(),
+                degraded: true,
             },
             Response::Front {
                 key: 9,
@@ -725,6 +756,7 @@ mod tests {
                         mse: 9e-5,
                     },
                 ],
+                degraded: false,
             },
             Response::Ingested {
                 key: 9,
@@ -753,6 +785,7 @@ mod tests {
                     batches: 3,
                     drifted: false,
                     stale: false,
+                    degraded: false,
                 },
             },
             Response::EstimatedAll {
@@ -767,6 +800,7 @@ mod tests {
                     batches: 1,
                     drifted: true,
                     stale: true,
+                    degraded: true,
                 }],
                 skipped: 2,
                 failed: 1,
@@ -806,6 +840,9 @@ mod tests {
                     privacy_hi: Some(0.8),
                     fitness_pairs_reused: 120,
                     fitness_pairs_computed: 45,
+                    refresh_failures: 2,
+                    retries: 1,
+                    degraded: false,
                 },
             },
             Response::ServiceStats {
@@ -816,6 +853,9 @@ mod tests {
                 resident_bytes: 1_234_567,
                 budget_bytes: Some(8_000_000),
                 evictions: 5,
+                refresh_failures: 2,
+                retries: 1,
+                degraded: 1,
             },
             Response::Metrics {
                 enabled: true,
@@ -851,6 +891,7 @@ mod tests {
             },
             Response::Error {
                 reason: "unknown key".into(),
+                code: "invalid_request".into(),
             },
             Response::Bye,
         ];

@@ -32,6 +32,29 @@ impl Registry {
         Self::default()
     }
 
+    // Both maps only ever see whole-value mutations under their locks
+    // (insert an `Arc`, insert a `String -> u64` binding), so a writer
+    // that panicked mid-critical-section cannot have left a half-built
+    // entry behind — a poisoned lock is recovered, not escalated into
+    // every later registration and query.
+    fn entries_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<KeyEntry>>> {
+        self.entries
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn entries_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u64, Arc<KeyEntry>>> {
+        self.entries
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, u64>> {
+        self.names
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Returns the entry for the canonical fingerprint of
     /// `(prior, delta, num_slots)`, creating a cold one (with
     /// `num_shards` store shards) when absent. The boolean is `true` when
@@ -63,10 +86,10 @@ impl Registry {
         sink_for: impl FnOnce(u64) -> Option<TransitionSink>,
     ) -> (Arc<KeyEntry>, bool) {
         let key = omega_fingerprint(prior, delta, num_slots);
-        if let Some(entry) = self.entries.read().expect("registry lock").get(&key) {
+        if let Some(entry) = self.entries_read().get(&key) {
             return (Arc::clone(entry), false);
         }
-        let mut entries = self.entries.write().expect("registry lock");
+        let mut entries = self.entries_write();
         // Double-checked under the write lock: a concurrent register may
         // have inserted the same fingerprint between the two lock scopes.
         if let Some(entry) = entries.get(&key) {
@@ -88,26 +111,22 @@ impl Registry {
     pub fn bind_name(&self, name: &str, key: u64) {
         self.names
             .write()
-            .expect("names lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(name.to_string(), key);
     }
 
     /// Resolves an entry by explicit key or by alias, preferring the key.
     pub fn resolve(&self, key: Option<u64>, name: Option<&str>) -> Option<Arc<KeyEntry>> {
         let key = key.or_else(|| {
-            let names = self.names.read().expect("names lock");
+            let names = self.names_read();
             name.and_then(|n| names.get(n).copied())
         })?;
-        self.entries
-            .read()
-            .expect("registry lock")
-            .get(&key)
-            .map(Arc::clone)
+        self.entries_read().get(&key).map(Arc::clone)
     }
 
     /// Number of registered keys.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock").len()
+        self.entries_read().len()
     }
 
     /// Whether no key is registered.
@@ -128,7 +147,7 @@ impl Registry {
     ///
     /// [`names_of`]: Registry::names_of
     pub fn names_by_key(&self) -> HashMap<u64, Vec<String>> {
-        let names = self.names.read().expect("names lock");
+        let names = self.names_read();
         let mut inverse: HashMap<u64, Vec<String>> = HashMap::new();
         for (name, key) in names.iter() {
             inverse.entry(*key).or_default().push(name.clone());
@@ -142,12 +161,7 @@ impl Registry {
 
     /// Snapshot of all entries, in unspecified order.
     pub fn entries(&self) -> Vec<Arc<KeyEntry>> {
-        self.entries
-            .read()
-            .expect("registry lock")
-            .values()
-            .map(Arc::clone)
-            .collect()
+        self.entries_read().values().map(Arc::clone).collect()
     }
 
     /// Total approximate resident bytes across every entry with warm
@@ -167,7 +181,12 @@ impl Registry {
                     && e.lifecycle().inflight() == 0
                     && matches!(
                         e.state(),
-                        crate::lifecycle::KeyState::Warm | crate::lifecycle::KeyState::Stale(_)
+                        // Degraded keys are evictable on purpose: their
+                        // deterministic re-warm replay is fault-free, so
+                        // a budget eviction doubles as a recovery path.
+                        crate::lifecycle::KeyState::Warm
+                            | crate::lifecycle::KeyState::Stale(_)
+                            | crate::lifecycle::KeyState::Degraded(_)
                     )
             })
             .min_by_key(|e| (e.last_touch_ms(), e.key()))

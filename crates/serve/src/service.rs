@@ -73,15 +73,34 @@ pub const MAX_OMEGA_SLOTS: usize = 20_000;
 pub const REFRESH_TARGET_BLEND: f64 = 1e-3;
 
 /// Error type of the service's library API. Protocol handling maps every
-/// variant to a `Response::Error` line.
+/// variant to a `Response::Error` line carrying [`ServeError::code`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// The request itself is malformed (bad prior, bad delta, unknown key).
     InvalidRequest(String),
     /// The optimizer refused the derived configuration or prior.
     Optimizer(OptrrError),
-    /// A snapshot file could not be read, written, or decoded.
+    /// A snapshot file could not be read or written (I/O).
     Snapshot(String),
+    /// A snapshot file was read but its contents are torn, fail the
+    /// checksum, or do not decode — the caller should fall back to the
+    /// previous generation or to deterministic replay, never serve the
+    /// partial contents.
+    SnapshotCorrupt(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable error code, the taxonomy the protocol's
+    /// `Error` responses carry: `invalid_request`, `optimizer`,
+    /// `snapshot_io`, or `snapshot_corrupt`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::InvalidRequest(_) => "invalid_request",
+            ServeError::Optimizer(_) => "optimizer",
+            ServeError::Snapshot(_) => "snapshot_io",
+            ServeError::SnapshotCorrupt(_) => "snapshot_corrupt",
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -90,6 +109,7 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
             ServeError::Optimizer(e) => write!(f, "optimizer error: {e}"),
             ServeError::Snapshot(reason) => write!(f, "snapshot error: {reason}"),
+            ServeError::SnapshotCorrupt(reason) => write!(f, "snapshot corrupt: {reason}"),
         }
     }
 }
@@ -161,6 +181,23 @@ pub struct ServiceConfig {
     /// Bound on the structured event trace (events, not bytes); 0 keeps
     /// metrics live but disables the trace.
     pub trace_cap: usize,
+    /// Deterministic fault-injection plan (`OPTRR_SERVE_FAULTS`). `None`
+    /// disables injection entirely: the service holds no injector and
+    /// every fault site is one always-false branch.
+    pub faults: Option<crate::faults::FaultPlan>,
+    /// Consecutive refresh failures of one key before it stops being
+    /// retried automatically and enters `Degraded` — still answering
+    /// queries from its last-good warm Ω, flagged `degraded` in every
+    /// response, until a (manual or drift-scheduled) refresh lands.
+    pub fail_budget: u64,
+    /// Base delay of the exponential retry backoff after a failed
+    /// refresh: retry `n` waits `retry_base_ms << (n - 1)` milliseconds,
+    /// capped by [`retry_max_ms`].
+    ///
+    /// [`retry_max_ms`]: ServiceConfig::retry_max_ms
+    pub retry_base_ms: u64,
+    /// Ceiling of the retry backoff delay.
+    pub retry_max_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -184,6 +221,10 @@ impl Default for ServiceConfig {
             snapshot_path: None,
             metrics: true,
             trace_cap: DEFAULT_TRACE_CAP,
+            faults: None,
+            fail_budget: 3,
+            retry_base_ms: 25,
+            retry_max_ms: 1000,
         }
     }
 }
@@ -280,11 +321,75 @@ pub struct ServiceSnapshot {
 struct RunGuard<'a> {
     cell: &'a crate::lifecycle::StateCell,
     landed: bool,
+    /// Set when the run failed *and* exhausted the fail budget: the
+    /// resolution demotes the key to `Degraded` instead of `Stale`.
+    degrade: bool,
 }
 
 impl Drop for RunGuard<'_> {
     fn drop(&mut self) {
-        self.cell.finish_run(self.landed);
+        self.cell.finish_run_outcome(self.landed, self.degrade);
+    }
+}
+
+/// Magic prefix of the crash-safe snapshot header. The full header line is
+/// `OPTRR-SNAP v1 crc=<fnv64-hex> len=<payload bytes>`, followed by the
+/// JSON payload on the next line(s); files without the magic are legacy
+/// headerless snapshots and load unverified.
+const SNAPSHOT_MAGIC: &str = "OPTRR-SNAP v1 ";
+
+/// Builds the header line for a snapshot payload.
+fn snapshot_header(payload: &str) -> String {
+    format!(
+        "{SNAPSHOT_MAGIC}crc={:016x} len={}",
+        crate::faults::fingerprint(payload),
+        payload.len()
+    )
+}
+
+/// Verifies a snapshot header against the payload that followed it:
+/// length first (a torn tail fails fast), then the checksum (bit rot and
+/// mid-payload tears).
+fn verify_snapshot_header(header: &str, payload: &str) -> std::result::Result<(), String> {
+    let expected = snapshot_header(payload);
+    if header == expected {
+        return Ok(());
+    }
+    let want_len = header
+        .split(" len=")
+        .nth(1)
+        .and_then(|v| v.parse::<usize>().ok());
+    match want_len {
+        Some(len) if len != payload.len() => Err(format!(
+            "is torn: header promises {len} payload bytes, found {}",
+            payload.len()
+        )),
+        _ => Err("fails its checksum".to_string()),
+    }
+}
+
+/// Outcome of reading one snapshot/sidecar file.
+enum SnapshotRead {
+    /// No file at the path — the normal "nothing persisted yet" case.
+    Missing,
+    /// The read itself failed (OS error or injected fault).
+    Io(String),
+    /// The file exists but is torn, fails its checksum, or has a mangled
+    /// header — its contents must not be served.
+    Corrupt(String),
+    /// The verified payload.
+    Ok(String),
+}
+
+/// Renders a caught panic payload into the failure reason the typed
+/// `RefreshFailed` event carries.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        format!("panic: {text}")
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        format!("panic: {text}")
+    } else {
+        "panic: unknown payload".into()
     }
 }
 
@@ -299,6 +404,9 @@ pub struct Service {
     warm_hits: AtomicU64,
     evictions: AtomicU64,
     obs: Arc<ServeObs>,
+    /// The live fault injector, when a chaos plan is configured. `None`
+    /// in production: every fault site then short-circuits on one branch.
+    faults: Option<Arc<crate::faults::FaultInjector>>,
 }
 
 impl Service {
@@ -314,6 +422,15 @@ impl Service {
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let pool = WorkerPool::new(config.workers);
         let obs = Arc::new(ServeObs::new(config.metrics, config.trace_cap, clock));
+        // Route pool-level panics (jobs that escaped their own
+        // containment — refresh runs catch and account theirs) into the
+        // observability hub instead of a bare stderr line.
+        let pool_obs = Arc::clone(&obs);
+        pool.set_panic_hook(move || pool_obs.count_pool_panic());
+        let faults = config
+            .faults
+            .clone()
+            .map(|plan| Arc::new(crate::faults::FaultInjector::new(plan)));
         Self {
             config,
             registry: Registry::new(),
@@ -323,6 +440,7 @@ impl Service {
             warm_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             obs,
+            faults,
         }
     }
 
@@ -404,6 +522,7 @@ impl Service {
         let mut guard = RunGuard {
             cell: entry.lifecycle(),
             landed: false,
+            degrade: false,
         };
         if from == KeyState::Evicted {
             // The key was evicted between this job's scheduling and its
@@ -417,21 +536,48 @@ impl Service {
         }
         let run_index = entry.claim_run_index();
         let config = self.run_config(entry, run_index);
-        let warm_seeds = entry.take_warm_seeds();
-        let target = self.refresh_target(entry, from);
-        let result = Optimizer::new(config).and_then(|optimizer| {
-            // Forward per-generation engine snapshots into the event
-            // trace. The hook is recording-only (the optimizer ignores
-            // it for every decision), so attaching it cannot perturb the
-            // run — `None` when metrics are off.
-            let optimizer = match self.obs.generation_observer(entry.key()) {
-                Some(hook) => optimizer.with_generation_observer(hook),
-                None => optimizer,
-            };
-            optimizer.optimize_refresh(entry.prior(), target.as_ref(), warm_seeds)
-        });
+        // Injected chaos applies only to refreshes of keys that already
+        // hold warm data: warm-ups and re-warm replays are the recovery
+        // paths every chaos scenario converges through, so they stay
+        // fault-free by construction.
+        let inject = self.faults.as_deref().filter(|_| from.has_warm_data());
+        if let Some(injector) = inject {
+            if let Some(pause) = injector.stall(entry.key(), run_index) {
+                std::thread::sleep(pause);
+            }
+        }
+        let inject_panic = inject.is_some_and(|i| i.refresh_panic(entry.key(), run_index));
+        // The engine run is contained: a panic (injected or genuine)
+        // unwinds to here, is converted into a failure, and goes through
+        // the same retry/degrade accounting as an engine error.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!(
+                    "injected refresh fault (key {:x}, run {run_index})",
+                    entry.key()
+                );
+            }
+            // Seeds are consumed only past the injection point, so the
+            // retry after an injected panic warm-starts from the exact
+            // seed set this run would have used — that, plus the run-index
+            // roll-back below, is what keeps a faulted-then-recovered
+            // store bitwise-equal to a never-faulted one.
+            let warm_seeds = entry.take_warm_seeds();
+            let target = self.refresh_target(entry, from);
+            Optimizer::new(config).and_then(|optimizer| {
+                // Forward per-generation engine snapshots into the event
+                // trace. The hook is recording-only (the optimizer ignores
+                // it for every decision), so attaching it cannot perturb
+                // the run — `None` when metrics are off.
+                let optimizer = match self.obs.generation_observer(entry.key()) {
+                    Some(hook) => optimizer.with_generation_observer(hook),
+                    None => optimizer,
+                };
+                optimizer.optimize_refresh(entry.prior(), target.as_ref(), warm_seeds)
+            })
+        }));
         match result {
-            Ok(outcome) => {
+            Ok(Ok(outcome)) => {
                 let stats = &outcome.statistics;
                 self.obs.emit(ServeEvent::RefreshRun {
                     key: entry.key(),
@@ -445,25 +591,21 @@ impl Service {
                 entry.store().absorb(&outcome.omega);
                 entry.put_warm_seeds(outcome.warm_seeds());
                 entry.put_statistics(outcome.statistics);
+                // A landed run ends the failure episode: the key leaves
+                // `Degraded` (via the guard) and the streak starts over.
+                entry.reset_failure_streak();
                 guard.landed = true;
             }
-            Err(error) => {
-                // Registration validates priors and deltas, so a failure
-                // here is exceptional; the state still resolves (queries
-                // see an empty store and answer NoMatch) instead of
-                // wedging, and a failed refresh keeps its staleness debt.
-                self.obs.emit(ServeEvent::RefreshRun {
-                    key: entry.key(),
+            Ok(Err(error)) => {
+                self.note_refresh_failure(entry, &mut guard, from, run_index, error.to_string());
+            }
+            Err(payload) => {
+                self.note_refresh_failure(
+                    entry,
+                    &mut guard,
+                    from,
                     run_index,
-                    generations: 0,
-                    evaluations: 0,
-                    pairs_reused: 0,
-                    pairs_computed: 0,
-                    landed: false,
-                });
-                eprintln!(
-                    "optrr-serve: refresh of key {:x} failed: {error}",
-                    entry.key()
+                    panic_message(payload),
                 );
             }
         }
@@ -471,6 +613,91 @@ impl Service {
         // this run never observes the accounting above budget.
         self.enforce_memory(entry.key());
         drop(guard);
+    }
+
+    /// Accounts one failed (errored or panicked) refresh run: typed
+    /// telemetry, bounded exponential-backoff retry, and — once the fail
+    /// budget is exhausted — graceful degradation to the last-good store.
+    fn note_refresh_failure(
+        self: &Arc<Self>,
+        entry: &Arc<KeyEntry>,
+        guard: &mut RunGuard<'_>,
+        from: KeyState,
+        run_index: u64,
+        reason: String,
+    ) {
+        self.obs.emit(ServeEvent::RefreshRun {
+            key: entry.key(),
+            run_index,
+            generations: 0,
+            evaluations: 0,
+            pairs_reused: 0,
+            pairs_computed: 0,
+            landed: false,
+        });
+        eprintln!(
+            "optrr-serve: refresh of key {:x} (run {run_index}) failed: {reason}",
+            entry.key()
+        );
+        if !from.has_warm_data() {
+            // A failed warm-up resolves warm-and-empty exactly as before
+            // this retry policy existed: there is no last-good Ω to
+            // degrade to, and a NoMatch answer beats a retry loop against
+            // a configuration the optimizer rejects deterministically.
+            return;
+        }
+        // Roll the claimed run index back so the retry — or the eventual
+        // recovery refresh — re-runs the *same* deterministic seed
+        // instead of burning it.
+        entry.unclaim_run_index(run_index);
+        let streak = entry.count_refresh_failure();
+        self.obs.emit(ServeEvent::RefreshFailed {
+            key: entry.key(),
+            run_index,
+            streak,
+            reason,
+        });
+        if streak >= self.config.fail_budget {
+            // Budget exhausted: stop the automatic retries and serve the
+            // last-good store, flagged degraded, until a later (manual or
+            // drift-scheduled) refresh lands and restores `Warm`.
+            guard.degrade = true;
+            self.obs.emit(ServeEvent::Degraded {
+                key: entry.key(),
+                failures: streak,
+            });
+            return;
+        }
+        entry.count_retry();
+        let delay = self.retry_delay(streak);
+        self.obs.emit(ServeEvent::RefreshRetry {
+            key: entry.key(),
+            attempt: streak,
+            delay_ms: delay.as_millis() as u64,
+        });
+        let service = Arc::clone(self);
+        let job = Arc::clone(entry);
+        // The backoff sleeps *inside* the retry job, on a pool worker:
+        // the job is already pending when this run resolves, so
+        // `wait_idle` (and the protocol's `Sync`) remain true barriers
+        // over the whole retry chain.
+        self.pool.submit(move || {
+            std::thread::sleep(delay);
+            service.run_refresh(&job);
+        });
+    }
+
+    /// Deterministic exponential backoff: attempt `n` (1-based) waits
+    /// `retry_base_ms << (n - 1)` milliseconds, saturating at
+    /// `retry_max_ms`.
+    fn retry_delay(&self, attempt: u64) -> Duration {
+        let exponent = attempt.saturating_sub(1).min(20) as u32;
+        let ms = self
+            .config
+            .retry_base_ms
+            .saturating_mul(1u64 << exponent)
+            .min(self.config.retry_max_ms);
+        Duration::from_millis(ms)
     }
 
     /// Restores an evicted key's resident state (store, seeds, pipeline):
@@ -519,6 +746,7 @@ impl Service {
         let mut guard = RunGuard {
             cell: entry.lifecycle(),
             landed: false,
+            degrade: false,
         };
         guard.landed = self.restore_resident(entry);
         entry.count_rewarm();
@@ -794,7 +1022,10 @@ impl Service {
             let snapshot = self.key_snapshot(entry);
             let path = Self::sidecar_path(base, entry.key());
             let encoded = serde_json::to_string(&snapshot).expect("snapshots serialize");
-            if let Err(error) = std::fs::write(&path, encoded + "\n") {
+            if let Err(error) = self.write_snapshot_file(&path, &encoded) {
+                // A failed sidecar write degrades the eviction to
+                // replay-on-rewarm, it never blocks it: the key's state is
+                // still recoverable deterministically.
                 eprintln!("optrr-serve: eviction sidecar {path:?} failed: {error}");
             }
         }
@@ -813,22 +1044,111 @@ impl Service {
         format!("{base}.key-{key:016x}.json")
     }
 
+    /// Writes one snapshot/sidecar payload crash-safely: a version +
+    /// checksum header is prepended, the whole file goes to `<path>.tmp`,
+    /// is fsynced, and only then renamed over `path` — so a crash (or an
+    /// injected torn write) at any point leaves either the previous
+    /// generation or a complete new one at `path`, never a torn file.
+    fn write_snapshot_file(&self, path: &str, payload: &str) -> Result<()> {
+        if let Some(injector) = &self.faults {
+            if injector.snapshot_write_error(path) {
+                return Err(ServeError::Snapshot(format!(
+                    "injected write fault for {path:?}"
+                )));
+            }
+        }
+        let header = snapshot_header(payload);
+        let full = format!("{header}\n{payload}\n");
+        let tmp = format!("{path}.tmp");
+        let bytes = full.as_bytes();
+        let torn = self
+            .faults
+            .as_ref()
+            .and_then(|injector| injector.torn_write(path, bytes.len()));
+        if let Some(cut) = torn {
+            // Simulated crash mid-write: a truncated prefix reaches the
+            // temporary file and the rename never happens — the previous
+            // generation at `path` stays intact.
+            let _ = std::fs::write(&tmp, &bytes[..cut]);
+            return Err(ServeError::Snapshot(format!(
+                "injected torn write for {path:?} (cut at byte {cut} of {})",
+                bytes.len()
+            )));
+        }
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, bytes)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write().map_err(|e| ServeError::Snapshot(format!("write {path:?} failed: {e}")))
+    }
+
+    /// Reads one snapshot/sidecar file back, verifying the crash-safety
+    /// header when present. Files written before the header existed
+    /// (no `OPTRR-SNAP` magic) are accepted as-is, so old snapshots keep
+    /// loading.
+    fn read_snapshot_file(&self, path: &str) -> SnapshotRead {
+        if let Some(injector) = &self.faults {
+            if injector.snapshot_read_error(path) {
+                return SnapshotRead::Io(format!("injected read fault for {path:?}"));
+            }
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotRead::Missing,
+            Err(e) => return SnapshotRead::Io(format!("read {path:?} failed: {e}")),
+        };
+        if !text.starts_with(SNAPSHOT_MAGIC) {
+            // Legacy headerless file: nothing to verify.
+            return SnapshotRead::Ok(text.trim().to_string());
+        }
+        let Some((header, rest)) = text.split_once('\n') else {
+            return SnapshotRead::Corrupt(format!("{path:?} is truncated inside its header"));
+        };
+        let payload = rest.strip_suffix('\n').unwrap_or(rest);
+        match verify_snapshot_header(header, payload) {
+            Ok(()) => SnapshotRead::Ok(payload.to_string()),
+            Err(reason) => SnapshotRead::Corrupt(format!("{path:?} {reason}")),
+        }
+    }
+
     /// Restores an evicted key from its eviction sidecar, when persistence
-    /// is configured and the sidecar decodes. Returns whether it did.
+    /// is configured and the sidecar decodes. Returns whether it did; any
+    /// failure other than "no sidecar exists" emits a typed
+    /// [`ServeEvent::SnapshotLoadFailed`] (bumping
+    /// `serve_snapshot_load_failures_total`) and falls back to the
+    /// deterministic engine replay — a torn or unreadable sidecar is
+    /// never served and never silently ignored.
     fn restore_from_sidecar(self: &Arc<Self>, entry: &Arc<KeyEntry>) -> bool {
         let Some(base) = &self.config.snapshot_path else {
             return false;
         };
         let path = Self::sidecar_path(base, entry.key());
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            return false;
+        let failed = |reason: String| {
+            self.obs.emit(ServeEvent::SnapshotLoadFailed {
+                path: path.clone(),
+                reason: reason.clone(),
+            });
+            eprintln!("optrr-serve: eviction sidecar {path:?} unusable ({reason}); replaying runs");
+            false
         };
-        let Ok(snapshot) = serde_json::from_str::<KeySnapshot>(text.trim()) else {
-            eprintln!("optrr-serve: eviction sidecar {path:?} did not decode; replaying runs");
-            return false;
+        let text = match self.read_snapshot_file(&path) {
+            SnapshotRead::Missing => return false,
+            SnapshotRead::Io(reason) => return failed(reason),
+            SnapshotRead::Corrupt(reason) => return failed(reason),
+            SnapshotRead::Ok(text) => text,
+        };
+        let snapshot = match serde_json::from_str::<KeySnapshot>(text.trim()) {
+            Ok(snapshot) => snapshot,
+            Err(e) => return failed(format!("did not decode: {e}")),
         };
         if snapshot.omega.num_slots() != entry.num_slots() {
-            return false;
+            return failed(format!(
+                "omega has {} slots, registration says {}",
+                snapshot.omega.num_slots(),
+                entry.num_slots()
+            ));
         }
         entry.store().absorb(&snapshot.omega);
         if let Some(seeds) = &snapshot.warm_seeds {
@@ -926,7 +1246,21 @@ impl Service {
             privacy_hi: range.map(|(_, hi)| hi),
             fitness_pairs_reused,
             fitness_pairs_computed,
+            refresh_failures: entry.refresh_failures(),
+            retries: entry.retries(),
+            degraded: entry.state().is_degraded(),
         }
+    }
+
+    /// Service-wide robustness counters:
+    /// `(refresh_failures, retries, degraded keys)`.
+    pub fn robustness_stats(&self) -> (u64, u64, usize) {
+        let entries = self.registry.entries();
+        (
+            entries.iter().map(|e| e.refresh_failures()).sum(),
+            entries.iter().map(|e| e.retries()).sum(),
+            entries.iter().filter(|e| e.state().is_degraded()).count(),
+        )
     }
 
     /// Service-wide counters: `(keys, engine_runs, queries, warm_hits)`.
@@ -1003,8 +1337,7 @@ impl Service {
         let snapshot = self.snapshot();
         let encoded = serde_json::to_string(&snapshot)
             .map_err(|e| ServeError::Snapshot(format!("encode failed: {e}")))?;
-        std::fs::write(path, encoded + "\n")
-            .map_err(|e| ServeError::Snapshot(format!("write {path:?} failed: {e}")))?;
+        self.write_snapshot_file(path, &encoded)?;
         self.obs.emit(ServeEvent::SnapshotSaved {
             keys: snapshot.keys.len() as u64,
         });
@@ -1030,10 +1363,30 @@ impl Service {
     /// Pipeline snapshots resume in-flight estimation streams on keys that
     /// have none pinned yet. Returns `(created, merged)`.
     pub fn load_snapshot(self: &Arc<Self>, path: &str) -> Result<(usize, usize)> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ServeError::Snapshot(format!("read {path:?} failed: {e}")))?;
-        let snapshot: ServiceSnapshot = serde_json::from_str(text.trim())
-            .map_err(|e| ServeError::Snapshot(format!("decode {path:?} failed: {e}")))?;
+        let text = match self.read_snapshot_file(path) {
+            SnapshotRead::Missing => {
+                return Err(ServeError::Snapshot(format!(
+                    "read {path:?} failed: not found"
+                )))
+            }
+            SnapshotRead::Io(reason) => return Err(ServeError::Snapshot(reason)),
+            SnapshotRead::Corrupt(reason) => {
+                self.obs.emit(ServeEvent::SnapshotLoadFailed {
+                    path: path.to_string(),
+                    reason: reason.clone(),
+                });
+                return Err(ServeError::SnapshotCorrupt(reason));
+            }
+            SnapshotRead::Ok(text) => text,
+        };
+        let snapshot: ServiceSnapshot = serde_json::from_str(text.trim()).map_err(|e| {
+            let reason = format!("decode {path:?} failed: {e}");
+            self.obs.emit(ServeEvent::SnapshotLoadFailed {
+                path: path.to_string(),
+                reason: reason.clone(),
+            });
+            ServeError::SnapshotCorrupt(reason)
+        })?;
         let mut created_count = 0usize;
         let mut merged_count = 0usize;
         let now = self.now_ms();
@@ -1154,7 +1507,7 @@ impl Service {
     }
 
     /// Converts an estimate outcome into its transport form.
-    fn estimate_dto(outcome: crate::pipeline::EstimateOutcome) -> EstimateDto {
+    fn estimate_dto(outcome: crate::pipeline::EstimateOutcome, degraded: bool) -> EstimateDto {
         EstimateDto {
             key: outcome.key,
             method: outcome.method.to_string(),
@@ -1166,16 +1519,23 @@ impl Service {
             batches: outcome.batches,
             drifted: outcome.drifted,
             stale: outcome.stale,
+            degraded,
         }
     }
 
+    /// Whether a key is currently serving degraded (last-good) data.
+    fn degraded_flag(&self, entry: &KeyEntry) -> bool {
+        entry.state().is_degraded()
+    }
+
     /// Handles one protocol request, mapping library errors to
-    /// [`Response::Error`].
+    /// [`Response::Error`] with the stable [`ServeError::code`] taxonomy.
     pub fn handle(self: &Arc<Self>, request: Request) -> Response {
         match self.try_handle(request) {
             Ok(response) => response,
             Err(error) => Response::Error {
                 reason: error.to_string(),
+                code: error.code().to_string(),
             },
         }
     }
@@ -1224,10 +1584,12 @@ impl Service {
                         mse: found.evaluation.mse,
                         max_posterior: found.evaluation.max_posterior,
                         matrix: MatrixDto::from_matrix(&found.matrix),
+                        degraded: self.degraded_flag(&entry),
                     },
                     None => Response::NoMatch {
                         key: entry.key(),
                         reason: format!("no stored matrix with privacy >= {min_privacy}"),
+                        degraded: self.degraded_flag(&entry),
                     },
                 }
             }
@@ -1240,10 +1602,12 @@ impl Service {
                         mse: found.evaluation.mse,
                         max_posterior: found.evaluation.max_posterior,
                         matrix: MatrixDto::from_matrix(&found.matrix),
+                        degraded: self.degraded_flag(&entry),
                     },
                     None => Response::NoMatch {
                         key: entry.key(),
                         reason: format!("no stored matrix with mse <= {max_mse}"),
+                        degraded: self.degraded_flag(&entry),
                     },
                 }
             }
@@ -1252,6 +1616,7 @@ impl Service {
                 Response::Front {
                     key: entry.key(),
                     points: self.front(&entry),
+                    degraded: self.degraded_flag(&entry),
                 }
             }
             Request::Ingest {
@@ -1300,14 +1665,24 @@ impl Service {
             Request::Estimate { key, name } => {
                 let entry = self.resolve(key, name.as_deref())?;
                 let outcome = self.estimate(&entry)?;
+                let degraded = self.degraded_flag(&entry);
                 Response::Estimated {
-                    stats: Self::estimate_dto(outcome),
+                    stats: Self::estimate_dto(outcome, degraded),
                 }
             }
             Request::EstimateAll => {
                 let (outcomes, skipped, failed) = self.estimate_all();
                 Response::EstimatedAll {
-                    estimates: outcomes.into_iter().map(Self::estimate_dto).collect(),
+                    estimates: outcomes
+                        .into_iter()
+                        .map(|outcome| {
+                            let degraded = self
+                                .registry
+                                .resolve(Some(outcome.key), None)
+                                .is_some_and(|e| self.degraded_flag(&e));
+                            Self::estimate_dto(outcome, degraded)
+                        })
+                        .collect(),
                     skipped,
                     failed,
                 }
@@ -1360,6 +1735,7 @@ impl Service {
                 if key.is_none() && name.is_none() {
                     let (keys, engine_runs, queries, warm_hits) = self.service_stats();
                     let (resident_bytes, budget_bytes, evictions) = self.memory_stats();
+                    let (refresh_failures, retries, degraded) = self.robustness_stats();
                     Response::ServiceStats {
                         keys,
                         engine_runs,
@@ -1368,6 +1744,9 @@ impl Service {
                         resident_bytes,
                         budget_bytes,
                         evictions,
+                        refresh_failures,
+                        retries,
+                        degraded,
                     }
                 } else {
                     let entry = self.resolve(key, name.as_deref())?;
@@ -1468,6 +1847,7 @@ impl Service {
                 Ok(request) => self.handle(request),
                 Err(error) => Response::Error {
                     reason: format!("bad request line: {error}"),
+                    code: "invalid_request".to_string(),
                 },
             };
             writeln!(writer, "{}", crate::protocol::encode_response(&response))?;
@@ -1662,7 +2042,10 @@ mod tests {
         assert_eq!((created, merged), (0, 1));
         assert_eq!(restored.store().merge(), entry.store().merge());
 
-        // Missing and corrupt snapshot files are reported, not panicked on.
+        // Missing and corrupt snapshot files are reported, not panicked
+        // on — with the I/O and corruption cases distinguished so callers
+        // (and operators reading error codes) know whether a retry or a
+        // restore is the right move.
         assert!(matches!(
             restarted.load_snapshot("/nonexistent/optrr.json"),
             Err(ServeError::Snapshot(_))
@@ -1671,7 +2054,7 @@ mod tests {
         std::fs::write(&bad, "not json").unwrap();
         assert!(matches!(
             restarted.load_snapshot(bad.to_str().unwrap()),
-            Err(ServeError::Snapshot(_))
+            Err(ServeError::SnapshotCorrupt(_))
         ));
     }
 
@@ -1917,6 +2300,218 @@ mod tests {
         assert!(service.best_for_privacy(&entry, 0.0).is_some());
         assert_eq!(entry.engine_runs(), before_runs);
         assert_eq!(entry.rewarms(), 1);
+        let _ = std::fs::remove_file(&sidecar);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_refresh_panics_retry_degrade_and_recover_bitwise() {
+        let mut config = ServiceConfig::smoke(77);
+        config.faults =
+            Some(crate::faults::FaultPlan::parse("seed=7,refresh_panic=1,budget=2").unwrap());
+        config.fail_budget = 2;
+        config.retry_base_ms = 1;
+        config.retry_max_ms = 4;
+        let service = Arc::new(Service::new(config));
+        // Warm-ups are never injected: registration succeeds even under a
+        // plan that panics every refresh.
+        let entry = service
+            .register(Some("chaos"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        assert!(entry.is_warm());
+        let warm_merge = entry.store().merge();
+
+        // One scheduled refresh: the run panics, the backoff retry panics
+        // too (the plan budget covers exactly two faults), and the streak
+        // hits the fail budget — the key degrades instead of retrying
+        // forever.
+        service.refresh(&entry, 1);
+        service.wait_idle();
+        assert_eq!(entry.state(), KeyState::Degraded(StaleReason::Manual));
+        assert_eq!(entry.refresh_failures(), 2);
+        assert_eq!(entry.retries(), 1);
+        assert_eq!(
+            entry.engine_runs(),
+            1,
+            "failed runs rolled their index back"
+        );
+
+        // Degraded keys keep answering from the last-good store, flagged.
+        assert!(service.best_for_privacy(&entry, 0.0).is_some());
+        assert_eq!(entry.store().merge(), warm_merge);
+        let stats = service.key_stats(&entry);
+        assert!(stats.degraded);
+        assert_eq!(stats.refresh_failures, 2);
+        assert_eq!(stats.retries, 1);
+        let (failures, retries, degraded_keys) = service.robustness_stats();
+        assert_eq!((failures, retries, degraded_keys), (2, 1, 1));
+        let metrics = service.obs().render_prometheus();
+        assert!(
+            metrics.contains("serve_refresh_failures_total 2"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("serve_degraded_total 1"), "{metrics}");
+
+        // The fault budget is spent, so the next refresh runs clean,
+        // lands, and restores Warm.
+        service.refresh(&entry, 1);
+        service.wait_idle();
+        assert_eq!(entry.state(), KeyState::Warm);
+        assert_eq!(entry.engine_runs(), 2);
+        assert!(!service.key_stats(&entry).degraded);
+
+        // Bitwise-identical to a never-faulted service running the same
+        // sequence: the rolled-back run index plus the unconsumed warm
+        // seeds mean the recovery run replays exactly the run the faults
+        // interrupted.
+        let control = smoke_service();
+        let control_entry = control.register(None, &PRIOR, 0.8, None, true).unwrap();
+        control.refresh(&control_entry, 1);
+        control.wait_idle();
+        let chaos_path = entry.store().merge();
+        let control_path = control_entry.store().merge();
+        for slot in 0..chaos_path.num_slots() {
+            assert_eq!(
+                chaos_path.entry(slot).map(|e| e.evaluation.mse.to_bits()),
+                control_path.entry(slot).map(|e| e.evaluation.mse.to_bits()),
+                "slot {slot} differs from the never-faulted run"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_header_detects_corruption_and_truncation() {
+        let dir = std::env::temp_dir().join("optrr_serve_header_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let path_str = path.to_str().unwrap();
+
+        let service = smoke_service();
+        service
+            .register(Some("h"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        service.save_snapshot(path_str).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(SNAPSHOT_MAGIC.as_bytes()));
+        smoke_service()
+            .load_snapshot(path_str)
+            .expect("intact file loads");
+
+        // One flipped payload byte fails the checksum.
+        let mut flipped = bytes.clone();
+        let inside = flipped.len() - 2;
+        flipped[inside] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            smoke_service().load_snapshot(path_str),
+            Err(ServeError::SnapshotCorrupt(_))
+        ));
+
+        // Truncation at any depth — inside the payload, at the header
+        // boundary, even inside the magic — is a typed corruption error,
+        // never a panic and never a silently cold (or half-loaded) store.
+        for cut in [
+            bytes.len() - 2,
+            bytes.len() / 2,
+            SNAPSHOT_MAGIC.len() + 3,
+            5,
+        ] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(
+                    smoke_service().load_snapshot(path_str),
+                    Err(ServeError::SnapshotCorrupt(_))
+                ),
+                "cut at byte {cut} must read as corrupt"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_snapshot_write_keeps_the_previous_generation() {
+        let dir = std::env::temp_dir().join("optrr_serve_torn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.json");
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let mut config = ServiceConfig::smoke(77);
+        config.faults = Some(crate::faults::FaultPlan::parse("torn_write=1,budget=1").unwrap());
+        let service = Arc::new(Service::new(config));
+        let entry = service
+            .register(Some("gen"), &PRIOR, 0.8, None, true)
+            .unwrap();
+
+        // First save is torn: the error is surfaced and no file appears
+        // at the destination (the truncated prefix only ever reaches the
+        // temporary).
+        assert!(matches!(
+            service.save_snapshot(path_str),
+            Err(ServeError::Snapshot(_))
+        ));
+        assert!(!path.exists(), "a torn write must not land at the path");
+
+        // The budget is spent: the second save is clean and becomes
+        // generation one.
+        service.save_snapshot(path_str).expect("clean save lands");
+        let generation_one = std::fs::read(&path).unwrap();
+
+        // A later torn write (fresh injector, same path) still leaves
+        // generation one intact and loadable.
+        let mut config = ServiceConfig::smoke(77);
+        config.faults = Some(crate::faults::FaultPlan::parse("torn_write=1,budget=1").unwrap());
+        let again = Arc::new(Service::new(config));
+        again
+            .register(Some("gen"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        again.refresh(&entry, 1);
+        again.wait_idle();
+        assert!(matches!(
+            again.save_snapshot(path_str),
+            Err(ServeError::Snapshot(_))
+        ));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            generation_one,
+            "the previous generation must survive a torn write"
+        );
+        let restarted = smoke_service();
+        let (created, _) = restarted.load_snapshot(path_str).unwrap();
+        assert_eq!(created, 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{path_str}.tmp"));
+    }
+
+    #[test]
+    fn unreadable_sidecar_falls_back_to_deterministic_replay() {
+        let dir = std::env::temp_dir().join("optrr_serve_sidecar_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut config = ServiceConfig::smoke(77);
+        config.snapshot_path = Some(path_str.clone());
+        let service = Arc::new(Service::new(config));
+        let entry = service
+            .register(Some("s"), &PRIOR, 0.8, None, true)
+            .unwrap();
+        let warm_merge = entry.store().merge();
+        service.evict_key(&entry).expect("idle key evicts");
+        let sidecar = Service::sidecar_path(&path_str, entry.key());
+        // Corrupt the sidecar on disk: the re-warm must detect it (typed
+        // event, counter), fall back to the engine replay, and still
+        // converge to the identical store — never serve the bad bytes and
+        // never fail the query.
+        std::fs::write(&sidecar, "OPTRR-SNAP v1 crc=0000000000000000 len=3\nxyz\n").unwrap();
+        assert!(service.best_for_privacy(&entry, 0.0).is_some());
+        assert_eq!(entry.state(), KeyState::Warm);
+        assert_eq!(entry.store().merge(), warm_merge);
+        assert_eq!(entry.engine_runs(), 1, "replayed, not loaded");
+        let metrics = service.obs().render_prometheus();
+        assert!(
+            metrics.contains("serve_snapshot_load_failures_total 1"),
+            "{metrics}"
+        );
         let _ = std::fs::remove_file(&sidecar);
         let _ = std::fs::remove_file(&path);
     }

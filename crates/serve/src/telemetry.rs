@@ -131,6 +131,48 @@ pub enum ServeEvent {
         /// Keys merged into existing entries.
         merged: u64,
     },
+    /// A refresh engine run failed: the optimizer returned an error or
+    /// the run panicked (the panic is contained and converted into this
+    /// structured event).
+    RefreshFailed {
+        /// Canonical fingerprint of the key.
+        key: u64,
+        /// The run's claim index at the time of the failure.
+        run_index: u64,
+        /// Consecutive failures in the current episode (compared against
+        /// the fail budget).
+        streak: u64,
+        /// What went wrong, one line.
+        reason: String,
+    },
+    /// A failed refresh was rescheduled with exponential backoff.
+    RefreshRetry {
+        /// Canonical fingerprint of the key.
+        key: u64,
+        /// Retry attempt number within the episode (1 = first retry).
+        attempt: u64,
+        /// Backoff delay before the retry runs, in milliseconds.
+        delay_ms: u64,
+    },
+    /// A key exhausted its refresh fail budget and entered `Degraded`:
+    /// it keeps serving its last-good Ω with a `degraded` response flag
+    /// until a later successful run restores `Warm`.
+    Degraded {
+        /// Canonical fingerprint of the key.
+        key: u64,
+        /// Consecutive failures that exhausted the budget.
+        failures: u64,
+    },
+    /// A snapshot or sidecar file failed to load: I/O error, corrupt or
+    /// torn content (checksum/length mismatch), or a shape mismatch. The
+    /// caller falls back to deterministic replay — this event is what
+    /// makes that fallback visible.
+    SnapshotLoadFailed {
+        /// Path of the file that failed to load.
+        path: String,
+        /// What went wrong, one line.
+        reason: String,
+    },
 }
 
 impl ServeEvent {
@@ -148,6 +190,10 @@ impl ServeEvent {
             ServeEvent::SamplerRebuild { .. } => "sampler_rebuild",
             ServeEvent::SnapshotSaved { .. } => "snapshot_saved",
             ServeEvent::SnapshotLoaded { .. } => "snapshot_loaded",
+            ServeEvent::RefreshFailed { .. } => "refresh_failed",
+            ServeEvent::RefreshRetry { .. } => "refresh_retry",
+            ServeEvent::Degraded { .. } => "degraded",
+            ServeEvent::SnapshotLoadFailed { .. } => "snapshot_load_failed",
         }
     }
 
@@ -162,8 +208,13 @@ impl ServeEvent {
             | ServeEvent::Evicted { key, .. }
             | ServeEvent::Rewarmed { key }
             | ServeEvent::Ingest { key, .. }
-            | ServeEvent::SamplerRebuild { key } => Some(*key),
-            ServeEvent::SnapshotSaved { .. } | ServeEvent::SnapshotLoaded { .. } => None,
+            | ServeEvent::SamplerRebuild { key }
+            | ServeEvent::RefreshFailed { key, .. }
+            | ServeEvent::RefreshRetry { key, .. }
+            | ServeEvent::Degraded { key, .. } => Some(*key),
+            ServeEvent::SnapshotSaved { .. }
+            | ServeEvent::SnapshotLoaded { .. }
+            | ServeEvent::SnapshotLoadFailed { .. } => None,
         }
     }
 
@@ -211,6 +262,21 @@ impl ServeEvent {
             ServeEvent::SnapshotLoaded { created, merged } => {
                 format!("{created} keys created, {merged} merged")
             }
+            ServeEvent::RefreshFailed {
+                run_index,
+                streak,
+                reason,
+                ..
+            } => format!("run {run_index} failed (streak {streak}): {reason}"),
+            ServeEvent::RefreshRetry {
+                attempt, delay_ms, ..
+            } => format!("retry {attempt} scheduled after {delay_ms} ms backoff"),
+            ServeEvent::Degraded { failures, .. } => {
+                format!("degraded after {failures} consecutive refresh failures")
+            }
+            ServeEvent::SnapshotLoadFailed { path, reason } => {
+                format!("failed to load {path}: {reason}")
+            }
         }
     }
 }
@@ -232,6 +298,10 @@ struct EventCounters {
     sampler_rebuilds: Arc<Counter>,
     snapshot_saves: Arc<Counter>,
     snapshot_loads: Arc<Counter>,
+    refresh_failures: Arc<Counter>,
+    refresh_retries: Arc<Counter>,
+    degraded: Arc<Counter>,
+    snapshot_load_failures: Arc<Counter>,
 }
 
 /// The service's observability hub: a metric registry, the per-verb
@@ -268,6 +338,10 @@ impl ServeObs {
             sampler_rebuilds: registry.counter("serve_sampler_rebuilds_total"),
             snapshot_saves: registry.counter("serve_snapshot_saves_total"),
             snapshot_loads: registry.counter("serve_snapshot_loads_total"),
+            refresh_failures: registry.counter("serve_refresh_failures_total"),
+            refresh_retries: registry.counter("serve_refresh_retries_total"),
+            degraded: registry.counter("serve_degraded_total"),
+            snapshot_load_failures: registry.counter("serve_snapshot_load_failures_total"),
         };
         let queries = registry.counter("serve_queries_total");
         let warm_hits = registry.counter("serve_warm_hits_total");
@@ -322,6 +396,10 @@ impl ServeObs {
             ServeEvent::SamplerRebuild { .. } => self.events.sampler_rebuilds.inc(),
             ServeEvent::SnapshotSaved { .. } => self.events.snapshot_saves.inc(),
             ServeEvent::SnapshotLoaded { .. } => self.events.snapshot_loads.inc(),
+            ServeEvent::RefreshFailed { .. } => self.events.refresh_failures.inc(),
+            ServeEvent::RefreshRetry { .. } => self.events.refresh_retries.inc(),
+            ServeEvent::Degraded { .. } => self.events.degraded.inc(),
+            ServeEvent::SnapshotLoadFailed { .. } => self.events.snapshot_load_failures.inc(),
         }
         self.trace.push(event);
     }
@@ -345,6 +423,20 @@ impl ServeObs {
             return;
         }
         self.coverage_misses.inc();
+    }
+
+    /// Counts one job panic that escaped all the way to the worker pool
+    /// (`serve_worker_pool_panics_total`). Refresh runs contain their own
+    /// panics and report them as typed [`ServeEvent::RefreshFailed`]
+    /// events with key and run context; a panic landing here came from a
+    /// job with no key context left to attach.
+    pub fn count_pool_panic(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter("serve_worker_pool_panics_total")
+            .inc();
     }
 
     /// Records one handled protocol verb into its per-verb latency
@@ -563,6 +655,25 @@ mod tests {
                 created: 1,
                 merged: 1,
             },
+            ServeEvent::RefreshFailed {
+                key: 1,
+                run_index: 3,
+                streak: 2,
+                reason: "injected refresh panic".to_string(),
+            },
+            ServeEvent::RefreshRetry {
+                key: 1,
+                attempt: 2,
+                delay_ms: 50,
+            },
+            ServeEvent::Degraded {
+                key: 1,
+                failures: 3,
+            },
+            ServeEvent::SnapshotLoadFailed {
+                path: "snap.json".to_string(),
+                reason: "checksum mismatch".to_string(),
+            },
         ];
         for event in &events {
             assert!(!event.kind().is_empty());
@@ -570,5 +681,54 @@ mod tests {
         }
         assert_eq!(events[9].key(), None);
         assert_eq!(events[10].key(), None);
+        assert_eq!(events[11].key(), Some(1), "failures carry the key");
+        assert_eq!(events[14].key(), None, "load failures carry only a path");
+    }
+
+    #[test]
+    fn failure_events_bump_their_dedicated_counters() {
+        let hub = hub(true);
+        hub.emit(ServeEvent::RefreshFailed {
+            key: 5,
+            run_index: 1,
+            streak: 1,
+            reason: "optimizer error".to_string(),
+        });
+        hub.emit(ServeEvent::RefreshRetry {
+            key: 5,
+            attempt: 1,
+            delay_ms: 25,
+        });
+        hub.emit(ServeEvent::Degraded {
+            key: 5,
+            failures: 3,
+        });
+        hub.emit(ServeEvent::SnapshotLoadFailed {
+            path: "x.json".to_string(),
+            reason: "torn".to_string(),
+        });
+        let snap = hub.metrics_snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(counter("serve_refresh_failures_total"), 1);
+        assert_eq!(counter("serve_refresh_retries_total"), 1);
+        assert_eq!(counter("serve_degraded_total"), 1);
+        assert_eq!(counter("serve_snapshot_load_failures_total"), 1);
+        let (entries, _) = hub.trace_snapshot(None);
+        let kinds: Vec<&str> = entries.iter().map(|e| e.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "refresh_failed",
+                "refresh_retry",
+                "degraded",
+                "snapshot_load_failed"
+            ]
+        );
     }
 }

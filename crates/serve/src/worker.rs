@@ -17,6 +17,11 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Called (in place of the default stderr line) whenever a job's panic
+/// escapes to the pool, so the owner can route it into its observability
+/// hub instead of losing it in the log stream.
+type PanicHook = Box<dyn Fn() + Send + Sync + 'static>;
+
 struct PoolState {
     queue: VecDeque<Job>,
     /// Jobs submitted but not yet finished (queued + running).
@@ -36,6 +41,22 @@ struct PoolShared {
     jobs_submitted: Counter,
     jobs_executed: Counter,
     jobs_panicked: Counter,
+    /// Optional owner-installed panic sink (see [`WorkerPool::set_panic_hook`]).
+    panic_hook: Mutex<Option<PanicHook>>,
+}
+
+impl PoolShared {
+    /// The queue state is a deque of boxed jobs plus two integers, and
+    /// every mutation under the lock either fully happens or not at all —
+    /// a thread that panicked while holding it cannot have left anything
+    /// half-written. So a poisoned lock is recovered, not escalated:
+    /// cascading one contained job panic into every later `submit` and
+    /// `wait_idle` would turn an isolated fault into a service outage.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// A fixed pool of worker threads executing submitted jobs.
@@ -70,6 +91,7 @@ impl WorkerPool {
             jobs_submitted: Counter::new(),
             jobs_executed: Counter::new(),
             jobs_panicked: Counter::new(),
+            panic_hook: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -90,12 +112,24 @@ impl WorkerPool {
 
     /// Jobs submitted but not yet finished.
     pub fn pending(&self) -> usize {
-        self.shared.state.lock().expect("pool lock").pending
+        self.shared.lock_state().pending
+    }
+
+    /// Installs the panic sink called whenever a job's panic escapes to
+    /// the pool, replacing the default stderr line. The service routes
+    /// this into [`crate::telemetry::ServeObs`]
+    /// (`serve_worker_pool_panics_total`).
+    pub fn set_panic_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self
+            .shared
+            .panic_hook
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Box::new(hook));
     }
 
     /// Enqueues a job for execution on some worker.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut state = self.shared.state.lock().expect("pool lock");
+        let mut state = self.shared.lock_state();
         assert!(!state.shutdown, "submit after shutdown");
         state.queue.push_back(Box::new(job));
         state.pending += 1;
@@ -122,9 +156,13 @@ impl WorkerPool {
 
     /// Blocks until every submitted job has finished.
     pub fn wait_idle(&self) {
-        let mut state = self.shared.state.lock().expect("pool lock");
+        let mut state = self.shared.lock_state();
         while state.pending > 0 {
-            state = self.shared.idle.wait(state).expect("pool lock");
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -132,7 +170,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = self.shared.lock_state();
             state.shutdown = true;
         }
         self.shared.work.notify_all();
@@ -145,7 +183,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool lock");
+            let mut state = shared.lock_state();
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -153,7 +191,10 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work.wait(state).expect("pool lock");
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         // A panicking job must not wedge `wait_idle`, so the panic is
@@ -162,9 +203,16 @@ fn worker_loop(shared: &PoolShared) {
         shared.jobs_executed.inc();
         if outcome.is_err() {
             shared.jobs_panicked.inc();
-            eprintln!("optrr-serve: a refresh job panicked; continuing");
+            let hook = shared
+                .panic_hook
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match hook.as_ref() {
+                Some(hook) => hook(),
+                None => eprintln!("optrr-serve: a worker job panicked; continuing"),
+            }
         }
-        let mut state = shared.state.lock().expect("pool lock");
+        let mut state = shared.lock_state();
         state.pending -= 1;
         if state.pending == 0 {
             shared.idle.notify_all();

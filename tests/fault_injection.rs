@@ -1,0 +1,265 @@
+//! Chaos acceptance tests for the robustness layer: deterministic fault
+//! injection ([`serve::faults`]), crash-safe snapshots, and the
+//! retry/backoff + graceful-degradation policy.
+//!
+//! The scenarios here are the ones the fault harness exists to make
+//! testable: a snapshot truncated at *any* byte offset either loads
+//! cleanly (the truncation only clipped the trailing newline) or fails
+//! with a typed corruption error — the service never panics and never
+//! silently serves a cold store; a key whose refreshes keep panicking
+//! degrades after the fail budget and recovers to `Warm` once the faults
+//! clear, with a store bitwise-equal to a never-faulted run; and a
+//! property test drives arbitrary query/refresh interleavings through a
+//! panicking fault plan against a clean reference service, asserting the
+//! faulted service converges to the identical store.
+
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use serve::{FaultPlan, KeyState, ServeError, Service, ServiceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const PRIOR: [f64; 5] = [0.35, 0.25, 0.2, 0.12, 0.08];
+const DELTA: f64 = 0.8;
+
+/// Slot-for-slot bitwise equality of two Ωs (improvement counters aside:
+/// recovery replays reproduce the entries, not the witness counts).
+fn same_omega_slots(a: &optrr::OmegaSet, b: &optrr::OmegaSet) -> bool {
+    if a.num_slots() != b.num_slots() {
+        return false;
+    }
+    (0..a.num_slots()).all(|slot| match (a.entry(slot), b.entry(slot)) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.evaluation.privacy.to_bits() == y.evaluation.privacy.to_bits()
+                && x.evaluation.mse.to_bits() == y.evaluation.mse.to_bits()
+                && x.matrix.max_abs_difference(&y.matrix) == Ok(0.0)
+        }
+        _ => false,
+    })
+}
+
+#[test]
+fn snapshot_truncated_at_any_offset_never_panics_or_serves_cold() {
+    let dir = std::env::temp_dir().join(format!("optrr_fault_truncation_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.json");
+    let path_str = path.to_str().unwrap();
+
+    let origin = Arc::new(Service::new(ServiceConfig::tiny(31)));
+    let entry = origin
+        .register(Some("t"), &PRIOR, DELTA, None, true)
+        .unwrap();
+    let warm_merge = entry.store().merge();
+    origin.save_snapshot(path_str).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Walk truncation points across the whole file (a stride keeps the
+    // walk fast on large snapshots; the boundary offsets are always hit).
+    let stride = (bytes.len() / 256).max(1);
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(stride).collect();
+    cuts.extend([1, 13, 14, 15, bytes.len() - 2, bytes.len() - 1]);
+    for cut in cuts {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let restarted = Arc::new(Service::new(ServiceConfig::tiny(31)));
+        match restarted.load_snapshot(path_str) {
+            // Only clipping the trailing newline leaves a complete,
+            // checksum-valid payload — loading it is correct.
+            Ok(_) => {
+                let restored = restarted.resolve(None, Some("t")).unwrap();
+                assert!(
+                    same_omega_slots(&restored.store().merge(), &warm_merge),
+                    "cut {cut}: a load that claims success must be complete"
+                );
+            }
+            // Every other truncation is a *typed* failure: the caller
+            // knows the snapshot is unusable (no silently cold store),
+            // and the service is still fully operational afterwards.
+            Err(ServeError::SnapshotCorrupt(_)) | Err(ServeError::Snapshot(_)) => {
+                let fresh = restarted
+                    .register(Some("after"), &PRIOR, DELTA, None, true)
+                    .unwrap();
+                assert!(
+                    restarted.best_for_privacy(&fresh, 0.0).is_some(),
+                    "cut {cut}: the service must stay usable after a bad load"
+                );
+            }
+            Err(other) => panic!("cut {cut}: unexpected error class {other}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_refreshes_degrade_over_the_protocol_and_recover() {
+    // The CI chaos smoke in miniature: a plan that panics every refresh
+    // twice (budget 2) against a fail budget of 2, driven end-to-end
+    // through the framed protocol.
+    let mut config = ServiceConfig::tiny(17);
+    config.faults = Some(FaultPlan::parse("seed=7,refresh_panic=1,budget=2").unwrap());
+    config.fail_budget = 2;
+    config.retry_base_ms = 1;
+    config.retry_max_ms = 4;
+    let service = Arc::new(Service::new(config));
+    let session = [
+        r#"{"Register":{"name":"demo","prior":[0.35,0.25,0.2,0.12,0.08],"delta":0.8}}"#,
+        r#"{"Refresh":{"name":"demo"}}"#,
+        r#""Sync""#,
+        r#"{"BestForPrivacy":{"name":"demo","min_privacy":0.0}}"#,
+        r#"{"Stats":{"name":"demo"}}"#,
+        r#"{"Stats":{}}"#,
+        r#"{"Refresh":{"name":"demo"}}"#,
+        r#""Sync""#,
+        r#"{"Stats":{"name":"demo"}}"#,
+        r#""Shutdown""#,
+    ]
+    .join("\n");
+    let mut output = Vec::new();
+    service.run_loop(session.as_bytes(), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.trim().lines().collect();
+    assert_eq!(lines.len(), 10);
+    // Both injected panics burned on the first Refresh (run + retry), so
+    // after the first Sync the key is degraded — and still answering.
+    assert!(
+        lines[3].contains("Matrix"),
+        "degraded key answers: {}",
+        lines[3]
+    );
+    assert!(lines[3].contains(r#""degraded":true"#), "got {}", lines[3]);
+    assert!(
+        lines[4].contains(r#""state":"degraded(manual)""#)
+            && lines[4].contains(r#""degraded":true"#),
+        "got {}",
+        lines[4]
+    );
+    assert!(
+        lines[4].contains(r#""refresh_failures":2"#) && lines[4].contains(r#""retries":1"#),
+        "got {}",
+        lines[4]
+    );
+    assert!(
+        lines[5].contains(r#""refresh_failures":2"#) && lines[5].contains(r#""degraded":1"#),
+        "got {}",
+        lines[5]
+    );
+    // The plan budget is spent: the second Refresh lands and restores Warm.
+    assert!(
+        lines[8].contains(r#""state":"warm""#) && lines[8].contains(r#""degraded":false"#),
+        "got {}",
+        lines[8]
+    );
+}
+
+#[test]
+fn faults_clear_to_a_store_bitwise_equal_to_a_never_faulted_service() {
+    let mut config = ServiceConfig::tiny(23);
+    config.faults = Some(FaultPlan::parse("seed=11,refresh_panic=1,budget=4").unwrap());
+    config.fail_budget = 2;
+    config.retry_base_ms = 1;
+    config.retry_max_ms = 2;
+    let faulted = Arc::new(Service::new(config));
+    let clean = Arc::new(Service::new(ServiceConfig::tiny(23)));
+    let faulted_key = faulted.register(None, &PRIOR, DELTA, None, true).unwrap();
+    let clean_key = clean.register(None, &PRIOR, DELTA, None, true).unwrap();
+
+    // Three refreshes on each. On the faulted side every attempt panics
+    // until the 4-fault budget drains, degrading the key along the way;
+    // rolled-back run indices mean recovery replays the exact runs the
+    // faults interrupted.
+    for _ in 0..3 {
+        faulted.refresh(&faulted_key, 1);
+        faulted.wait_idle();
+        clean.refresh(&clean_key, 1);
+        clean.wait_idle();
+    }
+    for round in 0.. {
+        if faulted_key.engine_runs() >= clean_key.engine_runs() {
+            break;
+        }
+        assert!(round < 16, "recovery did not converge");
+        faulted.refresh(&faulted_key, 1);
+        faulted.wait_idle();
+    }
+    assert_eq!(faulted_key.state(), KeyState::Warm);
+    assert_eq!(faulted_key.engine_runs(), clean_key.engine_runs());
+    assert!(
+        faulted_key.refresh_failures() >= 4,
+        "the whole budget fired"
+    );
+    assert!(
+        same_omega_slots(&faulted_key.store().merge(), &clean_key.store().merge()),
+        "post-recovery store must be bitwise-equal to the never-faulted run"
+    );
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(8))]
+
+    /// The chaos property: any interleaving of queries and refreshes under
+    /// a panicking fault plan converges — once the faults clear and the
+    /// landed-run counts are equalized — to a store bitwise-equal to the
+    /// same interleaving on a never-faulted service, and the faulted
+    /// service answers every query the clean one answers (degraded keys
+    /// serve last-good data, they never go dark).
+    #[test]
+    fn chaotic_interleavings_converge_to_the_never_faulted_store(
+        bytes in proptest::collection::vec(0u8..=255u8, 1..10),
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let _case = CASE.fetch_add(1, Ordering::SeqCst);
+
+        let seed = 4242;
+        let mut subject_config = ServiceConfig::tiny(seed);
+        subject_config.faults =
+            Some(FaultPlan::parse("seed=9,refresh_panic=0.6,budget=3").unwrap());
+        subject_config.fail_budget = 2;
+        subject_config.retry_base_ms = 1;
+        subject_config.retry_max_ms = 2;
+        let subject = Arc::new(Service::new(subject_config));
+        let reference = Arc::new(Service::new(ServiceConfig::tiny(seed)));
+        let subject_key = subject.register(None, &PRIOR, DELTA, None, true).unwrap();
+        let reference_key = reference.register(None, &PRIOR, DELTA, None, true).unwrap();
+
+        for &byte in &bytes {
+            if byte % 4 == 3 {
+                subject.refresh(&subject_key, 1);
+                subject.wait_idle();
+                reference.refresh(&reference_key, 1);
+                reference.wait_idle();
+            } else {
+                let floor = (byte % 10) as f64 / 20.0;
+                let subject_hit = subject.best_for_privacy(&subject_key, floor);
+                let reference_hit = reference.best_for_privacy(&reference_key, floor);
+                // Availability: the faulted service answers whenever the
+                // clean one does (values may trail while degraded).
+                prop_assert_eq!(
+                    subject_hit.is_some(),
+                    reference_hit.is_some(),
+                    "availability diverged at floor {}",
+                    floor
+                );
+            }
+        }
+
+        // Equalize landed runs: the fault budget is finite, so scheduled
+        // recovery refreshes deterministically land.
+        for round in 0.. {
+            if subject_key.engine_runs() >= reference_key.engine_runs() {
+                break;
+            }
+            prop_assert!(round < 24, "recovery did not converge");
+            subject.refresh(&subject_key, 1);
+            subject.wait_idle();
+        }
+        prop_assert_eq!(subject_key.engine_runs(), reference_key.engine_runs());
+        prop_assert_eq!(subject_key.state(), KeyState::Warm);
+        prop_assert!(
+            same_omega_slots(
+                &subject_key.store().merge(),
+                &reference_key.store().merge()
+            ),
+            "stores diverged after recovery (case {:?})",
+            &bytes
+        );
+    }
+}
