@@ -25,7 +25,12 @@
 //! | `OPTRR_SERVE_FAIL_BUDGET`  | integer ≥ 1           | consecutive refresh failures before Degraded |
 //! | `OPTRR_SERVE_RETRY_BASE_MS`| u64 ≥ 1               | first retry backoff delay |
 //! | `OPTRR_SERVE_RETRY_MAX_MS` | u64 ≥ 1               | backoff delay ceiling |
+//! | `OPTRR_SERVE_LISTEN`       | `ip:port` or `unix:path` | network listen address ([`crate::net`]); absent = stdio |
+//! | `OPTRR_SERVE_MAX_CONNS`    | integer ≥ 1           | connection-pool bound |
+//! | `OPTRR_SERVE_CONN_QUEUE`   | integer ≥ 1           | per-connection response-queue depth |
+//! | `OPTRR_SERVE_DRAIN_MS`     | u64                   | drain grace before force-closing sessions |
 
+use crate::net::{ListenAddr, NetConfig};
 use crate::service::ServiceConfig;
 use std::time::Duration;
 
@@ -175,6 +180,53 @@ pub fn config_from_env(standard: bool) -> Result<ServiceConfig, EnvError> {
     Ok(config)
 }
 
+/// Parses a listen address: `unix:<path>` (or any value containing a
+/// `/`) is a Unix-domain socket path, anything else must parse as an
+/// `ip:port` socket address.
+pub fn parse_listen(text: &str) -> Result<ListenAddr, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("listen address is empty".into());
+    }
+    if let Some(path) = text.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err("unix: prefix with no path".into());
+        }
+        return Ok(ListenAddr::Unix(std::path::PathBuf::from(path)));
+    }
+    if let Ok(addr) = text.parse::<std::net::SocketAddr>() {
+        return Ok(ListenAddr::Tcp(addr));
+    }
+    if text.contains('/') {
+        return Ok(ListenAddr::Unix(std::path::PathBuf::from(text)));
+    }
+    Err(format!(
+        "{text:?} is neither an ip:port socket address nor a unix:<path> socket"
+    ))
+}
+
+/// Builds the network front door's [`NetConfig`] from the environment.
+/// `Ok(None)` when `OPTRR_SERVE_LISTEN` is unset (the binary serves
+/// stdio); any malformed `OPTRR_SERVE_*` network variable is a startup
+/// error, same as the service knobs.
+pub fn net_config_from_env() -> Result<Option<NetConfig>, EnvError> {
+    let Some(listen) = env_nonempty("OPTRR_SERVE_LISTEN")? else {
+        return Ok(None);
+    };
+    let listen = parse_listen(&listen).map_err(|reason| reject("OPTRR_SERVE_LISTEN", reason))?;
+    let mut config = NetConfig::new(listen);
+    if let Some(max_conns) = env_usize("OPTRR_SERVE_MAX_CONNS", 1)? {
+        config.max_conns = max_conns;
+    }
+    if let Some(conn_queue) = env_usize("OPTRR_SERVE_CONN_QUEUE", 1)? {
+        config.conn_queue = conn_queue;
+    }
+    if let Some(drain_ms) = env_u64("OPTRR_SERVE_DRAIN_MS", 0)? {
+        config.drain_ms = drain_ms;
+    }
+    Ok(Some(config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,7 +330,54 @@ mod tests {
             }
         }
 
+        // Network knobs: absent means stdio, valid values land in the
+        // NetConfig, malformed values are fatal.
+        std::env::remove_var("OPTRR_SERVE_LISTEN");
+        assert_eq!(net_config_from_env(), Ok(None), "no listen means stdio");
+        std::env::set_var("OPTRR_SERVE_LISTEN", "127.0.0.1:7171");
+        std::env::set_var("OPTRR_SERVE_MAX_CONNS", "512");
+        std::env::set_var("OPTRR_SERVE_CONN_QUEUE", "8");
+        std::env::set_var("OPTRR_SERVE_DRAIN_MS", "250");
+        let net = net_config_from_env()
+            .expect("all network values valid")
+            .expect("listen address set");
+        assert_eq!(
+            net.listen,
+            ListenAddr::Tcp("127.0.0.1:7171".parse().unwrap())
+        );
+        assert_eq!(net.max_conns, 512);
+        assert_eq!(net.conn_queue, 8);
+        assert_eq!(net.drain_ms, 250);
+        std::env::set_var("OPTRR_SERVE_LISTEN", "unix:/tmp/optrr.sock");
+        let net = net_config_from_env().unwrap().unwrap();
+        assert_eq!(
+            net.listen,
+            ListenAddr::Unix(std::path::PathBuf::from("/tmp/optrr.sock"))
+        );
+        for (name, bad) in [
+            ("OPTRR_SERVE_LISTEN", "not-an-address"),
+            ("OPTRR_SERVE_LISTEN", "unix:"),
+            ("OPTRR_SERVE_LISTEN", "   "),
+            ("OPTRR_SERVE_MAX_CONNS", "0"),
+            ("OPTRR_SERVE_MAX_CONNS", "plenty"),
+            ("OPTRR_SERVE_CONN_QUEUE", "0"),
+            ("OPTRR_SERVE_DRAIN_MS", "-1"),
+        ] {
+            std::env::set_var(name, bad);
+            let error =
+                net_config_from_env().expect_err(&format!("{name}={bad:?} must be rejected"));
+            assert_eq!(error.name, name, "wrong variable blamed for {name}={bad:?}");
+            match name {
+                "OPTRR_SERVE_LISTEN" => std::env::set_var(name, "127.0.0.1:7171"),
+                _ => std::env::set_var(name, "3"),
+            }
+        }
+
         for name in [
+            "OPTRR_SERVE_LISTEN",
+            "OPTRR_SERVE_MAX_CONNS",
+            "OPTRR_SERVE_CONN_QUEUE",
+            "OPTRR_SERVE_DRAIN_MS",
             "OPTRR_SERVE_DRIFT",
             "OPTRR_SERVE_WORKERS",
             "OPTRR_SERVE_SHARDS",
@@ -307,5 +406,35 @@ mod tests {
         assert_eq!(config.fail_budget, 3);
         assert_eq!(config.retry_base_ms, 25);
         assert_eq!(config.retry_max_ms, 1000);
+        assert_eq!(net_config_from_env(), Ok(None));
+    }
+
+    // `parse_listen` is pure — it never reads the environment, so it can
+    // be tested outside the serialized env test above.
+    #[test]
+    fn listen_addresses_parse_both_transports() {
+        assert_eq!(
+            parse_listen("127.0.0.1:7171"),
+            Ok(ListenAddr::Tcp("127.0.0.1:7171".parse().unwrap()))
+        );
+        assert_eq!(
+            parse_listen(" [::1]:9000 "),
+            Ok(ListenAddr::Tcp("[::1]:9000".parse().unwrap()))
+        );
+        assert_eq!(
+            parse_listen("unix:/run/optrr.sock"),
+            Ok(ListenAddr::Unix(std::path::PathBuf::from(
+                "/run/optrr.sock"
+            )))
+        );
+        // A bare path (contains '/') is accepted as a Unix socket too.
+        assert_eq!(
+            parse_listen("/tmp/door.sock"),
+            Ok(ListenAddr::Unix(std::path::PathBuf::from("/tmp/door.sock")))
+        );
+        assert!(parse_listen("").is_err());
+        assert!(parse_listen("unix:").is_err());
+        assert!(parse_listen("localhost").is_err(), "no port, no path");
+        assert!(parse_listen("127.0.0.1").is_err(), "ip without port");
     }
 }

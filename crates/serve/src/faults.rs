@@ -28,6 +28,8 @@
 //!   refresh_panic=p  rate of refresh runs that panic          (default 0)
 //!   stall=p          rate of refresh runs that stall first    (default 0)
 //!   stall_ms=N       stall duration in milliseconds           (default 10)
+//!   conn_drop=p      rate of network requests whose client
+//!                    connection is dropped mid-frame          (default 0)
 //!   budget=N         total faults injected before the plan
 //!                    goes quiet (unset = unbounded)
 //! ```
@@ -60,6 +62,10 @@ pub struct FaultPlan {
     pub stall: f64,
     /// Stall duration in milliseconds.
     pub stall_ms: u64,
+    /// Probability a network session's client connection is dropped
+    /// abruptly mid-frame, exercising the torn-frame cleanup path
+    /// (`serve::net` consults this before handling each request).
+    pub conn_drop: f64,
     /// Total faults injected before the plan goes quiet; `None` is
     /// unbounded.
     pub budget: Option<u64>,
@@ -75,6 +81,7 @@ impl Default for FaultPlan {
             refresh_panic: 0.0,
             stall: 0.0,
             stall_ms: 10,
+            conn_drop: 0.0,
             budget: None,
         }
     }
@@ -120,6 +127,7 @@ impl FaultPlan {
                 "torn_write" => plan.torn_write = rate("torn_write", value)?,
                 "refresh_panic" => plan.refresh_panic = rate("refresh_panic", value)?,
                 "stall" => plan.stall = rate("stall", value)?,
+                "conn_drop" => plan.conn_drop = rate("conn_drop", value)?,
                 "stall_ms" => {
                     plan.stall_ms = value
                         .parse()
@@ -148,6 +156,7 @@ enum Site {
     TornWrite,
     RefreshPanic,
     Stall,
+    ConnDrop,
 }
 
 impl Site {
@@ -158,6 +167,7 @@ impl Site {
             Site::TornWrite => 0x03,
             Site::RefreshPanic => 0x04,
             Site::Stall => 0x05,
+            Site::ConnDrop => 0x06,
         }
     }
 }
@@ -257,6 +267,15 @@ impl FaultInjector {
     pub fn stall(&self, key: u64, run_index: u64) -> Option<std::time::Duration> {
         self.decide(Site::Stall, key, run_index, self.plan.stall)
             .then(|| std::time::Duration::from_millis(self.plan.stall_ms))
+    }
+
+    /// Should request `request_index` of network connection `conn_id`
+    /// have its client connection dropped mid-frame? Keyed by
+    /// `(connection, request)` like the refresh sites are keyed by
+    /// `(key, run)`, so scripted single-connection sessions draw a
+    /// deterministic verdict per request regardless of thread timing.
+    pub fn conn_drop(&self, conn_id: u64, request_index: u64) -> bool {
+        self.decide(Site::ConnDrop, conn_id, request_index, self.plan.conn_drop)
     }
 
     /// Should this snapshot/sidecar read of `path` fail?
@@ -385,5 +404,28 @@ mod tests {
 
         let stall = FaultInjector::new(FaultPlan::parse("stall=1,stall_ms=4").unwrap());
         assert_eq!(stall.stall(1, 0), Some(std::time::Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn conn_drop_site_is_deterministic_and_budgeted() {
+        let plan = FaultPlan::parse("seed=9,conn_drop=0.5").unwrap();
+        assert_eq!(plan.conn_drop, 0.5);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let verdicts =
+            |inj: &FaultInjector| (0..64).map(|i| inj.conn_drop(3, i)).collect::<Vec<_>>();
+        assert_eq!(verdicts(&a), verdicts(&b), "same seed, same drops");
+        assert!(verdicts(&a).iter().any(|&v| v), "p=0.5 fires sometimes");
+        assert!(verdicts(&a).iter().any(|&v| !v), "p=0.5 spares sometimes");
+
+        // One budgeted drop, then the plan goes quiet — the shape the
+        // disconnect-recovery test converges on.
+        let once = FaultInjector::new(FaultPlan::parse("conn_drop=1,budget=1").unwrap());
+        assert!(once.conn_drop(1, 0));
+        assert!(!once.conn_drop(1, 1));
+        assert!(!once.conn_drop(2, 0));
+
+        let quiet = FaultInjector::new(FaultPlan::default());
+        assert!(!quiet.conn_drop(1, 0), "default plan never drops");
     }
 }

@@ -57,6 +57,19 @@
 //! * [`env`] — validated `OPTRR_SERVE_*` environment configuration for
 //!   the binary (bad values abort startup instead of silently
 //!   defaulting).
+//! * [`net`] — the network front door: TCP + Unix-domain socket sessions
+//!   over one shared [`Service`] — a bounded connection pool fed by a
+//!   nonblocking accept loop, per-connection reader/writer threads with a
+//!   bounded response queue (pipelining in request order, backpressure
+//!   against slow readers), codec negotiation by connection preamble, and
+//!   graceful drain on `Shutdown`. A torn frame closes its own session
+//!   with a typed `transport` error and never touches shared state.
+//! * [`wire`] — `OPTRR-WIRE v1`, the length-prefixed binary frame codec
+//!   (u32 length · verb tag · CRC32) for the hot verbs:
+//!   column-major matrices and raw-record ingest batches cross the wire
+//!   as `f64` bits with no float→decimal→float round trip, while every
+//!   other verb rides a JSON-escape frame. Binary sessions stay
+//!   bitwise-deterministic against JSON sessions.
 //! * [`faults`] — deterministic fault injection for chaos-testing the
 //!   stack: `OPTRR_SERVE_FAULTS` compiles into a seeded [`FaultInjector`]
 //!   that can fail or tear snapshot I/O, panic refresh runs, and stall
@@ -100,17 +113,20 @@ pub mod counts;
 pub mod env;
 pub mod faults;
 pub mod lifecycle;
+pub mod net;
 pub mod pipeline;
 pub mod protocol;
 pub mod registry;
 pub mod service;
 pub mod shard;
 pub mod telemetry;
+pub mod wire;
 pub mod worker;
 
 pub use counts::ShardedCounts;
 pub use faults::{FaultInjector, FaultPlan};
 pub use lifecycle::{KeyLifecycle, KeyState, StaleReason, StateCell};
+pub use net::{ListenAddr, NetClient, NetConfig, NetServer};
 pub use pipeline::{
     payload_seed, EstimateMethod, EstimateOutcome, IngestOutcome, KeyPipeline, PipelineSnapshot,
 };
@@ -122,4 +138,5 @@ pub use service::{
 };
 pub use shard::ShardedOmega;
 pub use telemetry::{ServeEvent, ServeObs, DEFAULT_TRACE_CAP};
+pub use wire::{Codec, WireError};
 pub use worker::WorkerPool;

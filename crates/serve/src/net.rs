@@ -1,0 +1,920 @@
+//! The network front door: TCP + Unix-domain socket sessions over one
+//! shared [`Service`].
+//!
+//! [`NetServer::start`] binds a listener ([`ListenAddr::Tcp`] or
+//! [`ListenAddr::Unix`]) and runs an accept loop feeding a bounded
+//! connection pool (`max_conns`; excess connections wait in the OS
+//! backlog). Each accepted connection gets a session thread that reuses
+//! the [`Service::run_loop`] semantics — decode one request, handle,
+//! respond in order — plus a writer thread behind a bounded queue
+//! (`conn_queue`), so:
+//!
+//! * **Pipelining** — a client may send many requests without reading;
+//!   responses are written strictly in request order per connection
+//!   (one FIFO queue per session).
+//! * **Backpressure** — a client that stops reading fills the kernel
+//!   buffer, then the bounded write queue, then blocks the session's
+//!   reader: the server never buffers unboundedly for a slow consumer.
+//! * **Codec negotiation** — the connection's first byte selects the
+//!   codec ([`wire::PREAMBLE`] → `OPTRR-WIRE v1` binary frames;
+//!   anything else begins the first framed-JSON line). Both codecs
+//!   deliver bitwise-identical requests to the service, so a binary
+//!   session produces byte-identical warm stores and estimates to the
+//!   same session over JSON.
+//! * **Graceful drain** — any session's `Shutdown` request (after its
+//!   `Bye` is queued) puts the whole server into drain: the accept loop
+//!   stops, idle sessions close after flushing their write queues, and
+//!   [`NetServer::wait`] force-closes stragglers only after
+//!   `drain_ms`.
+//!
+//! A torn frame — truncated length prefix, half-written JSON line,
+//! checksum mismatch, abrupt disconnect — closes *that* session with a
+//! typed [`ServeError::Transport`] (counted in
+//! `serve_net_conn_errors_total`, answered best-effort with a
+//! `code: "transport"` error response) and leaves the shared service
+//! fully usable: sessions hold no service locks across requests, so
+//! there is nothing to poison and no `Warming` state to leak. The
+//! deterministic `conn_drop` fault site ([`crate::faults`]) drops a
+//! session mid-frame on purpose to keep that path covered.
+
+use crate::protocol::{self, Request, Response};
+use crate::service::{ServeError, Service};
+use crate::telemetry::ServeObs;
+use crate::wire::{self, Codec};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to poll the drain flag. Sessions
+/// and the accept loop observe a drain within roughly this interval.
+const POLL_MS: u64 = 25;
+
+/// Stack size for session and writer threads: sessions are I/O loops
+/// with small frames on the stack, so the default 8 MiB per thread
+/// would waste address space across hundreds of connections.
+const SESSION_STACK: usize = 512 * 1024;
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP socket address (`127.0.0.1:7171`, `[::1]:7171`, ...).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path. A stale file at the path is removed
+    /// at bind time and the file is unlinked after drain.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Configuration of the network front door (see `serve::env` for the
+/// `OPTRR_SERVE_LISTEN` / `MAX_CONNS` / `CONN_QUEUE` / `DRAIN_MS`
+/// environment knobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// The listen address.
+    pub listen: ListenAddr,
+    /// Bound on concurrently served connections; excess connections
+    /// wait in the OS accept backlog until a slot frees.
+    pub max_conns: usize,
+    /// Bound on each connection's queued-but-unwritten responses (the
+    /// backpressure depth, in responses).
+    pub conn_queue: usize,
+    /// How long [`NetServer::wait`] lets in-flight sessions flush after
+    /// drain is requested before force-closing their sockets.
+    pub drain_ms: u64,
+}
+
+impl NetConfig {
+    /// A configuration with the default pool bounds: 1024 connections,
+    /// 64 queued responses per connection, 5-second drain grace.
+    pub fn new(listen: ListenAddr) -> Self {
+        Self {
+            listen,
+            max_conns: 1024,
+            conn_queue: 64,
+            drain_ms: 5_000,
+        }
+    }
+}
+
+/// The transports a session can run on, behind one object-safe
+/// surface. Both [`TcpStream`] and [`UnixStream`] provide exactly
+/// these operations; the session code is transport-agnostic.
+trait SessionStream: Read + Write + Send {
+    /// An independently owned handle to the same socket (for the
+    /// writer thread and the force-close registry).
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SessionStream>>;
+    /// Bounds blocking reads so sessions can poll the drain flag.
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Closes both directions, unblocking any reader or writer.
+    fn shutdown_stream(&self) -> io::Result<()>;
+}
+
+impl SessionStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SessionStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl SessionStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SessionStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(listen: &ListenAddr) -> io::Result<Self> {
+        match listen {
+            ListenAddr::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a previous process would fail
+                // the bind; remove it first (binding a *live* path still
+                // fails on most systems once the file is gone mid-run,
+                // and two live servers on one path is an operator error
+                // this module does not try to detect).
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Box<dyn SessionStream>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // Accepted sockets inherit the listener's non-blocking
+                // flag on some platforms; sessions want blocking reads
+                // bounded by a timeout instead.
+                stream.set_nonblocking(false)?;
+                Ok(Box::new(stream))
+            }
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+
+    fn local_tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A session thread that panicked while holding one of the server's
+    // bookkeeping locks must not wedge drain; the maps hold only
+    // handles, so the data is valid regardless.
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct NetShared {
+    service: Arc<Service>,
+    config: NetConfig,
+    draining: AtomicBool,
+    active: AtomicU64,
+    conn_seq: AtomicU64,
+    /// Socket handles of live sessions, for the post-deadline
+    /// force-close. Sessions remove themselves on exit.
+    conns: Mutex<HashMap<u64, Box<dyn SessionStream>>>,
+    /// Session thread handles, joined by [`NetServer::wait`].
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NetShared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn obs(&self) -> &Arc<ServeObs> {
+        self.service.obs()
+    }
+}
+
+/// The running network front door. Dropping the handle does not stop
+/// the server; call [`NetServer::request_drain`] (or send a `Shutdown`
+/// request over any connection) and then [`NetServer::wait`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    accept: Option<JoinHandle<()>>,
+    local_tcp: Option<SocketAddr>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("listen", &self.shared.config.listen)
+            .field("active", &self.shared.active.load(Ordering::SeqCst))
+            .field("draining", &self.shared.draining())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds the listener and spawns the accept loop over a shared
+    /// service.
+    pub fn start(service: Arc<Service>, config: NetConfig) -> io::Result<Self> {
+        let listener = Listener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_tcp = listener.local_tcp_addr();
+        let shared = Arc::new(NetShared {
+            service,
+            config,
+            draining: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("optrr-net-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .expect("spawning the accept thread succeeds");
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+            local_tcp,
+        })
+    }
+
+    /// The bound TCP address (with the OS-assigned port when the
+    /// configuration asked for port 0); `None` for Unix listeners.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_tcp
+    }
+
+    /// The effective listen address — the configured one with the
+    /// OS-assigned TCP port resolved.
+    pub fn listen_addr(&self) -> ListenAddr {
+        match (&self.shared.config.listen, self.local_tcp) {
+            (ListenAddr::Tcp(_), Some(addr)) => ListenAddr::Tcp(addr),
+            (listen, _) => listen.clone(),
+        }
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Puts the server into drain: the accept loop stops and sessions
+    /// close after flushing. Idempotent; also triggered by any
+    /// session's `Shutdown` request.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Blocks until the server has drained: waits for a `Shutdown`
+    /// request or [`NetServer::request_drain`], gives in-flight
+    /// sessions `drain_ms` to flush, force-closes stragglers, and joins
+    /// every thread. Returns the number of sessions served.
+    pub fn wait(mut self) -> u64 {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.shared.config.drain_ms);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        // Force-close whatever is still open; their session threads
+        // observe the closed socket at the next read or write.
+        for (_, stream) in lock(&self.shared.conns).drain() {
+            let _ = stream.shutdown_stream();
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.shared.sessions).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let ListenAddr::Unix(path) = &self.shared.config.listen {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.conn_seq.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(shared: Arc<NetShared>, listener: Listener) {
+    loop {
+        if shared.draining() {
+            break;
+        }
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_conns as u64 {
+            // The pool is full: stop accepting and let the backlog hold
+            // arrivals until a session finishes.
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match listener.accept() {
+            Ok(stream) => spawn_session(&shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(POLL_MS.min(5)));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly instead of spinning.
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+    // Dropping the listener closes it; for Unix sockets the file is
+    // unlinked by `wait`.
+}
+
+fn spawn_session(shared: &Arc<NetShared>, stream: Box<dyn SessionStream>) {
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+    let obs = shared.obs();
+    obs.count_net_conn();
+    let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+    obs.set_connections_active(now_active);
+    let retire = |shared: &Arc<NetShared>| {
+        let now = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        shared.obs().set_connections_active(now);
+    };
+    let registered = stream
+        .set_read_timeout_stream(Some(Duration::from_millis(POLL_MS)))
+        .and_then(|_| stream.try_clone_stream());
+    let handle = match registered {
+        Ok(clone) => {
+            lock(&shared.conns).insert(conn_id, clone);
+            let session_shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name(format!("optrr-net-conn-{conn_id}"))
+                .stack_size(SESSION_STACK)
+                .spawn(move || {
+                    run_session(&session_shared, stream, conn_id);
+                    lock(&session_shared.conns).remove(&conn_id);
+                    retire(&session_shared);
+                })
+        }
+        Err(_) => {
+            retire(shared);
+            return;
+        }
+    };
+    match handle {
+        Ok(handle) => lock(&shared.sessions).push(handle),
+        Err(_) => {
+            // Spawn failure (thread exhaustion): the connection is
+            // dropped; `stream` was moved into the failed closure and
+            // is already gone, so just fix the accounting.
+            lock(&shared.conns).remove(&conn_id);
+            retire(shared);
+        }
+    }
+}
+
+/// Why a session's read loop stopped.
+enum SessionEnd {
+    /// The client closed cleanly at a frame boundary (or sent `Bye`).
+    Clean,
+    /// Drain was requested and the connection was idle.
+    Drained,
+    /// The transport failed mid-frame — the typed error to account.
+    Torn(ServeError),
+}
+
+fn run_session(shared: &Arc<NetShared>, stream: Box<dyn SessionStream>, conn_id: u64) {
+    let obs = Arc::clone(shared.obs());
+    let writer_stream = match stream.try_clone_stream() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(shared.config.conn_queue);
+    let writer_obs = Arc::clone(&obs);
+    let writer = thread::Builder::new()
+        .name(format!("optrr-net-write-{conn_id}"))
+        .stack_size(SESSION_STACK)
+        .spawn(move || writer_loop(rx, writer_stream, writer_obs));
+    let Ok(writer) = writer else { return };
+
+    let mut reader = BufReader::new(stream);
+    let mut codec = Codec::Json;
+    let end = match negotiate_codec(&mut reader, shared) {
+        Ok(Some(negotiated)) => {
+            codec = negotiated;
+            session_loop(shared, &mut reader, &tx, codec, conn_id)
+        }
+        Ok(None) => SessionEnd::Clean, // opened and closed without a byte
+        Err(end) => end,
+    };
+    if let SessionEnd::Torn(error) = end {
+        obs.count_net_conn_error();
+        // Best-effort: tell the client what happened, in its own codec,
+        // before closing. On an abrupt disconnect the write simply
+        // fails; either way the session ends and the shared service is
+        // untouched.
+        let response = Response::Error {
+            reason: error.to_string(),
+            code: error.code().to_string(),
+        };
+        let _ = tx.try_send(encode_response_bytes(&response, codec));
+    }
+    drop(tx);
+    let _ = writer.join();
+    // Closing our half unblocks a client still waiting on reads.
+    let _ = reader.get_ref().shutdown_stream();
+}
+
+/// Reads the connection's first byte and selects the codec. `Ok(None)`
+/// is a connection that closed before sending anything.
+fn negotiate_codec(
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    shared: &Arc<NetShared>,
+) -> Result<Option<Codec>, SessionEnd> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(None),
+            Ok(buf) => {
+                return if buf[0] == wire::PREAMBLE {
+                    reader.consume(1);
+                    shared.obs().add_net_bytes_in(1);
+                    Ok(Some(Codec::Binary))
+                } else {
+                    Ok(Some(Codec::Json))
+                };
+            }
+            Err(e) if is_poll_timeout(&e) => {
+                if shared.draining() {
+                    return Err(SessionEnd::Drained);
+                }
+            }
+            Err(e) => {
+                return Err(SessionEnd::Torn(ServeError::Transport(format!(
+                    "reading the codec preamble: {e}"
+                ))))
+            }
+        }
+    }
+}
+
+fn is_poll_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+fn session_loop(
+    shared: &Arc<NetShared>,
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    tx: &SyncSender<Vec<u8>>,
+    codec: Codec,
+    conn_id: u64,
+) -> SessionEnd {
+    let obs = Arc::clone(shared.obs());
+    let injector = shared.service.fault_injector().cloned();
+    let mut request_index: u64 = 0;
+    loop {
+        let request = match read_request(reader, shared, codec) {
+            Ok(Some(decoded)) => decoded,
+            Ok(None) => return SessionEnd::Clean,
+            Err(end) => return end,
+        };
+        // The deterministic disconnect fault: hang up abruptly instead
+        // of handling, exercising the torn-frame cleanup end to end.
+        if let Some(injector) = &injector {
+            if injector.conn_drop(conn_id, request_index) {
+                let _ = reader.get_ref().shutdown_stream();
+                return SessionEnd::Torn(ServeError::Transport(format!(
+                    "injected connection drop before request {request_index}"
+                )));
+            }
+        }
+        request_index += 1;
+        let response = match request {
+            Ok(request) if obs.enabled() => {
+                let verb = request.verb();
+                let start_ns = obs.now_ns();
+                let response = shared.service.handle(request);
+                let elapsed = obs.now_ns().saturating_sub(start_ns);
+                obs.record_verb(verb, elapsed);
+                obs.record_net_verb(verb, codec.label(), elapsed);
+                response
+            }
+            Ok(request) => shared.service.handle(request),
+            Err(reason) => Response::Error {
+                reason,
+                code: "invalid_request".to_string(),
+            },
+        };
+        let bye = response == Response::Bye;
+        if tx.send(encode_response_bytes(&response, codec)).is_err() {
+            // The writer died (client stopped reading and went away).
+            return SessionEnd::Torn(ServeError::Transport(
+                "response writer closed mid-session".to_string(),
+            ));
+        }
+        if bye {
+            // `Shutdown` drains the whole front door: stop accepting,
+            // flush, exit. The response is already queued, so the
+            // client sees its `Bye`.
+            shared.draining.store(true, Ordering::SeqCst);
+            return SessionEnd::Clean;
+        }
+    }
+}
+
+/// Reads one request off the connection. `Ok(None)` is a clean close at
+/// a frame boundary; `Ok(Some(Err(reason)))` is a decodable-but-invalid
+/// request (answered with an `invalid_request` error, session
+/// continues); `Err` ends the session.
+#[allow(clippy::type_complexity)]
+fn read_request(
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    shared: &Arc<NetShared>,
+    codec: Codec,
+) -> Result<Option<std::result::Result<Request, String>>, SessionEnd> {
+    match codec {
+        Codec::Json => read_json_request(reader, shared),
+        Codec::Binary => read_binary_request(reader, shared),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn read_json_request(
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    shared: &Arc<NetShared>,
+) -> Result<Option<std::result::Result<Request, String>>, SessionEnd> {
+    let mut line = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => {
+                // EOF. Bytes without a newline are a half-written line.
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(SessionEnd::Torn(ServeError::Transport(format!(
+                        "connection closed mid-line after {} bytes",
+                        line.len()
+                    ))))
+                };
+            }
+            Ok(_) if line.ends_with(b"\n") => {
+                shared.obs().add_net_bytes_in(line.len() as u64);
+                let text = match std::str::from_utf8(&line) {
+                    Ok(text) => text.trim(),
+                    Err(_) => return Ok(Some(Err("request line is not UTF-8".into()))),
+                };
+                if text.is_empty() {
+                    line.clear();
+                    continue;
+                }
+                return Ok(Some(
+                    protocol::decode_request(text).map_err(|e| format!("bad request line: {e}")),
+                ));
+            }
+            Ok(_) => {
+                // Delimiter not reached before the buffer drained; keep
+                // reading the same line.
+            }
+            Err(e) if is_poll_timeout(&e) => {
+                if shared.draining() && line.is_empty() {
+                    return Err(SessionEnd::Drained);
+                }
+            }
+            Err(e) => {
+                return Err(SessionEnd::Torn(ServeError::Transport(format!(
+                    "reading a request line: {e}"
+                ))))
+            }
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn read_binary_request(
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    shared: &Arc<NetShared>,
+) -> Result<Option<std::result::Result<Request, String>>, SessionEnd> {
+    let mut header = [0u8; 4];
+    if !read_full(reader, shared, &mut header, true)? {
+        return Ok(None);
+    }
+    let body_len = wire::parse_header(header)
+        .map_err(|e| SessionEnd::Torn(ServeError::Transport(e.to_string())))?;
+    let mut body = vec![0u8; body_len];
+    // Mid-frame EOF below is a torn length prefix / truncated body.
+    read_full(reader, shared, &mut body, false)?;
+    shared.obs().add_net_bytes_in(4 + body_len as u64);
+    let (tag, payload) = wire::parse_body(&body)
+        .map_err(|e| SessionEnd::Torn(ServeError::Transport(e.to_string())))?;
+    match wire::decode_request_frame(tag, payload) {
+        Ok(request) => Ok(Some(Ok(request))),
+        // The frame passed its checksum but decodes to no valid
+        // request: answer `invalid_request` and keep the session, the
+        // transport itself is healthy (mirrors a bad JSON line).
+        Err(e) => Ok(Some(Err(format!("bad request frame: {e}")))),
+    }
+}
+
+/// Fills `buf` from the connection, polling the drain flag on read
+/// timeouts. Returns `Ok(false)` on a clean EOF before the first byte
+/// (only when `clean_eof_ok`); EOF after the first byte is a torn
+/// frame.
+fn read_full(
+    reader: &mut BufReader<Box<dyn SessionStream>>,
+    shared: &Arc<NetShared>,
+    buf: &mut [u8],
+    clean_eof_ok: bool,
+) -> Result<bool, SessionEnd> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && clean_eof_ok {
+                    Ok(false)
+                } else {
+                    Err(SessionEnd::Torn(ServeError::Transport(format!(
+                        "connection closed mid-frame after {filled} of {} bytes",
+                        buf.len()
+                    ))))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_poll_timeout(&e) => {
+                if shared.draining() && filled == 0 && clean_eof_ok {
+                    return Err(SessionEnd::Drained);
+                }
+            }
+            Err(e) => {
+                return Err(SessionEnd::Torn(ServeError::Transport(format!(
+                    "reading a frame: {e}"
+                ))))
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn encode_response_bytes(response: &Response, codec: Codec) -> Vec<u8> {
+    match codec {
+        Codec::Json => {
+            let mut bytes = protocol::encode_response(response).into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        Codec::Binary => wire::encode_response_frame(response).unwrap_or_else(|e| {
+            // Unencodable responses are bounded-size errors by
+            // construction, so this fallback frame always encodes.
+            wire::encode_response_frame(&Response::Error {
+                reason: format!("response unencodable: {e}"),
+                code: "transport".to_string(),
+            })
+            .expect("a small error frame always encodes")
+        }),
+    }
+}
+
+fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: Box<dyn SessionStream>, obs: Arc<ServeObs>) {
+    loop {
+        let Ok(mut pending) = rx.recv() else {
+            // Session over: everything queued was written.
+            let _ = stream.flush();
+            return;
+        };
+        loop {
+            if stream.write_all(&pending).is_err() {
+                // Dropping the receiver makes the session's next send
+                // fail, ending it with a typed transport error.
+                return;
+            }
+            obs.add_net_bytes_out(pending.len() as u64);
+            match rx.try_recv() {
+                Ok(next) => pending = next,
+                Err(_) => break,
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+// ---- client -----------------------------------------------------------------
+
+/// A blocking protocol client for either transport and codec — what the
+/// `bench_net` load generator and the integration tests drive sessions
+/// with, and a reference for external client implementations.
+pub struct NetClient {
+    reader: BufReader<Box<dyn SessionStream>>,
+    writer: Box<dyn SessionStream>,
+    codec: Codec,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("codec", &self.codec)
+            .finish()
+    }
+}
+
+impl NetClient {
+    /// Connects to a server and negotiates the codec (binary clients
+    /// send the [`wire::PREAMBLE`] byte; JSON clients send nothing).
+    pub fn connect(addr: &ListenAddr, codec: Codec) -> io::Result<Self> {
+        let stream: Box<dyn SessionStream> = match addr {
+            ListenAddr::Tcp(addr) => Box::new(TcpStream::connect(addr)?),
+            ListenAddr::Unix(path) => Box::new(UnixStream::connect(path)?),
+        };
+        Self::from_stream(stream, codec)
+    }
+
+    fn from_stream(stream: Box<dyn SessionStream>, codec: Codec) -> io::Result<Self> {
+        let mut writer = stream.try_clone_stream()?;
+        if codec == Codec::Binary {
+            writer.write_all(&[wire::PREAMBLE])?;
+        }
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            codec,
+        })
+    }
+
+    /// The negotiated codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Sends one request without waiting for the response — the
+    /// pipelining half; pair with [`NetClient::recv`] in request order.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        match self.codec {
+            Codec::Json => {
+                let mut line = protocol::encode_request(request).into_bytes();
+                line.push(b'\n');
+                self.writer.write_all(&line)
+            }
+            Codec::Binary => {
+                let frame = wire::encode_request_frame(request)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+                self.writer.write_all(&frame)
+            }
+        }
+    }
+
+    /// Receives one response (in request order).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        match self.codec {
+            Codec::Json => {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                protocol::decode_response(line.trim())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Codec::Binary => {
+                let mut header = [0u8; 4];
+                self.reader.read_exact(&mut header)?;
+                let body_len = wire::parse_header(header)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let mut body = vec![0u8; body_len];
+                self.reader.read_exact(&mut body)?;
+                let (tag, payload) = wire::parse_body(&body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                wire::decode_response_frame(tag, payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+
+    /// One full round trip.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes raw bytes to the connection — the integration tests use
+    /// this to produce torn frames and half-written lines on purpose.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Closes both directions immediately (an abrupt client hang-up).
+    pub fn hang_up(&mut self) {
+        let _ = self.writer.shutdown_stream();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn tiny_server(seed: u64) -> (NetServer, ListenAddr) {
+        let service = Arc::new(Service::new(ServiceConfig::smoke(seed)));
+        let config = NetConfig::new(ListenAddr::Tcp("127.0.0.1:0".parse().unwrap()));
+        let server = NetServer::start(service, config).expect("bind succeeds");
+        let addr = server.listen_addr();
+        (server, addr)
+    }
+
+    #[test]
+    fn listen_addr_renders_both_transports() {
+        let tcp = ListenAddr::Tcp("127.0.0.1:7171".parse().unwrap());
+        assert_eq!(tcp.to_string(), "127.0.0.1:7171");
+        let unix = ListenAddr::Unix(PathBuf::from("/tmp/optrr.sock"));
+        assert_eq!(unix.to_string(), "unix:/tmp/optrr.sock");
+    }
+
+    #[test]
+    fn net_config_defaults_are_bounded() {
+        let config = NetConfig::new(ListenAddr::Tcp("127.0.0.1:0".parse().unwrap()));
+        assert_eq!(config.max_conns, 1024);
+        assert_eq!(config.conn_queue, 64);
+        assert_eq!(config.drain_ms, 5_000);
+    }
+
+    #[test]
+    fn a_session_round_trips_and_shutdown_drains() {
+        let (server, addr) = tiny_server(11);
+        let mut client = NetClient::connect(&addr, Codec::Json).unwrap();
+        let response = client
+            .request(&Request::Register {
+                name: Some("demo".into()),
+                prior: vec![0.4, 0.3, 0.2, 0.1],
+                delta: 0.8,
+                slots: Some(60),
+                lazy: None,
+            })
+            .unwrap();
+        assert!(matches!(response, Response::Registered { warm: true, .. }));
+        let response = client
+            .request(&Request::BestForPrivacy {
+                key: None,
+                name: Some("demo".into()),
+                min_privacy: 0.05,
+            })
+            .unwrap();
+        assert!(matches!(response, Response::Matrix { .. }));
+        assert_eq!(client.request(&Request::Shutdown).unwrap(), Response::Bye);
+        assert_eq!(server.wait(), 1, "one session was served");
+    }
+
+    #[test]
+    fn request_drain_stops_an_idle_server() {
+        let (server, _) = tiny_server(12);
+        assert!(!server.is_draining());
+        server.request_drain();
+        assert!(server.is_draining());
+        assert_eq!(server.wait(), 0);
+    }
+}

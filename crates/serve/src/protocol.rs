@@ -28,6 +28,17 @@
 //! canonical `key` fingerprint (returned by `Register`) or the `name`
 //! alias supplied at registration, so sessions can be scripted without
 //! knowing fingerprints in advance.
+//!
+//! Over the network front door ([`crate::net`]) the same request and
+//! response model can also cross as `OPTRR-WIRE v1` binary frames
+//! ([`crate::wire`]): a connection whose first byte is the binary
+//! preamble `0xB1` exchanges length-prefixed CRC-checked frames instead
+//! of JSON lines — e.g. `Estimate { key: Some(9) }` becomes the 15-byte
+//! frame `0f 00 00 00 · 03 · 01 09 00 00 00 00 00 00 00 · 00 ·
+//! 88 0a 04 b1` (length · tag · payload · CRC32) instead of the
+//! 20-byte line `{"Estimate":{"key":9}}`. Hot-verb floats cross as raw
+//! `f64` bits, so either codec delivers bitwise-identical requests to
+//! the service.
 
 use optrr::FrontPoint;
 use rr::RrMatrix;
@@ -572,8 +583,8 @@ pub enum Response {
         /// Explanation.
         reason: String,
         /// Stable machine-readable error code (see [`crate::service::ServeError`]):
-        /// `invalid_request`, `optimizer`, `snapshot_io`, or
-        /// `snapshot_corrupt`.
+        /// `invalid_request`, `optimizer`, `snapshot_io`,
+        /// `snapshot_corrupt`, or `transport`.
         code: String,
     },
     /// Session end acknowledgement.

@@ -87,18 +87,24 @@ pub enum ServeError {
     /// previous generation or to deterministic replay, never serve the
     /// partial contents.
     SnapshotCorrupt(String),
+    /// A network session's transport failed mid-frame: a torn length
+    /// prefix, a half-written JSON line, a checksum mismatch, or an
+    /// abrupt client disconnect. The session closes; the shared service
+    /// is untouched (no poisoned locks, no leaked `Warming` states).
+    Transport(String),
 }
 
 impl ServeError {
     /// Stable machine-readable error code, the taxonomy the protocol's
     /// `Error` responses carry: `invalid_request`, `optimizer`,
-    /// `snapshot_io`, or `snapshot_corrupt`.
+    /// `snapshot_io`, `snapshot_corrupt`, or `transport`.
     pub fn code(&self) -> &'static str {
         match self {
             ServeError::InvalidRequest(_) => "invalid_request",
             ServeError::Optimizer(_) => "optimizer",
             ServeError::Snapshot(_) => "snapshot_io",
             ServeError::SnapshotCorrupt(_) => "snapshot_corrupt",
+            ServeError::Transport(_) => "transport",
         }
     }
 }
@@ -110,6 +116,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Optimizer(e) => write!(f, "optimizer error: {e}"),
             ServeError::Snapshot(reason) => write!(f, "snapshot error: {reason}"),
             ServeError::SnapshotCorrupt(reason) => write!(f, "snapshot corrupt: {reason}"),
+            ServeError::Transport(reason) => write!(f, "transport error: {reason}"),
         }
     }
 }
@@ -458,6 +465,12 @@ impl Service {
     /// Borrow the registry (tests and the bench inspect counters).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Borrow the live fault injector, when a chaos plan is configured
+    /// (`serve::net` consults the `conn_drop` site per request).
+    pub(crate) fn fault_injector(&self) -> Option<&Arc<crate::faults::FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Milliseconds since this service started — the LRU/TTL clock.

@@ -304,6 +304,17 @@ struct EventCounters {
     snapshot_load_failures: Arc<Counter>,
 }
 
+/// Pre-resolved handles for the network front door's totals
+/// (`serve::net`): connection and byte counters are on the per-request
+/// hot path, so they must not pay a registry lookup per event.
+#[derive(Debug)]
+struct NetCounters {
+    conns: Arc<Counter>,
+    conn_errors: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
 /// The service's observability hub: a metric registry, the per-verb
 /// latency histograms, and the bounded event trace, behind one enabled
 /// flag and one injectable clock.
@@ -317,6 +328,7 @@ pub struct ServeObs {
     queries: Arc<Counter>,
     warm_hits: Arc<Counter>,
     coverage_misses: Arc<Counter>,
+    net: NetCounters,
 }
 
 impl ServeObs {
@@ -346,6 +358,12 @@ impl ServeObs {
         let queries = registry.counter("serve_queries_total");
         let warm_hits = registry.counter("serve_warm_hits_total");
         let coverage_misses = registry.counter("serve_coverage_misses_total");
+        let net = NetCounters {
+            conns: registry.counter("serve_net_conns_total"),
+            conn_errors: registry.counter("serve_net_conn_errors_total"),
+            bytes_in: registry.counter("serve_net_bytes_in_total"),
+            bytes_out: registry.counter("serve_net_bytes_out_total"),
+        };
         Self {
             enabled,
             trace: TraceRing::new(if enabled { trace_cap } else { 0 }, Arc::clone(&clock)),
@@ -355,6 +373,7 @@ impl ServeObs {
             queries,
             warm_hits,
             coverage_misses,
+            net,
         }
     }
 
@@ -447,6 +466,66 @@ impl ServeObs {
         }
         self.registry
             .histogram(&format!("serve_verb_{verb}_latency_ns"))
+            .record(nanos);
+    }
+
+    /// Counts one accepted network connection
+    /// (`serve_net_conns_total`).
+    pub fn count_net_conn(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.net.conns.inc();
+    }
+
+    /// Counts one network session that ended on a transport error — a
+    /// torn frame, a failed checksum, an abrupt client disconnect
+    /// (`serve_net_conn_errors_total`).
+    pub fn count_net_conn_error(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.net.conn_errors.inc();
+    }
+
+    /// Adds request bytes read off a network connection
+    /// (`serve_net_bytes_in_total`).
+    pub fn add_net_bytes_in(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.net.bytes_in.add(bytes);
+    }
+
+    /// Adds response bytes written to a network connection
+    /// (`serve_net_bytes_out_total`).
+    pub fn add_net_bytes_out(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.net.bytes_out.add(bytes);
+    }
+
+    /// Overwrites the `serve_connections_active` gauge. The net server
+    /// tracks the live count in its own atomic (the gauge type is
+    /// set-only) and mirrors it here on every open and close.
+    pub fn set_connections_active(&self, count: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.gauge("serve_connections_active").set(count);
+    }
+
+    /// Records one network-handled verb into its per-codec latency
+    /// histogram (`serve_net_verb_<verb>_<codec>_latency_ns`), beside
+    /// the codec-agnostic [`ServeObs::record_verb`] histogram the
+    /// session also feeds.
+    pub fn record_net_verb(&self, verb: &str, codec: &str, nanos: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .histogram(&format!("serve_net_verb_{verb}_{codec}_latency_ns"))
             .record(nanos);
     }
 
@@ -683,6 +762,60 @@ mod tests {
         assert_eq!(events[10].key(), None);
         assert_eq!(events[11].key(), Some(1), "failures carry the key");
         assert_eq!(events[14].key(), None, "load failures carry only a path");
+    }
+
+    #[test]
+    fn net_counters_gauge_and_per_codec_histograms_record() {
+        let hub = hub(true);
+        hub.count_net_conn();
+        hub.count_net_conn();
+        hub.count_net_conn_error();
+        hub.add_net_bytes_in(128);
+        hub.add_net_bytes_out(512);
+        hub.set_connections_active(2);
+        hub.record_net_verb("ingest", "binary", 1_000);
+        hub.record_net_verb("ingest", "json", 3_000);
+        hub.record_net_verb("best_for_privacy", "binary", 500);
+        let snap = hub.metrics_snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(counter("serve_net_conns_total"), 2);
+        assert_eq!(counter("serve_net_conn_errors_total"), 1);
+        assert_eq!(counter("serve_net_bytes_in_total"), 128);
+        assert_eq!(counter("serve_net_bytes_out_total"), 512);
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "serve_connections_active")
+            .map(|(_, v)| *v);
+        assert_eq!(gauge, Some(2));
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"serve_net_verb_ingest_binary_latency_ns"));
+        assert!(names.contains(&"serve_net_verb_ingest_json_latency_ns"));
+        assert!(names.contains(&"serve_net_verb_best_for_privacy_binary_latency_ns"));
+
+        // Disabled hubs record none of it.
+        let quiet = hub_disabled();
+        quiet.count_net_conn();
+        quiet.add_net_bytes_in(1);
+        quiet.set_connections_active(9);
+        quiet.record_net_verb("ingest", "binary", 1);
+        let snap = quiet.metrics_snapshot();
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0));
+        assert!(snap
+            .gauges
+            .iter()
+            .all(|(n, _)| n != "serve_connections_active"));
+        assert!(snap.histograms.is_empty());
+    }
+
+    fn hub_disabled() -> Arc<ServeObs> {
+        hub(false)
     }
 
     #[test]
